@@ -1,0 +1,264 @@
+package seadopt
+
+import (
+	"fmt"
+	"strings"
+
+	"seadopt/internal/anneal"
+	"seadopt/internal/arch"
+	"seadopt/internal/faults"
+	"seadopt/internal/mapping"
+	"seadopt/internal/metrics"
+	"seadopt/internal/registers"
+	"seadopt/internal/sched"
+	"seadopt/internal/sim"
+	"seadopt/internal/taskgraph"
+)
+
+// Re-exported model types. The implementation lives in internal packages;
+// these aliases are the supported public names.
+type (
+	// Graph is an application task graph (DAG with computation costs,
+	// communication costs and per-task register footprints).
+	Graph = taskgraph.Graph
+	// GraphBuilder assembles custom Graphs.
+	GraphBuilder = taskgraph.Builder
+	// TaskID indexes a task within its graph.
+	TaskID = taskgraph.TaskID
+	// Platform is an MPSoC configuration (cores + DVS level table).
+	Platform = arch.Platform
+	// Level is one DVS operating point (scaling coefficient, f, Vdd).
+	Level = arch.Level
+	// Mapping assigns each task to a core.
+	Mapping = sched.Mapping
+	// Schedule is a list-scheduled execution of a mapping.
+	Schedule = sched.Schedule
+	// Evaluation is the analytic assessment of one design point.
+	Evaluation = metrics.Evaluation
+	// SERModel maps supply voltage to soft error rate.
+	SERModel = faults.SERModel
+	// SimResult is a cycle-level simulation outcome.
+	SimResult = sim.Result
+	// InjectionResult is a fault-injection campaign outcome.
+	InjectionResult = faults.Result
+	// RandomGraphConfig parameterizes the random workload generator.
+	RandomGraphConfig = taskgraph.RandomConfig
+	// RegisterInventory catalogues an application's register resources.
+	RegisterInventory = registers.Inventory
+	// RegisterSet is a set of register IDs (a task's footprint).
+	RegisterSet = registers.Set
+)
+
+// Workload constructors and paper constants.
+var (
+	// MPEG2 returns the 11-task MPEG-2 decoder graph of Fig. 2.
+	MPEG2 = taskgraph.MPEG2
+	// Fig8 returns the paper's 6-task worked example.
+	Fig8 = taskgraph.Fig8
+	// NewGraphBuilder starts a custom graph over a register inventory.
+	NewGraphBuilder = taskgraph.NewBuilder
+	// NewRegisterInventory returns an empty register inventory.
+	NewRegisterInventory = registers.NewInventory
+	// RandomGraph draws a paper-parameterized random task graph.
+	RandomGraph = taskgraph.Random
+	// DefaultRandomGraphConfig is the §V random-workload parameterization.
+	DefaultRandomGraphConfig = taskgraph.DefaultRandomConfig
+	// RandomGraphDeadline is the paper's 1000·N/2 ms deadline, in seconds.
+	RandomGraphDeadline = taskgraph.RandomDeadline
+)
+
+const (
+	// MPEG2Deadline is the tennis-stream real-time constraint in seconds.
+	MPEG2Deadline = taskgraph.MPEG2Deadline
+	// MPEG2Frames is the stream length in frames.
+	MPEG2Frames = taskgraph.MPEG2Frames
+	// DefaultSER is the paper's soft error rate (1e-9 SEU/bit/cycle).
+	DefaultSER = faults.DefaultSER
+)
+
+// System bundles an application with the platform it is being designed for.
+type System struct {
+	Graph    *Graph
+	Platform *Platform
+}
+
+// NewARM7System builds a system on an ARM7 MPSoC with the given core count
+// and DVS level-table size (2, 3 or 4 — Table I and the Fig. 11 variants).
+func NewARM7System(g *Graph, cores, levels int) (*System, error) {
+	if g == nil {
+		return nil, fmt.Errorf("seadopt: nil graph")
+	}
+	table, err := arch.ARM7LevelsFor(levels)
+	if err != nil {
+		return nil, err
+	}
+	p, err := arch.NewPlatform(cores, table)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Graph: g, Platform: p}, nil
+}
+
+// NewSystem builds a system on a custom platform.
+func NewSystem(g *Graph, p *Platform) (*System, error) {
+	if g == nil || p == nil {
+		return nil, fmt.Errorf("seadopt: nil graph or platform")
+	}
+	return &System{Graph: g, Platform: p}, nil
+}
+
+// OptimizeOptions tunes the design optimization.
+type OptimizeOptions struct {
+	// SER is the soft error rate per bit per cycle (0 selects DefaultSER).
+	SER float64
+	// DeadlineSec is the real-time constraint; 0 means unconstrained.
+	DeadlineSec float64
+	// StreamIterations is the number of stream iterations the task costs
+	// cover (MPEG2Frames for the decoder; 0/1 for plain DAG semantics).
+	StreamIterations int
+	// SearchMoves bounds the per-scaling mapping search (0 = default).
+	SearchMoves int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (o OptimizeOptions) mappingConfig() mapping.Config {
+	ser := o.SER
+	if ser == 0 {
+		ser = DefaultSER
+	}
+	return mapping.Config{
+		SER:         faults.NewSERModel(ser),
+		DeadlineSec: o.DeadlineSec,
+		Iterations:  o.StreamIterations,
+		SearchMoves: o.SearchMoves,
+		Seed:        o.Seed,
+	}
+}
+
+// Design is an optimized design point.
+type Design struct {
+	Scaling []int
+	Mapping Mapping
+	Eval    *Evaluation
+}
+
+// Summary renders a human-readable description of the design.
+func (d *Design) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scaling %v  P=%.3f mW  R=%.1f kbit  T_M=%.4f s  Γ=%.4g  deadline met: %v\n",
+		d.Scaling, d.Eval.PowerW*1e3, float64(d.Eval.TotalRegBits)/1024.0,
+		d.Eval.TMSeconds, d.Eval.Gamma, d.Eval.MeetsDeadline)
+	coreTasks := d.Mapping.CoreTasks(len(d.Scaling))
+	g := d.Eval.Schedule.Graph
+	for c, tasks := range coreTasks {
+		names := make([]string, len(tasks))
+		for i, t := range tasks {
+			names[i] = g.Task(t).Name
+		}
+		fmt.Fprintf(&sb, "  core %d (s=%d): %s\n", c, d.Scaling[c], strings.Join(names, ", "))
+	}
+	return sb.String()
+}
+
+// Gantt renders the design's schedule as an ASCII chart.
+func (d *Design) Gantt(width int) string { return d.Eval.Schedule.Gantt(width) }
+
+// Optimize runs the paper's full design loop (Fig. 4): voltage-scaling
+// enumeration with the proposed soft error-aware task mapper, returning the
+// deadline-meeting design with minimum power, tie-broken by minimum Γ.
+func (s *System) Optimize(opts OptimizeOptions) (*Design, error) {
+	cfg := opts.mappingConfig()
+	best, _, err := mapping.Explore(s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Scaling: best.Scaling, Mapping: best.Mapping, Eval: best.Eval}, nil
+}
+
+// BaselineObjective selects a soft error-unaware optimization objective.
+type BaselineObjective = anneal.Objective
+
+// Baseline objectives (the paper's Exp:1-3 plus the Γ oracle).
+const (
+	MinimizeRegisterUsage = anneal.ObjectiveRegisterUsage
+	MinimizeMakespan      = anneal.ObjectiveMakespan
+	MinimizeRegTime       = anneal.ObjectiveRegTimeProduct
+	MinimizeGammaOracle   = anneal.ObjectiveGamma
+)
+
+// ExposureMode selects the liveness fidelity used by fault injection and
+// pressure profiles.
+type ExposureMode = sim.ExposureMode
+
+// Exposure fidelities: the paper's conservative model (allocated state is
+// live for the whole run) and the measured first-use..last-use refinement.
+const (
+	ExposureConservative = sim.ExposureConservative
+	ExposureLifetime     = sim.ExposureLifetime
+)
+
+// OptimizeBaseline runs the same design loop with a soft error-unaware
+// simulated-annealing mapper (the paper's Exp:1-3 baselines).
+func (s *System) OptimizeBaseline(obj BaselineObjective, opts OptimizeOptions) (*Design, error) {
+	cfg := opts.mappingConfig()
+	acfg := anneal.Config{
+		Objective:   obj,
+		SER:         cfg.SER,
+		DeadlineSec: cfg.DeadlineSec,
+		Iterations:  cfg.Iterations,
+		Moves:       cfg.SearchMoves,
+		Seed:        cfg.Seed,
+	}
+	best, _, err := mapping.Explore(s.Graph, s.Platform, anneal.Mapper(acfg), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Scaling: best.Scaling, Mapping: best.Mapping, Eval: best.Eval}, nil
+}
+
+// MapAtScaling runs only the proposed task mapper (stages 1+2 of step 2) at
+// a fixed per-core scaling vector.
+func (s *System) MapAtScaling(scaling []int, opts OptimizeOptions) (*Design, error) {
+	cfg := opts.mappingConfig()
+	m, ev, err := mapping.SEAMapper(cfg)(s.Graph, s.Platform, scaling)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Scaling: append([]int(nil), scaling...), Mapping: m, Eval: ev}, nil
+}
+
+// Evaluate analytically assesses an explicit (mapping, scaling) design point
+// (eqs. 3, 5, 7, 8).
+func (s *System) Evaluate(m Mapping, scaling []int, opts OptimizeOptions) (*Evaluation, error) {
+	cfg := opts.mappingConfig()
+	return metrics.Evaluate(s.Graph, s.Platform, m, scaling, cfg.SER,
+		metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+}
+
+// Simulate executes the design on the cycle-level MPSoC model (the SystemC
+// stand-in), returning the measured makespan, task events and utilization.
+func (s *System) Simulate(m Mapping, scaling []int, streamIterations int) (*SimResult, error) {
+	return sim.Run(s.Graph, s.Platform, m, scaling, sim.Config{Iterations: streamIterations})
+}
+
+// InjectFaults simulates the design and runs a Poisson SEU fault-injection
+// campaign over its register liveness trace, returning the measured number
+// of SEUs experienced and its analytic expectation.
+func (s *System) InjectFaults(m Mapping, scaling []int, streamIterations int,
+	ser float64, seed int64) (measured int64, expected float64, err error) {
+	if ser == 0 {
+		ser = DefaultSER
+	}
+	r, err := s.Simulate(m, scaling, streamIterations)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.MeasureGamma(faults.NewSERModel(ser), sim.ExposureConservative, seed)
+}
+
+// ScalingCombinations returns the paper's Fig. 5 voltage-scaling enumeration
+// for this platform (non-increasing per-core coefficient vectors).
+func (s *System) ScalingCombinations() ([][]int, error) {
+	return vscaleAll(s.Platform)
+}

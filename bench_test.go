@@ -1,0 +1,274 @@
+package seadopt
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, each running the corresponding experiment end to end
+// at a reduced (but shape-preserving) search budget, plus micro-benchmarks
+// of the hot inner loops (list scheduling, design-point evaluation, the
+// cycle-level simulator and the Poisson fault injector).
+//
+// Regenerate the paper's numbers at full budgets with:
+//
+//	go run ./cmd/experiments -all
+//
+// and see EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+
+import (
+	"math/rand"
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/expt"
+	"seadopt/internal/faults"
+	"seadopt/internal/mapping"
+	"seadopt/internal/metrics"
+	"seadopt/internal/sched"
+	"seadopt/internal/sim"
+	"seadopt/internal/taskgraph"
+)
+
+// benchCfg is the reduced-budget configuration used by the per-experiment
+// benchmarks.
+func benchCfg() expt.Config {
+	return expt.Config{SearchMoves: 300, AnnealMoves: 300, Seed: 2010, FaultRuns: 1}
+}
+
+// BenchmarkFig3 regenerates the 120-mapping motivation sweep of Fig. 3
+// (T_M vs R trade-off and the Γ curves at s=1 and s=2).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Fig3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 120 {
+			b.Fatal("wrong sweep size")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II: the four design-optimization
+// experiments on the MPEG-2 decoder with four cores, including the
+// fault-injection measurement of Γ.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.TableII(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the equal-scaling comparison of Fig. 9.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Fig9(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the architecture-allocation study of
+// Table III (six applications across two to six cores).
+func BenchmarkTableIII(b *testing.B) {
+	cfg := benchCfg()
+	cfg.SearchMoves = 100
+	for i := 0; i < b.N; i++ {
+		res, err := expt.TableIII(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Apps) != 6 {
+			b.Fatal("wrong app count")
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the Exp:3-vs-Exp:4 allocation sweep of Fig. 10.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Fig10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 5 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates the voltage-scaling-level sweep of Fig. 11.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Fig11(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 3 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the inner loops ---
+
+// BenchmarkListScheduleMPEG2 measures the event-driven list scheduler on
+// the 11-task decoder (the optimizer's innermost operation).
+func BenchmarkListScheduleMPEG2(b *testing.B) {
+	g := taskgraph.MPEG2()
+	p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+	m := sched.RoundRobin(g.N(), 4)
+	scaling := []int{2, 2, 3, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ListSchedule(g, p, m, scaling); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListScheduleRandom100 measures the scheduler on the largest
+// Table III workload.
+func BenchmarkListScheduleRandom100(b *testing.B) {
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(100), 1)
+	p := arch.MustNewPlatform(6, arch.ARM7Levels3())
+	m := sched.RoundRobin(g.N(), 6)
+	scaling := []int{3, 3, 3, 2, 2, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ListSchedule(g, p, m, scaling); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate measures a full analytic design-point evaluation
+// (schedule + R_i unions + Γ + power), the optimizer's cost function.
+func BenchmarkEvaluate(b *testing.B) {
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(60), 1)
+	p := arch.MustNewPlatform(6, arch.ARM7Levels3())
+	m := sched.RoundRobin(g.N(), 6)
+	scaling := []int{3, 3, 3, 3, 2, 2}
+	ser := faults.NewSERModel(faults.DefaultSER)
+	opt := metrics.Options{Iterations: 1, DeadlineSec: taskgraph.RandomDeadline(60)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Evaluate(g, p, m, scaling, ser, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorPipelined measures the cycle-level DES simulator
+// running the full 437-frame MPEG-2 pipeline (4807 task instances).
+func BenchmarkSimulatorPipelined(b *testing.B) {
+	g := taskgraph.MPEG2()
+	p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+	m := sched.Mapping{0, 0, 0, 0, 0, 0, 1, 1, 2, 3, 3}
+	scaling := []int{2, 2, 3, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(g, p, m, scaling, sim.Config{Iterations: taskgraph.MPEG2Frames}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultInjection measures one Poisson SEU campaign over the
+// decoder's liveness trace.
+func BenchmarkFaultInjection(b *testing.B) {
+	g := taskgraph.MPEG2()
+	p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+	m := sched.Mapping{0, 0, 0, 0, 0, 0, 1, 1, 2, 3, 3}
+	r, err := sim.Run(g, p, m, []int{2, 2, 3, 2}, sim.Config{Iterations: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	campaign, err := r.Campaign(faults.NewSERModel(faults.DefaultSER), sim.ExposureConservative)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := campaign.Run(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInitialSEAMapping measures the Fig. 6 constructive mapper.
+func BenchmarkInitialSEAMapping(b *testing.B) {
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(60), 1)
+	p := arch.MustNewPlatform(6, arch.ARM7Levels3())
+	cfg := mapping.Config{
+		SER:         faults.NewSERModel(faults.DefaultSER),
+		DeadlineSec: taskgraph.RandomDeadline(60),
+		Iterations:  1,
+		Seed:        1,
+	}
+	scaling := []int{3, 3, 3, 3, 2, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapping.InitialSEAMapping(g, p, scaling, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeMPEG2 measures the full Fig. 4 design loop on the
+// decoder at a small search budget.
+func BenchmarkOptimizeMPEG2(b *testing.B) {
+	sys, err := NewARM7System(MPEG2(), 4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := OptimizeOptions{
+		DeadlineSec:      MPEG2Deadline,
+		StreamIterations: MPEG2Frames,
+		SearchMoves:      200,
+		Seed:             1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Optimize(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the three design-choice ablation studies
+// (exposure model, greedy seeding, scaling enumeration).
+func BenchmarkAblations(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Ablations(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Exposure) != 2 {
+			b.Fatal("wrong ablation shape")
+		}
+	}
+}
+
+// BenchmarkOptimalityGap runs the exhaustive-vs-heuristics study (the
+// symmetry-reduced 4^11 enumeration dominates the cost).
+func BenchmarkOptimalityGap(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		res, err := expt.OptimalityGap(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Optimum <= 0 {
+			b.Fatal("no optimum")
+		}
+	}
+}

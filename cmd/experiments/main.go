@@ -1,0 +1,141 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§V): Fig. 3, Table II, Fig. 9, Table III, Fig. 10 and
+// Fig. 11. Output goes to stdout; -csvdir additionally writes CSV files for
+// the tabular experiments.
+//
+// Run everything at paper-fidelity budgets:
+//
+//	experiments -all
+//
+// or a subset, faster:
+//
+//	experiments -fig 3 -table 2 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"seadopt/internal/expt"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		tables = flag.String("table", "", "comma-separated table numbers to run (2, 3)")
+		figs   = flag.String("fig", "", "comma-separated figure numbers to run (3, 9, 10, 11)")
+		abl    = flag.Bool("ablations", false, "run the design-choice ablation studies")
+		gap    = flag.Bool("optgap", false, "run the optimality-gap study (exhaustive enumeration)")
+		quick  = flag.Bool("quick", false, "reduced budgets (~20x faster, noisier)")
+		moves  = flag.Int("moves", 0, "override per-scaling search budget")
+		seed   = flag.Int64("seed", 2010, "random seed")
+		csvdir = flag.String("csvdir", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+
+	cfg := expt.Config{Seed: *seed}
+	if *quick {
+		cfg.SearchMoves = 800
+		cfg.AnnealMoves = 800
+		cfg.FaultRuns = 3
+	}
+	if *moves > 0 {
+		cfg.SearchMoves = *moves
+		cfg.AnnealMoves = *moves
+	}
+
+	want := map[string]bool{}
+	for _, t := range splitList(*tables) {
+		want["table"+t] = true
+	}
+	for _, f := range splitList(*figs) {
+		want["fig"+f] = true
+	}
+	if *abl {
+		want["ablations"] = true
+	}
+	if *gap {
+		want["optgap"] = true
+	}
+	if *all || len(want) == 0 && !*abl && !*gap {
+		for _, k := range []string{"fig3", "table2", "fig9", "table3", "fig10", "fig11", "ablations", "optgap"} {
+			want[k] = true
+		}
+	}
+
+	run := func(key, title string, fn func() (renderer, error)) {
+		if !want[key] {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", title)
+		r, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", key, err)
+			os.Exit(1)
+		}
+		r.Render(os.Stdout)
+		fmt.Printf("(%s in %.1fs)\n\n", key, time.Since(start).Seconds())
+		if *csvdir != "" {
+			if c, ok := r.(csver); ok {
+				path := filepath.Join(*csvdir, key+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				c.CSVTo(f)
+				f.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+
+	run("fig3", "Fig. 3: task mapping vs T_M, R and Γ (120 mappings)", func() (renderer, error) {
+		return expt.Fig3(cfg)
+	})
+	run("table2", "Table II: Exp:1-4 on the MPEG-2 decoder (4 cores)", func() (renderer, error) {
+		return expt.TableII(cfg)
+	})
+	run("fig9", "Fig. 9: comparative SEUs and power at equal scaling", func() (renderer, error) {
+		return expt.Fig9(cfg)
+	})
+	run("table3", "Table III: architecture allocation (2-6 cores)", func() (renderer, error) {
+		return expt.TableIII(cfg)
+	})
+	run("fig10", "Fig. 10: Exp:3 vs Exp:4 across core counts (random 60)", func() (renderer, error) {
+		return expt.Fig10(cfg)
+	})
+	run("fig11", "Fig. 11: voltage scaling levels (random 60, 6 cores)", func() (renderer, error) {
+		return expt.Fig11(cfg)
+	})
+	run("ablations", "Ablations: exposure model, greedy seeding, scaling enumeration", func() (renderer, error) {
+		return expt.Ablations(cfg)
+	})
+	run("optgap", "Optimality gap vs exhaustive enumeration (MPEG-2)", func() (renderer, error) {
+		return expt.OptimalityGap(cfg)
+	})
+}
+
+type renderer interface{ Render(w io.Writer) }
+
+type csver interface{ CSVTo(w io.Writer) }
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"2", []string{"2"}},
+		{"2,3", []string{"2", "3"}},
+		{" 2 , 3 ,", []string{"2", "3"}},
+		{",,", nil},
+	}
+	for _, c := range cases {
+		got := splitList(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitList(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command seadopt runs a single soft error-aware design optimization: it
+// loads a workload (the paper's MPEG-2 decoder, the Fig. 8 example, or a
+// random task graph), explores the voltage-scaling × task-mapping design
+// space, and prints the chosen design with its power, register usage,
+// execution time and expected/measured SEU counts.
+//
+// Examples:
+//
+//	seadopt -graph mpeg2 -cores 4
+//	seadopt -graph random -tasks 60 -cores 6 -levels 3 -seed 7
+//	seadopt -graph mpeg2 -cores 4 -baseline regtime   # the Exp:3 baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seadopt"
+	"seadopt/internal/trace"
+)
+
+func main() {
+	var (
+		graphName = flag.String("graph", "mpeg2", "workload: mpeg2, fig8 or random")
+		tasks     = flag.Int("tasks", 60, "task count for -graph random")
+		cores     = flag.Int("cores", 4, "number of MPSoC processing cores")
+		levels    = flag.Int("levels", 3, "DVS levels (2, 3 or 4)")
+		deadline  = flag.Float64("deadline", -1, "real-time constraint in seconds (-1 = workload default)")
+		ser       = flag.Float64("ser", seadopt.DefaultSER, "soft error rate, SEU/bit/cycle")
+		moves     = flag.Int("moves", 0, "per-scaling search budget (0 = default)")
+		seed      = flag.Int64("seed", 2010, "random seed")
+		baseline  = flag.String("baseline", "", "run a soft error-unaware baseline instead: reg, makespan or regtime")
+		gantt     = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		stats     = flag.Bool("stats", false, "print structural statistics of the workload graph")
+		traceOut  = flag.String("trace", "", "write a Chrome-tracing JSON of the design's simulation to this file")
+		inject    = flag.Bool("inject", true, "run fault injection on the chosen design")
+	)
+	flag.Parse()
+
+	g, dl, iters, err := loadWorkload(*graphName, *tasks, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *deadline >= 0 {
+		dl = *deadline
+	}
+	sys, err := seadopt.NewARM7System(g, *cores, *levels)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Println(sys.Stats())
+		fmt.Println()
+	}
+	opts := seadopt.OptimizeOptions{
+		SER:              *ser,
+		DeadlineSec:      dl,
+		StreamIterations: iters,
+		SearchMoves:      *moves,
+		Seed:             *seed,
+	}
+
+	var design *seadopt.Design
+	switch *baseline {
+	case "":
+		fmt.Printf("optimizing %s on %d cores / %d DVS levels (proposed, deadline %.3fs)...\n",
+			g.Name(), *cores, *levels, dl)
+		design, err = sys.Optimize(opts)
+	case "reg":
+		design, err = sys.OptimizeBaseline(seadopt.MinimizeRegisterUsage, opts)
+	case "makespan":
+		design, err = sys.OptimizeBaseline(seadopt.MinimizeMakespan, opts)
+	case "regtime":
+		design, err = sys.OptimizeBaseline(seadopt.MinimizeRegTime, opts)
+	default:
+		fatal(fmt.Errorf("unknown baseline %q (want reg, makespan or regtime)", *baseline))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(design.Summary())
+	if *gantt {
+		fmt.Print(design.Gantt(100))
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, sys, design, iters); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote simulation trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *inject {
+		measured, expected, err := sys.InjectFaults(design.Mapping, design.Scaling, iters, *ser, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fault injection: %d SEUs experienced (analytic expectation %.4g)\n", measured, expected)
+	}
+	if !design.Eval.MeetsDeadline {
+		fmt.Fprintln(os.Stderr, "warning: no deadline-meeting design exists for this configuration")
+		os.Exit(2)
+	}
+}
+
+func loadWorkload(name string, tasks int, seed int64) (g *seadopt.Graph, deadlineSec float64, streamIters int, err error) {
+	switch name {
+	case "mpeg2":
+		return seadopt.MPEG2(), seadopt.MPEG2Deadline, seadopt.MPEG2Frames, nil
+	case "fig8":
+		return seadopt.Fig8(), 0.075, 1, nil
+	case "random":
+		g, err := seadopt.RandomGraph(seadopt.DefaultRandomGraphConfig(tasks), seed)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return g, seadopt.RandomGraphDeadline(tasks), 1, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown graph %q (want mpeg2, fig8 or random)", name)
+	}
+}
+
+// writeTrace simulates the design cycle-accurately and exports the run in
+// the Chrome Trace Event format.
+func writeTrace(path string, sys *seadopt.System, d *seadopt.Design, iters int) error {
+	r, err := sys.Simulate(d.Mapping, d.Scaling, iters)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteSimulation(f, r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seadopt:", err)
+	os.Exit(1)
+}

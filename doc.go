@@ -1,0 +1,40 @@
+// Package seadopt is a Go reproduction of "Soft Error-Aware Design
+// Optimization of Low Power and Time-Constrained Embedded Systems"
+// (Shafik, Al-Hashimi, Chakrabarty — DATE 2010).
+//
+// The library co-optimizes the dynamic power and the soft-error reliability
+// (number of single-event upsets experienced, Γ) of an application task
+// graph mapped onto a DVS-capable homogeneous MPSoC, subject to a real-time
+// constraint:
+//
+//   - per-core voltage scaling is enumerated with the paper's nextScaling
+//     algorithm (Fig. 5) from the all-slowest to the all-nominal operating
+//     point;
+//   - at each scaling, a two-stage soft error-aware task mapper
+//     (InitialSEAMapping, Fig. 6, plus search-based OptimizedMapping,
+//     Fig. 7) minimizes Γ = Σ_i R_i·T_i·λ_i subject to the deadline;
+//   - the deadline-meeting design at the cheapest scaling wins.
+//
+// Everything the optimization sits on is implemented here too: the task
+// graph model with register footprints (including the paper's MPEG-2
+// decoder and random-graph workloads), the ARM7 MPSoC platform model, an
+// event-driven list scheduler, a discrete-event cycle-level simulator (the
+// SystemC stand-in), a Poisson SEU fault injector, and the simulated-
+// annealing baselines the paper compares against.
+//
+// # Quick start
+//
+//	sys, err := seadopt.NewARM7System(seadopt.MPEG2(), 4, 3)
+//	if err != nil { ... }
+//	design, err := sys.Optimize(seadopt.OptimizeOptions{
+//		SER:              1e-9,
+//		DeadlineSec:      seadopt.MPEG2Deadline,
+//		StreamIterations: seadopt.MPEG2Frames,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(design.Summary())
+//
+// The experiment harness regenerating every table and figure of the paper's
+// evaluation lives in cmd/experiments; see EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package seadopt

@@ -1,0 +1,114 @@
+// MPEG-2 decoder study: the paper's headline experiment. Optimizes the
+// 11-task decoder on a 4-core ARM7 MPSoC against the tennis-bitstream
+// deadline (437 frames at 29.97 fps), with the proposed soft error-aware
+// mapper and the three soft error-unaware baselines, then compares them at
+// a common voltage scaling the way Fig. 9 does.
+//
+//	go run ./examples/mpeg2
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seadopt"
+)
+
+func main() {
+	sys, err := seadopt.NewARM7System(seadopt.MPEG2(), 4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := seadopt.OptimizeOptions{
+		SER:              seadopt.DefaultSER,
+		DeadlineSec:      seadopt.MPEG2Deadline,
+		StreamIterations: seadopt.MPEG2Frames, // decoder is a software pipeline
+		SearchMoves:      2000,
+		Seed:             2010,
+	}
+
+	fmt.Printf("MPEG-2 decoder, 4 ARM7 cores, deadline %.3f s (437 frames @ 29.97 fps)\n\n",
+		seadopt.MPEG2Deadline)
+
+	type entry struct {
+		name string
+		run  func() (*seadopt.Design, error)
+	}
+	experiments := []entry{
+		{"Exp:1 minimize register usage", func() (*seadopt.Design, error) {
+			return sys.OptimizeBaseline(seadopt.MinimizeRegisterUsage, opts)
+		}},
+		{"Exp:2 minimize execution time", func() (*seadopt.Design, error) {
+			return sys.OptimizeBaseline(seadopt.MinimizeMakespan, opts)
+		}},
+		{"Exp:3 minimize R x T_M      ", func() (*seadopt.Design, error) {
+			return sys.OptimizeBaseline(seadopt.MinimizeRegTime, opts)
+		}},
+		{"Exp:4 proposed (SEU-aware)  ", func() (*seadopt.Design, error) {
+			return sys.Optimize(opts)
+		}},
+	}
+
+	var designs []*seadopt.Design
+	for _, e := range experiments {
+		d, err := e.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		designs = append(designs, d)
+		fmt.Printf("%s  s=%v  P=%.2f mW  R=%.0f kbit  T_M=%.2f s  Γ=%.4g\n",
+			e.name, d.Scaling, d.Eval.PowerW*1e3,
+			float64(d.Eval.TotalRegBits)/1024.0, d.Eval.TMSeconds, d.Eval.Gamma)
+	}
+
+	// Fig. 9-style comparison: everyone at the same scaling vector.
+	fmt.Println("\nAt the common scaling s = (2,2,3,2):")
+	scaling := []int{2, 2, 3, 2}
+	ref, err := sys.MapAtScaling(scaling, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  proposed: Γ=%.4g  P=%.2f mW\n", ref.Eval.Gamma, ref.Eval.PowerW*1e3)
+	for i, obj := range []seadopt.BaselineObjective{
+		seadopt.MinimizeRegisterUsage, seadopt.MinimizeMakespan, seadopt.MinimizeRegTime,
+	} {
+		d, err := baselineAtScaling(sys, obj, scaling, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  Exp:%d    : Γ=%.4g (%+.1f%%)  P=%.2f mW (%+.1f%%)\n",
+			i+1, d.Eval.Gamma, rel(d.Eval.Gamma, ref.Eval.Gamma),
+			d.Eval.PowerW*1e3, rel(d.Eval.PowerW, ref.Eval.PowerW))
+	}
+
+	// Ground-truth the winner with cycle-level simulation + fault injection.
+	best := designs[3]
+	measured, expected, err := sys.InjectFaults(best.Mapping, best.Scaling,
+		seadopt.MPEG2Frames, 0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfault injection on Exp:4's design: %d SEUs (expectation %.4g)\n",
+		measured, expected)
+	fmt.Println("\nExp:4 design detail:")
+	fmt.Print(best.Summary())
+}
+
+// baselineAtScaling runs one soft error-unaware baseline at a fixed scaling
+// by giving it a single-combination platform view.
+func baselineAtScaling(sys *seadopt.System, obj seadopt.BaselineObjective,
+	scaling []int, opts seadopt.OptimizeOptions) (*seadopt.Design, error) {
+	// Evaluate the baseline's mapping choice at this exact scaling: run the
+	// baseline optimizer but keep only its design at the given vector.
+	d, err := sys.OptimizeBaseline(obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := sys.Evaluate(d.Mapping, scaling, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &seadopt.Design{Scaling: scaling, Mapping: d.Mapping, Eval: ev}, nil
+}
+
+func rel(a, b float64) float64 { return (a - b) / b * 100 }

@@ -1,0 +1,63 @@
+// Random-workload design-space exploration: generates a paper-parameterized
+// random task graph and studies how architecture allocation (2-6 cores)
+// moves the power/reliability design point — the Table III experiment in
+// miniature.
+//
+//	go run ./examples/randomdse [-tasks 60] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"seadopt"
+)
+
+func main() {
+	tasks := flag.Int("tasks", 60, "task count")
+	seed := flag.Int64("seed", 7, "graph seed")
+	flag.Parse()
+
+	g, err := seadopt.RandomGraph(seadopt.DefaultRandomGraphConfig(*tasks), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deadline := seadopt.RandomGraphDeadline(*tasks)
+	fmt.Printf("random graph: %d tasks, %d edges, deadline %.1f s (1000·N/2 ms)\n",
+		g.N(), len(g.Edges()), deadline)
+	fmt.Printf("total compute: %.2fe9 cycles, critical path: %.2fe9 cycles\n\n",
+		float64(g.TotalComputeCycles())/1e9, float64(g.CriticalPathCycles())/1e9)
+
+	fmt.Println("cores |  P (mW) |     Γ     | scaling")
+	fmt.Println("------+---------+-----------+--------")
+	var prevGamma float64
+	for cores := 2; cores <= 6; cores++ {
+		sys, err := seadopt.NewARM7System(g, cores, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		design, err := sys.Optimize(seadopt.OptimizeOptions{
+			DeadlineSec: deadline,
+			SearchMoves: 1500,
+			Seed:        *seed + int64(cores),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if !design.Eval.MeetsDeadline {
+			marker = "  (deadline missed!)"
+		} else if prevGamma > 0 && design.Eval.Gamma > prevGamma {
+			marker = "  (Γ rising with parallelism — Table III's observation)"
+		}
+		fmt.Printf("  %d   | %7.3f | %9.4g | %v%s\n",
+			cores, design.Eval.PowerW*1e3, design.Eval.Gamma, design.Scaling, marker)
+		prevGamma = design.Eval.Gamma
+	}
+
+	fmt.Println("\nReading the table: extra cores buy deadline slack that deeper")
+	fmt.Println("voltage scaling converts into power savings — but every added core")
+	fmt.Println("duplicates shared registers and exposes more storage to upsets, so")
+	fmt.Println("the SEU count climbs. That tension is the paper's central trade-off.")
+}

@@ -1,0 +1,179 @@
+// Package anneal implements the soft error-unaware task-mapping baselines of
+// the paper's evaluation (Table II, Exp:1-3): simulated-annealing mapping in
+// the style of Orsila et al. [13] with pluggable objectives —
+//
+//	Exp:1  minimize register usage R (memory-aware distribution)
+//	Exp:2  minimize multiprocessor execution time T_M (parallelism)
+//	Exp:3  minimize the product T_M × R (joint trade-off)
+//
+// plus ObjectiveGamma, the oracle that anneals directly on eq. (3)'s Γ, used
+// by ablation benchmarks to separate "better search" from "better
+// objective". Deadline feasibility enters the cost as a multiplicative
+// penalty so the annealer is pulled back into the feasible region.
+package anneal
+
+import (
+	"fmt"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/faults"
+	"seadopt/internal/mapping"
+	"seadopt/internal/metrics"
+	"seadopt/internal/sched"
+	"seadopt/internal/search"
+	"seadopt/internal/taskgraph"
+)
+
+// Objective selects what the annealer minimizes.
+type Objective int
+
+const (
+	// ObjectiveRegisterUsage minimizes R = Σ_i R_i (Exp:1).
+	ObjectiveRegisterUsage Objective = iota
+	// ObjectiveMakespan minimizes T_M (Exp:2, "parallelism").
+	ObjectiveMakespan
+	// ObjectiveRegTimeProduct minimizes T_M × R (Exp:3).
+	ObjectiveRegTimeProduct
+	// ObjectiveGamma minimizes eq. (3)'s Γ directly (ablation oracle).
+	ObjectiveGamma
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveRegisterUsage:
+		return "register-usage"
+	case ObjectiveMakespan:
+		return "makespan"
+	case ObjectiveRegTimeProduct:
+		return "regtime-product"
+	case ObjectiveGamma:
+		return "gamma"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Config parameterizes a simulated-annealing run.
+type Config struct {
+	Objective   Objective
+	SER         faults.SERModel
+	DeadlineSec float64
+	Iterations  int // stream iterations for T_M semantics
+	Moves       int // annealing steps; zero selects DefaultMoves
+	Seed        int64
+	// InitialTempFrac sets T0 as a fraction of the initial cost
+	// (default 0.2); FinalTempFrac sets the end temperature (default 1e-4).
+	InitialTempFrac float64
+	FinalTempFrac   float64
+}
+
+// DefaultMoves is the annealing budget when Config.Moves is zero.
+const DefaultMoves = 4000
+
+func (c Config) withDefaults() Config {
+	if c.Moves == 0 {
+		c.Moves = DefaultMoves
+	}
+	if c.Iterations < 1 {
+		c.Iterations = 1
+	}
+	if c.InitialTempFrac <= 0 {
+		c.InitialTempFrac = 0.2
+	}
+	if c.FinalTempFrac <= 0 {
+		c.FinalTempFrac = 1e-4
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.SER.Validate(); err != nil {
+		return err
+	}
+	if c.DeadlineSec < 0 {
+		return fmt.Errorf("anneal: negative deadline %v", c.DeadlineSec)
+	}
+	if c.Moves < 0 {
+		return fmt.Errorf("anneal: negative move budget %d", c.Moves)
+	}
+	if c.Objective < ObjectiveRegisterUsage || c.Objective > ObjectiveGamma {
+		return fmt.Errorf("anneal: unknown objective %d", int(c.Objective))
+	}
+	return nil
+}
+
+// cost extracts the objective value with deadline penalty.
+func cost(obj Objective, deadline float64, ev *metrics.Evaluation) float64 {
+	var v float64
+	switch obj {
+	case ObjectiveRegisterUsage:
+		v = float64(ev.TotalRegBits)
+	case ObjectiveMakespan:
+		v = ev.TMSeconds
+	case ObjectiveRegTimeProduct:
+		v = float64(ev.TotalRegBits) * ev.TMSeconds
+	case ObjectiveGamma:
+		v = ev.Gamma
+	}
+	if deadline > 0 && ev.TMSeconds > deadline {
+		// Penalize in proportion to the violation so downhill moves toward
+		// feasibility are visible to the annealer.
+		v *= 1 + 10*(ev.TMSeconds-deadline)/deadline
+	}
+	return v
+}
+
+// Anneal searches for a mapping minimizing the configured objective at the
+// given scaling vector, returning the evaluation of the best feasible
+// mapping found (or the best overall if nothing feasible was seen). It runs
+// on the shared engine of internal/search — the same neighborhood and
+// cooling as the proposed mapper, so the experiments differ only in
+// objective and starting point (Exp:1-3 start from a round-robin scatter).
+func Anneal(g *taskgraph.Graph, p *arch.Platform, scaling []int, cfg Config) (*metrics.Evaluation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.ValidScaling(scaling); err != nil {
+		return nil, err
+	}
+	opt := metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec}
+
+	res, err := search.Anneal(search.Problem{
+		Cores:           p.Cores(),
+		Initial:         sched.RoundRobin(g.N(), p.Cores()),
+		Moves:           cfg.Moves,
+		Seed:            cfg.Seed ^ 0xA22EA1,
+		InitialTempFrac: cfg.InitialTempFrac,
+		FinalTempFrac:   cfg.FinalTempFrac,
+		Evaluate: func(m sched.Mapping) (search.Cost, error) {
+			ev, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
+			if err != nil {
+				return search.Cost{}, err
+			}
+			return search.Cost{
+				Value:    cost(cfg.Objective, cfg.DeadlineSec, ev),
+				Feasible: ev.MeetsDeadline,
+			}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return metrics.Evaluate(g, p, res.Best, scaling, cfg.SER, opt)
+}
+
+// Mapper adapts the annealer to the outer Fig. 4 design loop, so Exp:1-3
+// run under the same power-minimizing voltage-scaling iteration as the
+// proposed technique (the paper applies step 1 to all four experiments).
+func Mapper(cfg Config) mapping.MapperFunc {
+	return func(g *taskgraph.Graph, p *arch.Platform, scaling []int) (sched.Mapping, *metrics.Evaluation, error) {
+		ev, err := Anneal(g, p, scaling, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ev.Schedule.Mapping, ev, nil
+	}
+}

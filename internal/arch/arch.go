@@ -1,0 +1,294 @@
+// Package arch models the paper's MPSoC architecture (§II-A): C identical
+// ARM7TDMI processing cores with private caches and memory, fed by a clock
+// tree generator that gives every core its own (frequency, Vdd) operating
+// point, selected from a small table of voltage-scaling levels (Table I).
+//
+// The dynamic power of the platform is eq. (5):
+//
+//	P = C_L · Σ_i α_i · f_i(s_i) · V_dd²(s_i)
+//
+// with α_i the activity (utilization) of core i under the chosen mapping.
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// ARM7Voltage is the corrected eq. (2) voltage law for the ARM7TDMI
+// (from Pouwelse et al., MobiCom'01): V_dd in volts as a function of the
+// operating frequency in MHz.
+//
+// As typeset in the paper, eq. (2) contains a stray division by the scaling
+// coefficient s that contradicts the paper's own Table I; with f = f_nom/s
+// substituted the law V(f) = 0.1667 + 4.1667·f/10³ reproduces every row of
+// Table I (see DESIGN.md §5.1).
+func ARM7Voltage(freqMHz float64) float64 {
+	return 0.1667 + 4.1667*freqMHz/1000.0
+}
+
+// Level is one DVS operating point of a core.
+type Level struct {
+	S       int     // scaling coefficient; 1-based index into the level table
+	FreqMHz float64 // operating frequency
+	Vdd     float64 // supply voltage in volts
+}
+
+// FreqHz returns the level's frequency in Hz.
+func (l Level) FreqHz() float64 { return l.FreqMHz * 1e6 }
+
+// levelFromFreq builds a level at the given frequency using the ARM7
+// voltage law.
+func levelFromFreq(s int, freqMHz float64) Level {
+	return Level{S: s, FreqMHz: freqMHz, Vdd: ARM7Voltage(freqMHz)}
+}
+
+// ARM7NominalMHz is the nominal (s=1) ARM7TDMI frequency of Table I.
+const ARM7NominalMHz = 200.0
+
+// ARM7Levels3 returns the paper's Table I: the 3-level ARM7TDMI DVS table
+// used in all main experiments.
+//
+//	s=1: 200 MHz, 1.00 V
+//	s=2: 100 MHz, 0.58 V
+//	s=3: 66.7 MHz, 0.44 V
+func ARM7Levels3() []Level {
+	return []Level{
+		levelFromFreq(1, 200),
+		levelFromFreq(2, 100),
+		levelFromFreq(3, 200.0/3.0),
+	}
+}
+
+// ARM7Levels2 returns the 2-level variant used in Fig. 11
+// (1 V−200 MHz and 0.58 V−100 MHz).
+func ARM7Levels2() []Level {
+	return []Level{
+		levelFromFreq(1, 200),
+		levelFromFreq(2, 100),
+	}
+}
+
+// ARM7Levels4 returns the 4-level variant used in Fig. 11, which introduces
+// the higher-performance 1.2 V−236 MHz point above the Table I levels.
+func ARM7Levels4() []Level {
+	return []Level{
+		{S: 1, FreqMHz: 236, Vdd: 1.2},
+		levelFromFreq(2, 200),
+		levelFromFreq(3, 100),
+		levelFromFreq(4, 200.0/3.0),
+	}
+}
+
+// LevelsFromFrequencies builds a custom DVS table from operating
+// frequencies (MHz, fastest first) using the ARM7 voltage law of eq. (2) —
+// the way the paper's Fig. 11 constructs its 4-level variant. Frequencies
+// must be positive and strictly decreasing.
+func LevelsFromFrequencies(freqsMHz ...float64) ([]Level, error) {
+	if len(freqsMHz) == 0 {
+		return nil, fmt.Errorf("arch: no frequencies given")
+	}
+	out := make([]Level, len(freqsMHz))
+	for i, f := range freqsMHz {
+		if f <= 0 {
+			return nil, fmt.Errorf("arch: non-positive frequency %v MHz", f)
+		}
+		if i > 0 && f >= freqsMHz[i-1] {
+			return nil, fmt.Errorf("arch: frequencies must be strictly decreasing (%v after %v)", f, freqsMHz[i-1])
+		}
+		out[i] = levelFromFreq(i+1, f)
+	}
+	return out, nil
+}
+
+// ARM7LevelsFor returns the 2-, 3- or 4-level ARM7 table (Fig. 11 sweep).
+func ARM7LevelsFor(n int) ([]Level, error) {
+	switch n {
+	case 2:
+		return ARM7Levels2(), nil
+	case 3:
+		return ARM7Levels3(), nil
+	case 4:
+		return ARM7Levels4(), nil
+	default:
+		return nil, fmt.Errorf("arch: no ARM7 level table with %d levels", n)
+	}
+}
+
+// Storage profile of one ARM7 processing core (§II-A): 8 kbit data cache,
+// 16 kbit instruction cache, 512 kbit private memory.
+const (
+	ARM7DataCacheBits  = 8 * 1024
+	ARM7InstrCacheBits = 16 * 1024
+	ARM7MemoryBits     = 512 * 1024
+)
+
+// DefaultCL is the effective switched capacitance C_L of eq. (5), calibrated
+// once so that the Exp:4 MPEG-2 design point of Table II lands at ≈4.25 mW
+// (see EXPERIMENTS.md, "Calibration"). Held fixed across all experiments.
+const DefaultCL = 47e-12 // farads
+
+// DefaultBaselineBits is the per-core baseline storage footprint exposed to
+// SEUs while the core participates in the application: both caches plus the
+// resident working set of the 512 kbit private memory (≈8%). Calibrated once
+// against Table II Γ magnitudes and held fixed (see EXPERIMENTS.md).
+const DefaultBaselineBits = ARM7DataCacheBits + ARM7InstrCacheBits + 40*1024 // 64 kbit
+
+// Platform is a concrete MPSoC configuration: core count, DVS level table,
+// and the calibration constants of the power and exposure models.
+type Platform struct {
+	cores        int
+	levels       []Level
+	cl           float64 // effective switched capacitance (F)
+	baselineBits int64   // per-core baseline SEU-exposed storage
+}
+
+// Option customizes a Platform.
+type Option func(*Platform)
+
+// WithCL overrides the effective switched capacitance.
+func WithCL(cl float64) Option { return func(p *Platform) { p.cl = cl } }
+
+// WithBaselineBits overrides the per-core baseline exposed storage.
+func WithBaselineBits(bits int64) Option { return func(p *Platform) { p.baselineBits = bits } }
+
+// NewPlatform builds a platform with the given core count and DVS table.
+// Levels must be sorted fastest-first and use consecutive S starting at 1.
+func NewPlatform(cores int, levels []Level, opts ...Option) (*Platform, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("arch: need at least 1 core, got %d", cores)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("arch: empty DVS level table")
+	}
+	for i, l := range levels {
+		if l.S != i+1 {
+			return nil, fmt.Errorf("arch: level %d has S=%d, want consecutive S starting at 1", i, l.S)
+		}
+		if l.FreqMHz <= 0 || l.Vdd <= 0 {
+			return nil, fmt.Errorf("arch: level s=%d has non-positive f or Vdd", l.S)
+		}
+		if i > 0 && levels[i-1].FreqMHz <= l.FreqMHz {
+			return nil, fmt.Errorf("arch: levels must be sorted fastest-first (s=%d)", l.S)
+		}
+	}
+	p := &Platform{
+		cores:        cores,
+		levels:       append([]Level(nil), levels...),
+		cl:           DefaultCL,
+		baselineBits: DefaultBaselineBits,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.cl <= 0 {
+		return nil, fmt.Errorf("arch: non-positive C_L %v", p.cl)
+	}
+	if p.baselineBits < 0 {
+		return nil, fmt.Errorf("arch: negative baseline bits %d", p.baselineBits)
+	}
+	return p, nil
+}
+
+// MustNewPlatform is NewPlatform but panics on error; for fixtures.
+func MustNewPlatform(cores int, levels []Level, opts ...Option) *Platform {
+	p, err := NewPlatform(cores, levels, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Cores returns the number of processing cores.
+func (p *Platform) Cores() int { return p.cores }
+
+// NumLevels returns the number of DVS levels.
+func (p *Platform) NumLevels() int { return len(p.levels) }
+
+// Levels returns a copy of the DVS level table.
+func (p *Platform) Levels() []Level {
+	out := make([]Level, len(p.levels))
+	copy(out, p.levels)
+	return out
+}
+
+// Level returns the operating point for scaling coefficient s (1-based).
+func (p *Platform) Level(s int) (Level, error) {
+	if s < 1 || s > len(p.levels) {
+		return Level{}, fmt.Errorf("arch: scaling coefficient %d outside [1,%d]", s, len(p.levels))
+	}
+	return p.levels[s-1], nil
+}
+
+// MustLevel is Level but panics on out-of-range s.
+func (p *Platform) MustLevel(s int) Level {
+	l, err := p.Level(s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// CL returns the effective switched capacitance.
+func (p *Platform) CL() float64 { return p.cl }
+
+// BaselineBits returns the per-core baseline SEU-exposed storage in bits.
+func (p *Platform) BaselineBits() int64 { return p.baselineBits }
+
+// ValidScaling reports whether the per-core scaling vector has one in-range
+// coefficient per core.
+func (p *Platform) ValidScaling(scaling []int) error {
+	if len(scaling) != p.cores {
+		return fmt.Errorf("arch: scaling vector has %d entries, platform has %d cores", len(scaling), p.cores)
+	}
+	for i, s := range scaling {
+		if s < 1 || s > len(p.levels) {
+			return fmt.Errorf("arch: core %d scaling %d outside [1,%d]", i, s, len(p.levels))
+		}
+	}
+	return nil
+}
+
+// DynamicPower evaluates eq. (5) in watts for the per-core scaling vector and
+// per-core activity factors α_i ∈ [0,1] (utilization under the mapping).
+// If util is nil, α_i = 1 for every core.
+func (p *Platform) DynamicPower(scaling []int, util []float64) (float64, error) {
+	if err := p.ValidScaling(scaling); err != nil {
+		return 0, err
+	}
+	if util != nil && len(util) != p.cores {
+		return 0, fmt.Errorf("arch: utilization vector has %d entries, want %d", len(util), p.cores)
+	}
+	var sum float64
+	for i, s := range scaling {
+		l := p.levels[s-1]
+		alpha := 1.0
+		if util != nil {
+			alpha = util[i]
+			if alpha < 0 || alpha > 1+1e-9 || math.IsNaN(alpha) {
+				return 0, fmt.Errorf("arch: core %d utilization %v outside [0,1]", i, alpha)
+			}
+		}
+		sum += alpha * l.FreqHz() * l.Vdd * l.Vdd
+	}
+	return p.cl * sum, nil
+}
+
+// MaxPowerScaling returns the all-nominal (s=1 everywhere) scaling vector.
+func (p *Platform) MaxPowerScaling() []int {
+	out := make([]int, p.cores)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// MinPowerScaling returns the all-slowest scaling vector (the starting point
+// of the Fig. 5(a) enumeration).
+func (p *Platform) MinPowerScaling() []int {
+	out := make([]int, p.cores)
+	for i := range out {
+		out[i] = len(p.levels)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package desim is a small discrete-event simulation kernel in the style of
+// SystemC: simulated time, an event wheel with deterministic ordering,
+// eventized signals, and cooperatively-scheduled processes.
+//
+// It is the substrate substituting for the paper's "SystemC cycle-accurate
+// simulation" (§II-B): the cycle-level MPSoC model in internal/sim runs its
+// core and link engines as desim processes, and the fault-injection campaign
+// consumes the traces those engines emit.
+//
+// Simulated time is kept in femtoseconds (int64), which represents every
+// clock period of the ARM7 DVS tables exactly (5 ns, 10 ns, 15 ns) and spans
+// ±9200 s — far beyond any workload here. Events scheduled for the same
+// timestamp fire in scheduling order, so simulations are fully
+// deterministic.
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in femtoseconds.
+type Time int64
+
+// Femtoseconds per common units.
+const (
+	Femtosecond Time = 1
+	Picosecond  Time = 1e3
+	Nanosecond  Time = 1e6
+	Microsecond Time = 1e9
+	Millisecond Time = 1e12
+	Second      Time = 1e15
+)
+
+// Seconds converts the timestamp to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// PeriodOf returns the clock period of a frequency in Hz.
+func PeriodOf(freqHz float64) Time {
+	if freqHz <= 0 {
+		return 0
+	}
+	return Time(float64(Second)/freqHz + 0.5)
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie break for equal timestamps
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. The zero value is not usable; create one
+// with NewKernel.
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nFired uint64
+}
+
+// NewKernel returns a kernel at time zero with an empty event queue.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired returns the number of callbacks executed so far.
+func (k *Kernel) EventsFired() uint64 { return k.nFired }
+
+// Pending returns the number of events still queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling into the past is an
+// error.
+func (k *Kernel) At(at Time, fn func()) error {
+	if at < k.now {
+		return fmt.Errorf("desim: scheduling at %v before now %v", at, k.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("desim: nil event callback")
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: at, seq: k.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run delay from now.
+func (k *Kernel) After(delay Time, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("desim: negative delay %v", delay)
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// Step fires the next event, advancing time to its timestamp. It reports
+// whether an event was fired.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	k.nFired++
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue drains, returning the final time.
+func (k *Kernel) Run() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil fires events with timestamps <= limit. Events beyond the limit
+// stay queued; time advances to min(limit, last fired event).
+func (k *Kernel) RunUntil(limit Time) Time {
+	for len(k.queue) > 0 && k.queue[0].at <= limit {
+		k.Step()
+	}
+	return k.now
+}

@@ -1,0 +1,209 @@
+package desim
+
+import (
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1.0 {
+		t.Errorf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if FromSeconds(2.5) != 2*Second+500*Millisecond {
+		t.Errorf("FromSeconds(2.5) = %v", FromSeconds(2.5))
+	}
+	// ARM7 DVS periods are exact in femtoseconds.
+	if got := PeriodOf(200e6); got != 5*Nanosecond {
+		t.Errorf("PeriodOf(200MHz) = %v, want 5ns", got)
+	}
+	if got := PeriodOf(100e6); got != 10*Nanosecond {
+		t.Errorf("PeriodOf(100MHz) = %v, want 10ns", got)
+	}
+	if got := PeriodOf(200e6 / 3); got != 15*Nanosecond {
+		t.Errorf("PeriodOf(66.7MHz) = %v, want 15ns", got)
+	}
+	if PeriodOf(0) != 0 || PeriodOf(-5) != 0 {
+		t.Error("non-positive frequency should give zero period")
+	}
+}
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	add := func(at Time, id int) {
+		if err := k.At(at, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(30, 3)
+	add(10, 1)
+	add(20, 2)
+	add(10, 11) // same time as id 1, scheduled later -> fires later
+	end := k.Run()
+	if end != 30 {
+		t.Errorf("final time = %v", end)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("firing order = %v, want %v", order, want)
+		}
+	}
+	if k.EventsFired() != 4 {
+		t.Errorf("EventsFired = %d", k.EventsFired())
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	k := NewKernel()
+	_ = k.At(100, func() {})
+	k.Run()
+	if err := k.At(50, func() {}); err == nil {
+		t.Error("scheduling into the past accepted")
+	}
+	if err := k.After(-1, func() {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := k.After(1, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 10 {
+			if err := k.After(5, recurse); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_ = k.After(5, recurse)
+	end := k.Run()
+	if depth != 10 || end != 50 {
+		t.Errorf("depth=%d end=%v, want 10 and 50", depth, end)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	for i := Time(10); i <= 100; i += 10 {
+		_ = k.At(i, func() { fired++ })
+	}
+	k.RunUntil(50)
+	if fired != 5 {
+		t.Errorf("fired %d events by t=50, want 5", fired)
+	}
+	if k.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", k.Pending())
+	}
+	k.Run()
+	if fired != 10 {
+		t.Errorf("fired %d events total", fired)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	k := NewKernel()
+	if k.Step() {
+		t.Error("Step on empty queue reported work")
+	}
+	if k.Now() != 0 {
+		t.Error("time moved with no events")
+	}
+}
+
+func TestNotifier(t *testing.T) {
+	k := NewKernel()
+	n := NewNotifier(k)
+	count := 0
+	n.Subscribe(func() { count++ })
+	n.Subscribe(func() { count += 10 })
+	n.Notify()
+	if count != 11 {
+		t.Errorf("count = %d after immediate notify", count)
+	}
+	if err := n.NotifyAfter(100); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if count != 22 {
+		t.Errorf("count = %d after deferred notify", count)
+	}
+}
+
+func TestSignal(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k, 0)
+	changes := 0
+	s.Subscribe(func() { changes++ })
+	s.Write(0) // no change, no notify
+	if changes != 0 || s.Writes() != 0 {
+		t.Error("same-value write notified")
+	}
+	s.Write(7)
+	if s.Read() != 7 || changes != 1 || s.Writes() != 1 {
+		t.Errorf("Read=%d changes=%d", s.Read(), changes)
+	}
+	s.Write(9)
+	if s.Read() != 9 || changes != 2 {
+		t.Errorf("Read=%d changes=%d", s.Read(), changes)
+	}
+}
+
+func TestClock(t *testing.T) {
+	k := NewKernel()
+	c := NewClock(k, 10)
+	edges := 0
+	c.Subscribe(func() { edges++ })
+	if err := c.Start(5); err != nil {
+		t.Fatal(err)
+	}
+	end := k.Run()
+	if edges != 5 || c.Ticks() != 5 {
+		t.Errorf("edges=%d ticks=%d, want 5", edges, c.Ticks())
+	}
+	if end != 50 {
+		t.Errorf("end = %v, want 50", end)
+	}
+	// Restarting after the limit resumes ticking.
+	if err := c.Start(2); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if c.Ticks() != 7 {
+		t.Errorf("ticks after restart = %d, want 7", c.Ticks())
+	}
+}
+
+func TestClockStop(t *testing.T) {
+	k := NewKernel()
+	c := NewClock(k, 10)
+	_ = c.Start(0)
+	stopAt := Time(35)
+	_ = k.At(stopAt, c.Stop)
+	k.RunUntil(200)
+	// Edges at 10, 20, 30; the stop at 35 kills the one queued for 40.
+	if c.Ticks() != 3 {
+		t.Errorf("ticks = %d, want 3", c.Ticks())
+	}
+	if k.Pending() > 1 {
+		t.Errorf("clock left %d events pending", k.Pending())
+	}
+}
+
+func TestClockUnboundedWithRunUntil(t *testing.T) {
+	k := NewKernel()
+	c := NewClock(k, 7)
+	_ = c.Start(0)
+	k.RunUntil(70)
+	if c.Ticks() != 10 {
+		t.Errorf("ticks = %d, want 10", c.Ticks())
+	}
+	if c.Start(0) != nil {
+		t.Error("Start on live clock should be a no-op, not an error")
+	}
+}

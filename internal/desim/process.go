@@ -1,0 +1,104 @@
+package desim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Process is a SystemC-style simulation thread: a function that runs inside
+// the kernel's simulated time and can block on Wait / WaitEvent. Processes
+// are implemented with goroutines, but the kernel resumes exactly one at a
+// time and only at deterministic points, so simulations stay reproducible.
+//
+// A process function receives its Process handle and returns when done:
+//
+//	k := desim.NewKernel()
+//	desim.Spawn(k, "producer", func(p *desim.Process) {
+//		for i := 0; i < 3; i++ {
+//			p.Wait(10 * desim.Nanosecond)
+//			// ... act at the new simulation time ...
+//		}
+//	})
+//	k.Run()
+type Process struct {
+	name   string
+	kernel *Kernel
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	mu     sync.Mutex
+}
+
+// Spawn creates a process and schedules its first activation at the current
+// simulation time.
+func Spawn(k *Kernel, name string, fn func(p *Process)) *Process {
+	p := &Process{
+		name:   name,
+		kernel: k,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-p.resume // wait for first activation
+		fn(p)
+		p.mu.Lock()
+		p.done = true
+		p.mu.Unlock()
+		p.yield <- struct{}{}
+	}()
+	// After from time zero with delay zero cannot fail.
+	_ = k.After(0, p.activate)
+	return p
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Done reports whether the process function has returned.
+func (p *Process) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// activate runs the process until it blocks or finishes; called by the
+// kernel inside an event callback.
+func (p *Process) activate() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Wait suspends the process for the given simulated duration. It must only
+// be called from inside the process function. Negative durations panic —
+// they indicate a modeling bug, matching SystemC's wait() semantics.
+func (p *Process) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("desim: process %q waits negative duration %d", p.name, d))
+	}
+	// Schedule the re-activation, then yield control back to the kernel.
+	if err := p.kernel.After(d, p.activate); err != nil {
+		panic(err) // unreachable: delay >= 0 and fn != nil
+	}
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// WaitEvent suspends the process until the notifier fires. One-shot: the
+// subscription is consumed by the first notification after the call.
+func (p *Process) WaitEvent(n *Notifier) {
+	fired := false
+	n.Subscribe(func() {
+		if fired {
+			return
+		}
+		fired = true
+		// Re-activate at the notification's timestamp, after the current
+		// event cascade completes.
+		_ = p.kernel.After(0, p.activate)
+	})
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Now returns the current simulation time (valid while the process runs).
+func (p *Process) Now() Time { return p.kernel.Now() }

@@ -1,0 +1,113 @@
+package desim
+
+// Notifier is a subscribable event source: callbacks registered with
+// Subscribe fire (in registration order) every time the source triggers.
+type Notifier struct {
+	k    *Kernel
+	subs []func()
+}
+
+// NewNotifier returns a notifier bound to the kernel.
+func NewNotifier(k *Kernel) *Notifier { return &Notifier{k: k} }
+
+// Subscribe registers fn to run on every notification.
+func (n *Notifier) Subscribe(fn func()) { n.subs = append(n.subs, fn) }
+
+// Notify fires all subscribers immediately (at the current simulation time).
+func (n *Notifier) Notify() {
+	for _, fn := range n.subs {
+		fn()
+	}
+}
+
+// NotifyAfter schedules a notification delay from now.
+func (n *Notifier) NotifyAfter(delay Time) error {
+	return n.k.After(delay, n.Notify)
+}
+
+// Signal is a typed, last-write-wins value with change notification — the
+// desim analogue of an sc_signal. Reads observe the value written most
+// recently in simulation order.
+type Signal[T comparable] struct {
+	Notifier
+	value   T
+	history int
+}
+
+// NewSignal returns a signal bound to the kernel holding initial.
+func NewSignal[T comparable](k *Kernel, initial T) *Signal[T] {
+	return &Signal[T]{Notifier: Notifier{k: k}, value: initial}
+}
+
+// Read returns the current value.
+func (s *Signal[T]) Read() T { return s.value }
+
+// Writes returns the number of value changes the signal has seen.
+func (s *Signal[T]) Writes() int { return s.history }
+
+// Write stores v; if the value changed, subscribers are notified at the
+// current time.
+func (s *Signal[T]) Write(v T) {
+	if v == s.value {
+		return
+	}
+	s.value = v
+	s.history++
+	s.Notify()
+}
+
+// Clock generates a periodic notification, the desim analogue of the
+// paper's clock-tree generator output feeding one core (Fig. 1).
+type Clock struct {
+	Notifier
+	period Time
+	ticks  uint64
+	limit  uint64
+	live   bool
+}
+
+// NewClock returns a clock with the given period. Start must be called to
+// begin ticking; maxTicks bounds the run (0 = unbounded, until the kernel's
+// own run limit stops it).
+func NewClock(k *Kernel, period Time) *Clock {
+	return &Clock{Notifier: Notifier{k: k}, period: period}
+}
+
+// Period returns the clock period.
+func (c *Clock) Period() Time { return c.period }
+
+// Ticks returns the number of edges generated so far.
+func (c *Clock) Ticks() uint64 { return c.ticks }
+
+// Start begins ticking; the first edge fires one period from now. maxTicks
+// of zero means no limit; otherwise the clock generates maxTicks further
+// edges from this call before stopping.
+func (c *Clock) Start(maxTicks uint64) error {
+	if c.live {
+		return nil
+	}
+	c.live = true
+	if maxTicks == 0 {
+		c.limit = 0
+	} else {
+		c.limit = c.ticks + maxTicks
+	}
+	return c.k.After(c.period, c.tick)
+}
+
+// Stop halts the clock after the current edge.
+func (c *Clock) Stop() { c.live = false }
+
+func (c *Clock) tick() {
+	if !c.live {
+		return
+	}
+	c.ticks++
+	c.Notify()
+	if c.limit != 0 && c.ticks >= c.limit {
+		c.live = false
+		return
+	}
+	// Re-arm; After from a fired event can't fail (delay >= 0, fn != nil).
+	_ = c.k.After(c.period, c.tick)
+}

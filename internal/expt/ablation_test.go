@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SearchMoves = 400
+	res, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ablation 1: lifetime liveness is strictly tighter than conservative.
+	if len(res.Exposure) != 2 {
+		t.Fatalf("exposure rows = %d, want 2", len(res.Exposure))
+	}
+	for _, row := range res.Exposure {
+		if row.Lifetime >= row.Conservative {
+			t.Errorf("%s: lifetime Γ %v not below conservative %v",
+				row.Workload, row.Lifetime, row.Conservative)
+		}
+		if row.ReductionRatio <= 0 || row.ReductionRatio >= 1 {
+			t.Errorf("%s: reduction ratio %v outside (0,1)", row.Workload, row.ReductionRatio)
+		}
+	}
+
+	// Ablation 2: with the shared budget, greedy seeding must never be much
+	// worse than balanced seeding (it is one of the restart seeds anyway).
+	if len(res.Seeding) != 3 {
+		t.Fatalf("seeding rows = %d, want 3", len(res.Seeding))
+	}
+	for _, row := range res.Seeding {
+		if row.GreedySeed > row.BalancedSeed*1.10 {
+			t.Errorf("scaling %v: greedy-seeded Γ %v more than 10%% above balanced %v",
+				row.Scaling, row.GreedySeed, row.BalancedSeed)
+		}
+	}
+
+	// Ablation 3: the reduced enumeration is ~5x smaller and loses nothing
+	// meaningful (identical cores make the extra combinations permutations).
+	e := res.Enumeration
+	if e.ReducedCombos != 15 || e.ExhaustiveCombos != 81 {
+		t.Errorf("combo counts = %d/%d, want 15/81", e.ReducedCombos, e.ExhaustiveCombos)
+	}
+	if e.BestGammaReduced <= 0 || e.BestGammaExhaustive <= 0 {
+		t.Fatal("no feasible designs found")
+	}
+	rel := e.BestGammaReduced / e.BestGammaExhaustive
+	if rel > 1.15 || rel < 0.85 {
+		t.Errorf("reduced-vs-exhaustive best Γ ratio %v outside ±15%%", rel)
+	}
+
+	var buf bytes.Buffer
+	res.Render(&buf)
+	for _, want := range []string{"Ablation 1", "Ablation 2", "Ablation 3", "19%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("ablation render missing %q", want)
+		}
+	}
+}

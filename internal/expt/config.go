@@ -1,0 +1,45 @@
+package expt
+
+import (
+	"seadopt/internal/anneal"
+	"seadopt/internal/faults"
+	"seadopt/internal/mapping"
+)
+
+// Config carries the shared experiment knobs. Zero values select the
+// paper-fidelity defaults; tests dial the budgets down.
+type Config struct {
+	// SER is the soft error rate per bit per cycle (paper: 1e-9).
+	SER float64
+	// SearchMoves is the per-scaling budget of the proposed mapper.
+	SearchMoves int
+	// AnnealMoves is the per-scaling budget of the Exp:1-3 baselines.
+	AnnealMoves int
+	// Seed drives all deterministic randomness.
+	Seed int64
+	// FaultRuns is the number of Monte-Carlo fault-injection repetitions
+	// used for measured-Γ columns.
+	FaultRuns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SER == 0 {
+		c.SER = faults.DefaultSER
+	}
+	if c.SearchMoves == 0 {
+		c.SearchMoves = mapping.DefaultSearchMoves
+	}
+	if c.AnnealMoves == 0 {
+		c.AnnealMoves = anneal.DefaultMoves
+	}
+	if c.Seed == 0 {
+		c.Seed = 2010 // DATE 2010
+	}
+	if c.FaultRuns == 0 {
+		c.FaultRuns = 5
+	}
+	return c
+}
+
+// serModel returns the calibrated SER model for the config.
+func (c Config) serModel() faults.SERModel { return faults.NewSERModel(c.SER) }

@@ -1,0 +1,216 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment budgets small enough for CI while preserving the
+// qualitative shapes the assertions check.
+func quickCfg() Config {
+	return Config{
+		SearchMoves: 1200,
+		AnnealMoves: 1200,
+		Seed:        11,
+		FaultRuns:   2,
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T", "| a ", "| bb |", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tab.CSV(&buf)
+	if !strings.HasPrefix(buf.String(), "a,bb\n1,2\n") {
+		t.Errorf("CSV output wrong:\n%s", buf.String())
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tab := &Table{Headers: []string{"x"}}
+	tab.AddRow(`quote " and, comma`)
+	var buf bytes.Buffer
+	tab.CSV(&buf)
+	if !strings.Contains(buf.String(), `"quote "" and, comma"`) {
+		t.Errorf("CSV escaping wrong: %s", buf.String())
+	}
+}
+
+func TestScatterRender(t *testing.T) {
+	s := &Scatter{Title: "plot", XLabel: "x", YLabel: "y", Width: 30, Height: 8}
+	s.Add(0, 0, 'a')
+	s.Add(1, 1, 'b')
+	s.Add(1, 1, 'c') // collision -> '#'
+	var buf bytes.Buffer
+	s.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"plot", "a", "#", "x: 0 .. 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter missing %q:\n%s", want, out)
+		}
+	}
+	empty := &Scatter{Title: "none"}
+	buf.Reset()
+	empty.Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty scatter should say no data")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	res, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a total of 120 task mappings were carried out" — C(10,3).
+	if len(res.Points) != 120 {
+		t.Fatalf("sweep has %d mappings, want 120", len(res.Points))
+	}
+	tmMin, tmMax, gMin, gMax := res.Ranges()
+	if tmMax/tmMin < 1.5 {
+		t.Errorf("T_M range %.0f..%.0f too narrow to show the trade-off", tmMin, tmMax)
+	}
+	if gMax/gMin < 1.3 {
+		t.Errorf("Γ range %.3g..%.3g too narrow", gMin, gMax)
+	}
+	// Observation 1: R and T_M anti-correlate (locality reduces R, costs T_M).
+	var sumTM, sumR float64
+	for _, pt := range res.Points {
+		sumTM += pt.TM1ms
+		sumR += pt.RKb
+	}
+	meanTM, meanR := sumTM/120, sumR/120
+	var cov, varTM, varR float64
+	for _, pt := range res.Points {
+		cov += (pt.TM1ms - meanTM) * (pt.RKb - meanR)
+		varTM += (pt.TM1ms - meanTM) * (pt.TM1ms - meanTM)
+		varR += (pt.RKb - meanR) * (pt.RKb - meanR)
+	}
+	corr := cov / math.Sqrt(varTM*varR)
+	if corr > -0.3 {
+		t.Errorf("R vs T_M correlation = %.2f, want clearly negative (Observation 1)", corr)
+	}
+	// Observation 3: scaling all cores 1→2 doubles T_M and gives Γ ≈ ×2.5.
+	for i, pt := range res.Points {
+		if math.Abs(pt.TM2ms/pt.TM1ms-2.0) > 0.02 {
+			t.Fatalf("point %d: T_M ratio %.3f, want 2.0", i, pt.TM2ms/pt.TM1ms)
+		}
+		if math.Abs(pt.Gamma2/pt.Gamma1-2.5) > 0.05 {
+			t.Fatalf("point %d: Γ ratio %.3f, want ≈2.5", i, pt.Gamma2/pt.Gamma1)
+		}
+	}
+	// The duplication mechanism leaves real Γ spread among equal-T_M points.
+	if res.DuplicationPenaltyPct() < 5 {
+		t.Errorf("duplication penalty %.1f%%, expected a visible spread", res.DuplicationPenaltyPct())
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig. 3(a)") || !strings.Contains(buf.String(), "Observation 3") {
+		t.Error("Fig3 render incomplete")
+	}
+}
+
+func TestTableIIShapes(t *testing.T) {
+	res, err := TableII(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("Table II has %d rows, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Design.Eval.MeetsDeadline {
+			t.Errorf("%s: design misses the deadline", row.Name)
+		}
+		if row.Design.Eval.PowerW <= 0 || row.Design.Eval.Gamma <= 0 {
+			t.Errorf("%s: degenerate design", row.Name)
+		}
+		// Measured Γ (fault injection) within 25%% of the estimate.
+		rel := math.Abs(row.MeasuredGamma-row.Design.Eval.Gamma) / row.Design.Eval.Gamma
+		if rel > 0.25 {
+			t.Errorf("%s: measured Γ %.3g vs estimated %.3g (rel %.2f)",
+				row.Name, row.MeasuredGamma, row.Design.Eval.Gamma, rel)
+		}
+	}
+	// Exp:1 minimizes R: its register usage must be the smallest.
+	r1 := res.Row(Exp1).Design.Eval.TotalRegBits
+	for _, row := range res.Rows[1:] {
+		if row.Design.Eval.TotalRegBits < r1 {
+			t.Errorf("%s has R=%d below Exp:1's %d", row.Name, row.Design.Eval.TotalRegBits, r1)
+		}
+	}
+	// Exp:2 maximizes parallelism: its T_M must be the smallest.
+	t2 := res.Row(Exp2).Design.Eval.TMSeconds
+	for _, row := range res.Rows {
+		if row.Name != Exp2 && row.Design.Eval.TMSeconds < t2*0.999 {
+			t.Errorf("%s has T_M=%.3f below Exp:2's %.3f", row.Name, row.Design.Eval.TMSeconds, t2)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Exp:4") {
+		t.Error("Table II render missing Exp:4")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	res, err := Fig9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("Fig9 has %d baseline rows, want 3", len(res.Rows))
+	}
+	// The proposed optimization minimizes Γ at the fixed scaling, so every
+	// baseline must be no better (within small search noise).
+	for _, row := range res.Rows {
+		if row.GammaDelta < -0.02 {
+			t.Errorf("%s beats Exp:4 on Γ by %.1f%% at equal scaling", row.Name, -row.GammaDelta*100)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "reference") {
+		t.Error("Fig9 render missing reference row")
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SearchMoves = 120
+	res, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("Fig11 has %d points, want 3 (2/3/4 levels)", len(res.Points))
+	}
+	byLevels := map[int]Fig11Point{}
+	for _, pt := range res.Points {
+		byLevels[pt.Levels] = pt
+		if !pt.Design.Eval.MeetsDeadline {
+			t.Errorf("%d levels: design misses deadline", pt.Levels)
+		}
+	}
+	// More scaling levels -> more flexibility -> power no worse
+	// (paper: 4 levels buys ~4% power at ~3% more SEUs vs 3 levels).
+	if byLevels[4].PowerW > byLevels[2].PowerW*1.02 {
+		t.Errorf("4-level power %.3g exceeds 2-level %.3g", byLevels[4].PowerW, byLevels[2].PowerW)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "reference") {
+		t.Error("Fig11 render missing the 3-level reference")
+	}
+}

@@ -1,0 +1,64 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOptimalityGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration in -short mode")
+	}
+	cfg := quickCfg()
+	res, err := OptimalityGap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimum <= 0 {
+		t.Fatal("no exhaustive optimum")
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5 (Exp:1-4 + oracle)", len(res.Rows))
+	}
+	var exp4 *OptGapRow
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		// Nothing beats the exhaustive optimum.
+		if row.GapPct < -1e-6 {
+			t.Errorf("%s claims Γ below the optimum (gap %v%%)", row.Mapper, row.GapPct)
+		}
+		if strings.Contains(row.Mapper, "Proposed") {
+			exp4 = row
+		}
+	}
+	if exp4 == nil {
+		t.Fatal("Exp:4 missing from gap table")
+	}
+	// The proposed mapper should land within 15% of optimal on this
+	// 11-task instance even at CI budgets.
+	if exp4.GapPct > 15 {
+		t.Errorf("Exp:4 optimality gap %.1f%% > 15%%", exp4.GapPct)
+	}
+	// Exp:4 is the best or tied-best of the heuristics on Γ at this
+	// scaling (allow 2% noise).
+	for _, row := range res.Rows {
+		if row.Mapper == exp4.Mapper || strings.Contains(row.Mapper, "oracle") {
+			continue
+		}
+		if row.Gamma < exp4.Gamma*0.98 {
+			t.Errorf("%s (Γ %v) clearly beats Exp:4 (Γ %v) at equal scaling",
+				row.Mapper, row.Gamma, exp4.Gamma)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Optimality gap") {
+		t.Error("render incomplete")
+	}
+	buf.Reset()
+	res.CSVTo(&buf)
+	if !strings.Contains(buf.String(), "Mapper,") {
+		t.Error("CSV incomplete")
+	}
+}

@@ -1,0 +1,175 @@
+// Package expt regenerates every table and figure of the paper's evaluation
+// section (§V) from the seadopt models: the Fig. 3 mapping sweeps, Table II
+// and Fig. 9 (baselines vs the proposed optimization on the MPEG-2 decoder),
+// Table III (architecture allocation), Fig. 10 (Exp:3 vs Exp:4 across core
+// counts) and Fig. 11 (voltage-scaling-level sweep).
+//
+// Every experiment returns a typed result for programmatic use and renders a
+// paper-style text table (plus ASCII scatter plots for figures). Budgets are
+// configurable so the same runners serve fast CI tests and full
+// paper-fidelity reproductions (cmd/experiments).
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table renderer.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	total := 1
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := strings.Repeat("-", total)
+	fmt.Fprintln(w, line)
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, "| %-*s ", widths[i], h)
+	}
+	fmt.Fprintln(w, "|")
+	fmt.Fprintln(w, line)
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "| %-*s ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, "|")
+	}
+	fmt.Fprintln(w, line)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintln(w, strings.Join(cells, ","))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}
+
+// Scatter renders an ASCII scatter plot of (x, y) points, the stand-in for
+// the paper's figures.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	marks  []mark
+}
+
+type mark struct {
+	x, y  float64
+	glyph byte
+}
+
+// Add places a point with the given glyph.
+func (s *Scatter) Add(x, y float64, glyph byte) {
+	s.marks = append(s.marks, mark{x, y, glyph})
+}
+
+// Render writes the plot to w.
+func (s *Scatter) Render(w io.Writer) {
+	width, height := s.Width, s.Height
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 20
+	}
+	if len(s.marks) == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", s.Title)
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, m := range s.marks {
+		minX, maxX = math.Min(minX, m.x), math.Max(maxX, m.x)
+		minY, maxY = math.Min(minY, m.y), math.Max(maxY, m.y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, m := range s.marks {
+		col := int((m.x - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((m.y-minY)/(maxY-minY)*float64(height-1))
+		if grid[row][col] != ' ' && grid[row][col] != m.glyph {
+			grid[row][col] = '#'
+		} else {
+			grid[row][col] = m.glyph
+		}
+	}
+	if s.Title != "" {
+		fmt.Fprintln(w, s.Title)
+	}
+	fmt.Fprintf(w, "%s: %.4g .. %.4g\n", s.YLabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", row)
+	}
+	fmt.Fprintf(w, "%s: %.4g .. %.4g\n", s.XLabel, minX, maxX)
+}
+
+// pct formats a relative difference (a vs reference b) as a signed percent.
+func pct(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (a-b)/b*100)
+}
+
+// fmtTasks renders a task-ID list as the paper's "t1, t2, ..." notation
+// (task IDs are zero-based internally, one-based in the paper).
+func fmtTasks(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("t%d", id+1)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,8 @@
+package mapping
+
+import "seadopt/internal/vscale"
+
+// enumerate wraps the vscale Fig. 5 enumeration.
+func enumerate(cores, levels int) ([][]int, error) {
+	return vscale.All(cores, levels)
+}

@@ -1,0 +1,313 @@
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/metrics"
+	"seadopt/internal/sched"
+	"seadopt/internal/search"
+	"seadopt/internal/taskgraph"
+)
+
+// OptimizedMapping implements the search stage of Fig. 7: starting from the
+// initial mapping, it explores neighboring mappings (single-task moves and
+// pairwise swaps — "maximum two task movements" per iteration), list
+// schedules each candidate, and returns the evaluation of the best feasible
+// mapping found: minimum SEUs experienced subject to T_M ≤ T_Mref.
+//
+// The search runs on the shared engine of internal/search — the same
+// neighborhood and budget discipline as the Exp:1-3 baselines, so the four
+// experiments differ only in objective (here: eq. (3)'s Γ, with a deadline
+// penalty pulling infeasible walks back) and starting point (here: the
+// Fig. 6 greedy mapping). The paper bounds the search by wall-clock time;
+// a deterministic move budget (Config.SearchMoves) replaces it.
+func OptimizedMapping(g *taskgraph.Graph, p *arch.Platform, scaling []int,
+	initial sched.Mapping, cfg Config) (*metrics.Evaluation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opt := metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec}
+
+	// Phase 1 (≈2/3 of the budget): annealing walk on Γ, shared engine.
+	annealMoves := cfg.SearchMoves * 2 / 3
+	if annealMoves < 1 {
+		annealMoves = 1
+	}
+	res, err := search.Anneal(search.Problem{
+		Cores:   p.Cores(),
+		Initial: initial,
+		// The second restart starts from a balanced scatter: the greedy
+		// stage-1 seed excels under deadline pressure but can trap the
+		// walk at deep uniform scalings where clustering is infeasible.
+		AltInitials: []sched.Mapping{sched.RoundRobin(g.N(), p.Cores())},
+		Moves:       annealMoves,
+		Seed:        cfg.Seed ^ 0x5EAD0,
+		Evaluate: func(m sched.Mapping) (search.Cost, error) {
+			ev, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
+			if err != nil {
+				return search.Cost{}, err
+			}
+			v := ev.Gamma
+			if cfg.DeadlineSec > 0 && !ev.MeetsDeadline {
+				// Proportional penalty keeps the gradient toward
+				// feasibility visible (Fig. 7 steps B-C).
+				v *= 1 + 10*(ev.TMSeconds-cfg.DeadlineSec)/cfg.DeadlineSec
+			}
+			return search.Cost{Value: v, Feasible: ev.MeetsDeadline}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2 (remaining budget): deterministic per-task descent. The Γ
+	// landscape has a narrow valley along the T_M floor where random moves
+	// look flat; systematically trying every (task, core) relocation finds
+	// the register-locality improvements SA walks past.
+	return polishGamma(g, p, scaling, res.Best, cfg, opt, cfg.SearchMoves-annealMoves)
+}
+
+// polishGamma runs first-improvement descent over single-task relocations
+// (every-core-used invariant preserved), bounded by an evaluation budget.
+func polishGamma(g *taskgraph.Graph, p *arch.Platform, scaling []int,
+	m sched.Mapping, cfg Config, opt metrics.Options, budget int) (*metrics.Evaluation, error) {
+	best, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	cores := p.Cores()
+	if cores < 2 || n < 2 {
+		return best, nil
+	}
+	cur := m.Clone()
+	for budget > 0 {
+		improved := false
+		loads := cur.CoreLoads(cores)
+	sweep:
+		for t := 0; t < n; t++ {
+			if n >= cores && loads[cur[t]] < 2 {
+				continue // relocation would empty the core
+			}
+			home := cur[t]
+			for c := 0; c < cores; c++ {
+				if c == home {
+					continue
+				}
+				cur[t] = c
+				ev, err := metrics.Evaluate(g, p, cur, scaling, cfg.SER, opt)
+				if err != nil {
+					return nil, err
+				}
+				budget--
+				better := ev.MeetsDeadline && (!best.MeetsDeadline || ev.Gamma < best.Gamma)
+				if !better && !best.MeetsDeadline && ev.TMSeconds < best.TMSeconds {
+					better = true // still hunting feasibility
+				}
+				if better {
+					best = ev
+					loads[home]--
+					loads[c]++
+					improved = true
+					if budget <= 0 {
+						return best, nil
+					}
+					continue sweep
+				}
+				cur[t] = home
+				if budget <= 0 {
+					return best, nil
+				}
+			}
+		}
+		if !improved {
+			return best, nil
+		}
+	}
+	return best, nil
+}
+
+// Design is one optimized design point: the scaling vector chosen by the
+// outer loop and the best mapping the inner search found for it.
+type Design struct {
+	Scaling []int
+	Mapping sched.Mapping
+	Eval    *metrics.Evaluation
+}
+
+// MapperFunc produces a mapping for one scaling vector. The soft error-aware
+// mapper (SEAMapper) and the simulated-annealing baselines in internal/anneal
+// both satisfy this shape, so the outer Fig. 4 loop can drive either.
+type MapperFunc func(g *taskgraph.Graph, p *arch.Platform, scaling []int) (sched.Mapping, *metrics.Evaluation, error)
+
+// SEAMapper returns the proposed two-stage soft error-aware mapper
+// (InitialSEAMapping followed by OptimizedMapping) as a MapperFunc.
+func SEAMapper(cfg Config) MapperFunc {
+	return func(g *taskgraph.Graph, p *arch.Platform, scaling []int) (sched.Mapping, *metrics.Evaluation, error) {
+		init, err := InitialSEAMapping(g, p, scaling, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		ev, err := OptimizedMapping(g, p, scaling, init, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ev.Schedule.Mapping, ev, nil
+	}
+}
+
+// Explore runs the outer design loop of Fig. 4: every voltage-scaling
+// combination from the Fig. 5 enumeration is offered to the mapper
+// (step 2); step 3's assessment keeps the deadline-meeting design whose
+// *scaling* has minimum nominal power — power minimization happens at the
+// voltage-scaling level (step 1 of the flow), before mapping — tie-broken
+// by minimum Γ and then by minimum measured (utilization-weighted) power.
+// perScaling lists one Design per combination in enumeration order, for
+// the experiment harness.
+func Explore(g *taskgraph.Graph, p *arch.Platform, mapper MapperFunc, cfg Config) (best *Design, perScaling []*Design, err error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	combos, err := allScalings(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bestNominal float64
+	bestProbed := false
+	for _, scaling := range combos {
+		m, ev, err := mapper(g, p, scaling)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
+		}
+		nominal, err := p.DynamicPower(scaling, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Step 1's feasibility decision is mapper-independent: a common
+		// deadline probe decides which scalings are candidates, so every
+		// experiment (Exp:1-4) selects its design from the same scaling
+		// set and differences between them come from mapping alone. If the
+		// probe proves feasibility that the experiment's own mapper missed,
+		// the probe's mapping is the design at this scaling.
+		probeEv, probed := feasibleAtScaling(g, p, scaling, cfg)
+		if probed && !ev.MeetsDeadline {
+			m, ev = probeEv.Schedule.Mapping, probeEv
+		}
+		probed = probed && ev.MeetsDeadline
+		d := &Design{Scaling: append([]int(nil), scaling...), Mapping: m, Eval: ev}
+		perScaling = append(perScaling, d)
+		better := false
+		switch {
+		case best == nil:
+			better = true
+		case probed != bestProbed:
+			better = probed
+		default:
+			better = betterDesign(ev, nominal, best.Eval, bestNominal)
+		}
+		if better {
+			best = d
+			bestNominal = nominal
+			bestProbed = probed
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("mapping: no scaling combinations to explore")
+	}
+	return best, perScaling, nil
+}
+
+// betterDesign implements the step-3 acceptance order: feasibility first,
+// then nominal scaling power, then Γ, then measured power.
+func betterDesign(a *metrics.Evaluation, aNominal float64, b *metrics.Evaluation, bNominal float64) bool {
+	if a.MeetsDeadline != b.MeetsDeadline {
+		return a.MeetsDeadline
+	}
+	const rel = 1e-9
+	if d := aNominal - bNominal; d < -rel*(aNominal+bNominal) {
+		return true
+	} else if d > rel*(aNominal+bNominal) {
+		return false
+	}
+	if a.Gamma != b.Gamma {
+		return a.Gamma < b.Gamma
+	}
+	return a.PowerW < b.PowerW
+}
+
+// ProbeMoves is the hill-climb budget of the common feasibility probe.
+const ProbeMoves = 400
+
+// feasibleAtScaling is the mapper-independent deadline probe of step 1: a
+// longest-processing-time balanced mapping refined by a short makespan hill
+// climb, with a fixed derived seed so every experiment sees the same
+// verdict for the same (graph, platform, scaling, deadline). On success it
+// returns the feasible mapping's evaluation.
+func feasibleAtScaling(g *taskgraph.Graph, p *arch.Platform, scaling []int, cfg Config) (*metrics.Evaluation, bool) {
+	opt := metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec}
+
+	// LPT seed: heaviest tasks first onto the least-loaded core, weighting
+	// load by the core's clock period (slow cores absorb less work).
+	n := g.N()
+	cores := p.Cores()
+	order := make([]taskgraph.TaskID, n)
+	for i := range order {
+		order[i] = taskgraph.TaskID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := g.Task(order[a]).Cycles, g.Task(order[b]).Cycles
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	m := make(sched.Mapping, n)
+	loadSec := make([]float64, cores)
+	freq := make([]float64, cores)
+	for c, s := range scaling {
+		freq[c] = p.MustLevel(s).FreqHz()
+	}
+	for _, t := range order {
+		bestCore := 0
+		for c := 1; c < cores; c++ {
+			if loadSec[c] < loadSec[bestCore] {
+				bestCore = c
+			}
+		}
+		m[t] = bestCore
+		loadSec[bestCore] += float64(g.Task(t).Cycles) / freq[bestCore]
+	}
+
+	ev, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
+	if err != nil {
+		return nil, false
+	}
+	if ev.MeetsDeadline {
+		return ev, true
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xFEA51B1E))
+	cur, curEv := m, ev
+	for move := 0; move < ProbeMoves; move++ {
+		neighbor := search.Neighbor(rng, cur, cores)
+		nev, err := metrics.Evaluate(g, p, neighbor, scaling, cfg.SER, opt)
+		if err != nil {
+			return nil, false
+		}
+		if nev.MeetsDeadline {
+			return nev, true
+		}
+		if nev.TMSeconds <= curEv.TMSeconds {
+			cur, curEv = neighbor, nev
+		}
+	}
+	return nil, false
+}
+
+// allScalings returns the Fig. 5 enumeration for the platform.
+func allScalings(p *arch.Platform) ([][]int, error) {
+	return enumerate(p.Cores(), p.NumLevels())
+}

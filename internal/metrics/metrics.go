@@ -1,0 +1,181 @@
+// Package metrics evaluates a design point — a (mapping, scaling) pair for a
+// task graph on an MPSoC platform — against the paper's analytic models:
+//
+//	R_i  per-core register usage, eq. (8): bits of the union of the register
+//	     sets of the tasks mapped to core i (shared registers duplicated
+//	     across cores);
+//	T_i  per-core busy time, eq. (7): task cycles plus cross-core dependency
+//	     cycles (from the list schedule);
+//	Γ    expected SEUs experienced, eq. (3): Σ_i (R_i + baseline_i)·λ_i over
+//	     the exposure window. Allocated register state persists for the whole
+//	     multiprocessor execution (registers are not freed while the
+//	     application runs), so every used core's exposure window is T_M; this
+//	     is the mechanism behind the paper's concave Γ-vs-T_M trade-off
+//	     (Fig. 3) and the Γ growth with core count (Table III) — more cores
+//	     shorten T_M slower than they add exposed state;
+//	P    dynamic power, eq. (5): C_L·Σ_i α_i·f_i·V_i²;
+//	T_M  multiprocessor execution time (DAG makespan, or the pipelined
+//	     streaming view for multi-iteration workloads), plus the paper's
+//	     aggregate-frequency form of eq. (6) for comparison.
+//
+// This evaluator is the inner-loop cost function of both the proposed
+// soft-error-aware mapper and the simulated-annealing baselines; the
+// measured counterpart (cycle-level simulation + fault injection) lives in
+// internal/sim and internal/faults.
+package metrics
+
+import (
+	"fmt"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/faults"
+	"seadopt/internal/sched"
+	"seadopt/internal/taskgraph"
+)
+
+// Options tunes a design-point evaluation.
+type Options struct {
+	// Iterations is the number of stream iterations the task costs cover;
+	// 1 means plain DAG semantics, taskgraph.MPEG2Frames for the decoder.
+	Iterations int
+	// DeadlineSec is the real-time constraint T_Mref; 0 disables the check.
+	DeadlineSec float64
+}
+
+// CoreMetrics carries the per-core quantities of eqs. (3), (7), (8).
+type CoreMetrics struct {
+	Core         int
+	RegBits      int64   // R_i, eq. (8)
+	BaselineBits int64   // exposed baseline storage (caches + resident memory)
+	BusyCycles   int64   // T_i, eq. (7)
+	BusySec      float64 // T_i / f_i
+	ExposureSec  float64 // SEU exposure window (T_M for used cores)
+	LambdaPerSec float64 // λ_i(V_dd) in SEU/bit/second
+	Lambda       float64 // λ_i in SEU/bit/cycle at this core's clock
+	Gamma        float64 // (R_i+baseline)·ExposureSec·λ_sec
+	Utilization  float64 // α_i
+}
+
+// Evaluation is the analytic assessment of one design point.
+type Evaluation struct {
+	Schedule *sched.Schedule
+	PerCore  []CoreMetrics
+
+	TotalRegBits  int64   // R = Σ_i R_i (the Table II "R" column)
+	MakespanSec   float64 // single-iteration DAG makespan
+	TMSeconds     float64 // deadline-relevant T_M (pipelined if Iterations>1)
+	TMCycles      float64 // TMSeconds expressed in nominal-frequency cycles
+	PowerW        float64 // eq. (5)
+	Gamma         float64 // eq. (3), expected SEUs experienced
+	MeetsDeadline bool
+	DeadlineSec   float64
+}
+
+// Evaluate schedules g under (mapping, scaling) and evaluates the design
+// point. ser must be a validated SER model.
+func Evaluate(g *taskgraph.Graph, p *arch.Platform, m sched.Mapping, scaling []int,
+	ser faults.SERModel, opt Options) (*Evaluation, error) {
+	s, err := sched.ListSchedule(g, p, m, scaling)
+	if err != nil {
+		return nil, err
+	}
+	return EvaluateSchedule(s, p, ser, opt)
+}
+
+// EvaluateSchedule evaluates an already-built schedule.
+func EvaluateSchedule(s *sched.Schedule, p *arch.Platform, ser faults.SERModel, opt Options) (*Evaluation, error) {
+	if err := ser.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Iterations < 1 {
+		opt.Iterations = 1
+	}
+	g := s.Graph
+	cores := p.Cores()
+	coreTasks := s.Mapping.CoreTasks(cores)
+
+	ev := &Evaluation{
+		Schedule:    s,
+		PerCore:     make([]CoreMetrics, cores),
+		MakespanSec: s.MakespanSeconds(),
+		DeadlineSec: opt.DeadlineSec,
+	}
+	ev.TMSeconds = s.PipelinedMakespanSeconds(opt.Iterations)
+	nominalHz := p.MustLevel(1).FreqHz()
+	ev.TMCycles = ev.TMSeconds * nominalHz
+
+	util := s.Utilization(opt.Iterations)
+	inv := g.Inventory()
+	for c := 0; c < cores; c++ {
+		cm := &ev.PerCore[c]
+		cm.Core = c
+		cm.BusyCycles = s.BusyCycles(c)
+		cm.BusySec = s.BusySeconds(c)
+		cm.Utilization = util[c]
+		level := p.MustLevel(s.Scaling[c])
+		cm.LambdaPerSec = ser.RatePerSec(level.Vdd)
+		cm.Lambda = ser.RatePerCycle(level.Vdd, level.FreqHz())
+		if len(coreTasks[c]) > 0 {
+			cm.RegBits = inv.SetBits(g.UnionRegisters(coreTasks[c]))
+			cm.BaselineBits = p.BaselineBits()
+			cm.ExposureSec = ev.TMSeconds
+		}
+		cm.Gamma = float64(cm.RegBits+cm.BaselineBits) * cm.ExposureSec * cm.LambdaPerSec
+		ev.TotalRegBits += cm.RegBits
+		ev.Gamma += cm.Gamma
+	}
+
+	pw, err := p.DynamicPower(s.Scaling, util)
+	if err != nil {
+		return nil, err
+	}
+	ev.PowerW = pw
+	ev.MeetsDeadline = opt.DeadlineSec <= 0 || ev.TMSeconds <= opt.DeadlineSec
+	return ev, nil
+}
+
+// AggregateTM implements the paper's eq. (6) estimate of the multiprocessor
+// execution time in seconds: total busy cycles divided by the aggregate
+// effective frequency Σ_i α_i·f_i. It is reported for comparison with the
+// schedule-based T_M; the two agree exactly for perfectly balanced,
+// fully-utilized designs.
+func AggregateTM(s *sched.Schedule, iterations int) float64 {
+	util := s.Utilization(iterations)
+	var aggHz float64
+	for c := range util {
+		aggHz += util[c] * s.FreqHz(c)
+	}
+	if aggHz <= 0 {
+		return 0
+	}
+	return float64(s.TotalBusyCycles()) / aggHz
+}
+
+// Better reports whether candidate a dominates b under the paper's step-3
+// acceptance rule: both must be evaluated; a wins if it meets the deadline
+// and b does not, or both meet it and a has lower power, or equal power
+// (within tol) and lower Γ.
+func Better(a, b *Evaluation) bool {
+	if a == nil {
+		return false
+	}
+	if b == nil {
+		return true
+	}
+	if a.MeetsDeadline != b.MeetsDeadline {
+		return a.MeetsDeadline
+	}
+	const relTol = 1e-9
+	if diff := a.PowerW - b.PowerW; diff < -relTol*(a.PowerW+b.PowerW) {
+		return true
+	} else if diff > relTol*(a.PowerW+b.PowerW) {
+		return false
+	}
+	return a.Gamma < b.Gamma
+}
+
+// String renders a one-line summary of the evaluation.
+func (ev *Evaluation) String() string {
+	return fmt.Sprintf("P=%.3fmW R=%.1fkb T_M=%.3fs Γ=%.4g deadline=%v",
+		ev.PowerW*1e3, float64(ev.TotalRegBits)/1024.0, ev.TMSeconds, ev.Gamma, ev.MeetsDeadline)
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seadopt/internal/faults"
+	"seadopt/internal/sched"
+	"seadopt/internal/taskgraph"
+)
+
+// Property: because the cores are identical, permuting the cores of a
+// design (mapping and scaling together) changes nothing observable:
+// Γ, P, T_M and total R are all invariant.
+func TestCorePermutationSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(30), 4)
+	p := plat(4)
+	opt := Options{Iterations: 1, DeadlineSec: taskgraph.RandomDeadline(30)}
+	for trial := 0; trial < 20; trial++ {
+		m := sched.RandomMapping(rng, g.N(), 4)
+		scaling := []int{1 + rng.Intn(3), 1 + rng.Intn(3), 1 + rng.Intn(3), 1 + rng.Intn(3)}
+		base, err := Evaluate(g, p, m, scaling, ser(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(4)
+		m2 := make(sched.Mapping, g.N())
+		for i, c := range m {
+			m2[i] = perm[c]
+		}
+		s2 := make([]int, 4)
+		for c, sc := range scaling {
+			s2[perm[c]] = sc
+		}
+		got, err := Evaluate(g, p, m2, s2, ser(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close2(got.Gamma, base.Gamma) || !close2(got.PowerW, base.PowerW) ||
+			!close2(got.TMSeconds, base.TMSeconds) || got.TotalRegBits != base.TotalRegBits {
+			t.Fatalf("trial %d: permutation changed metrics:\n base %v\n perm %v", trial, base, got)
+		}
+	}
+}
+
+// Property: Γ is exactly linear in the base soft error rate.
+func TestGammaLinearInSER(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	m := sched.RoundRobin(g.N(), 4)
+	scaling := []int{2, 2, 3, 2}
+	opt := Options{Iterations: taskgraph.MPEG2Frames}
+	base, err := Evaluate(g, p, m, scaling, faults.NewSERModel(1e-9), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{0.1, 2, 10, 100} {
+		ev, err := Evaluate(g, p, m, scaling, faults.NewSERModel(1e-9*k), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close2(ev.Gamma, base.Gamma*k) {
+			t.Errorf("SER x%v: Γ = %v, want %v", k, ev.Gamma, base.Gamma*k)
+		}
+		// Everything else is SER-independent.
+		if !close2(ev.PowerW, base.PowerW) || !close2(ev.TMSeconds, base.TMSeconds) {
+			t.Errorf("SER x%v changed power or timing", k)
+		}
+	}
+}
+
+// Property: scaling any single core down (higher s) never decreases T_M and
+// never increases power at full utilization semantics; Γ never decreases.
+func TestMonotoneInPerCoreScaling(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	m := sched.RoundRobin(g.N(), 4)
+	opt := Options{Iterations: taskgraph.MPEG2Frames}
+	for core := 0; core < 4; core++ {
+		var last *Evaluation
+		for s := 1; s <= 3; s++ {
+			scaling := []int{1, 1, 1, 1}
+			scaling[core] = s
+			ev, err := Evaluate(g, p, m, scaling, ser(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if last != nil {
+				if ev.TMSeconds < last.TMSeconds-1e-12 {
+					t.Errorf("core %d s=%d: T_M decreased (%v -> %v)", core, s, last.TMSeconds, ev.TMSeconds)
+				}
+				if ev.Gamma < last.Gamma*(1-1e-9) {
+					t.Errorf("core %d s=%d: Γ decreased (%v -> %v)", core, s, last.Gamma, ev.Gamma)
+				}
+			}
+			last = ev
+		}
+	}
+}
+
+// Property: adding an idle core to the platform leaves every metric of the
+// same mapping unchanged (idle cores consume no power and expose no state).
+func TestIdleCoreNeutrality(t *testing.T) {
+	g := taskgraph.Fig8()
+	m := sched.Mapping{0, 1, 0, 1, 0, 1}
+	opt := Options{Iterations: 1}
+	ev2, err := Evaluate(g, plat(2), m, []int{1, 2}, ser(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev4, err := Evaluate(g, plat(4), m, []int{1, 2, 3, 3}, ser(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close2(ev2.Gamma, ev4.Gamma) || !close2(ev2.PowerW, ev4.PowerW) ||
+		!close2(ev2.TMSeconds, ev4.TMSeconds) {
+		t.Errorf("idle cores changed metrics:\n 2-core %v\n 4-core %v", ev2, ev4)
+	}
+}
+
+func close2(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

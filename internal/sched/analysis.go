@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks the structural invariants of a schedule and returns the
+// first violation found, if any:
+//
+//   - every task has a slot on its mapped core;
+//   - no two slots overlap on the same core;
+//   - every dependency is respected, including cross-core communication
+//     latency at the slower endpoint's clock;
+//   - the recorded makespan equals the latest slot end.
+//
+// The scheduler produces valid schedules by construction; Validate exists
+// for tests, for externally-constructed schedules, and as an executable
+// statement of the timing model.
+func (s *Schedule) Validate() error {
+	g := s.Graph
+	n := g.N()
+	if len(s.Slots) != n {
+		return fmt.Errorf("sched: %d slots for %d tasks", len(s.Slots), n)
+	}
+	const eps = 1e-12
+	for t := 0; t < n; t++ {
+		slot := s.Slots[t]
+		if int(slot.Task) != t {
+			return fmt.Errorf("sched: slot %d holds task %d", t, slot.Task)
+		}
+		if slot.Core != s.Mapping[t] {
+			return fmt.Errorf("sched: task %d scheduled on core %d, mapped to %d", t, slot.Core, s.Mapping[t])
+		}
+		if slot.EndSec < slot.StartSec {
+			return fmt.Errorf("sched: task %d has negative duration", t)
+		}
+	}
+	// Per-core overlap check.
+	perCore := make(map[int][]Slot)
+	for _, slot := range s.Slots {
+		perCore[slot.Core] = append(perCore[slot.Core], slot)
+	}
+	for core, slots := range perCore {
+		sort.Slice(slots, func(i, j int) bool { return slots[i].StartSec < slots[j].StartSec })
+		for i := 1; i < len(slots); i++ {
+			if slots[i].StartSec < slots[i-1].EndSec-eps {
+				return fmt.Errorf("sched: core %d overlap between tasks %d and %d",
+					core, slots[i-1].Task, slots[i].Task)
+			}
+		}
+	}
+	// Precedence check.
+	for _, e := range g.Edges() {
+		pre, post := s.Slots[e.From], s.Slots[e.To]
+		minStart := pre.EndSec
+		if s.Mapping[e.From] != s.Mapping[e.To] && e.Cycles > 0 {
+			fSlow := s.freqHz[s.Mapping[e.From]]
+			if fd := s.freqHz[s.Mapping[e.To]]; fd < fSlow {
+				fSlow = fd
+			}
+			minStart += float64(e.Cycles) / fSlow
+		}
+		if post.StartSec < minStart-eps {
+			return fmt.Errorf("sched: edge %d->%d violated: start %.12f < %.12f",
+				e.From, e.To, post.StartSec, minStart)
+		}
+	}
+	// Makespan check.
+	var maxEnd float64
+	for _, slot := range s.Slots {
+		if slot.EndSec > maxEnd {
+			maxEnd = slot.EndSec
+		}
+	}
+	if diff := maxEnd - s.makespan; diff > eps || diff < -eps {
+		return fmt.Errorf("sched: makespan %.12f != max slot end %.12f", s.makespan, maxEnd)
+	}
+	return nil
+}
+
+// Slack returns, per task, the amount of time (seconds) the task's
+// completion could slip without extending the makespan, holding everything
+// else fixed: makespan − (start + duration + longest downstream path).
+// Zero-slack tasks form the schedule's critical path.
+func (s *Schedule) Slack() []float64 {
+	g := s.Graph
+	n := g.N()
+	// Longest downstream time from each task's completion to the makespan,
+	// walking the schedule's realized timing in reverse topological order.
+	tail := make([]float64, n)
+	topo := g.TopoOrder()
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		for _, e := range g.Succs(t) {
+			// Realized gap between this task's end and the successor's end.
+			d := s.Slots[e.To].EndSec - s.Slots[t].EndSec + tail[e.To]
+			if d > tail[t] {
+				tail[t] = d
+			}
+		}
+	}
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		out[t] = s.makespan - s.Slots[t].EndSec - tail[t]
+		if out[t] < 0 {
+			out[t] = 0
+		}
+	}
+	return out
+}
+
+// CriticalTasks returns the tasks with (near-)zero slack, in TaskID order.
+func (s *Schedule) CriticalTasks() []int {
+	slack := s.Slack()
+	var out []int
+	for t, v := range slack {
+		if v <= 1e-9*s.makespan {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// LoadImbalance returns max busy seconds minus min busy seconds across
+// cores that host at least one task — a balance diagnostic for mappings.
+func (s *Schedule) LoadImbalance() float64 {
+	used := make(map[int]bool)
+	for _, c := range s.Mapping {
+		used[c] = true
+	}
+	first := true
+	var lo, hi float64
+	for c, b := range s.busySec {
+		if !used[c] {
+			continue
+		}
+		if first {
+			lo, hi = b, b
+			first = false
+			continue
+		}
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	return hi - lo
+}
+
+// CommSeconds returns the total cross-core communication time of the
+// schedule in seconds (each edge once, at the slower endpoint's clock).
+func (s *Schedule) CommSeconds() float64 {
+	var total float64
+	for _, e := range s.Graph.Edges() {
+		if s.Mapping[e.From] == s.Mapping[e.To] || e.Cycles == 0 {
+			continue
+		}
+		fSlow := s.freqHz[s.Mapping[e.From]]
+		if fd := s.freqHz[s.Mapping[e.To]]; fd < fSlow {
+			fSlow = fd
+		}
+		total += float64(e.Cycles) / fSlow
+	}
+	return total
+}

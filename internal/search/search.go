@@ -1,0 +1,262 @@
+// Package search provides the shared local-search engine used by both the
+// proposed soft error-aware mapper (stage 2 of Fig. 7, searching on Γ) and
+// the simulated-annealing baselines of Exp:1-3 (Orsila-style, searching on
+// R, T_M or their product).
+//
+// Using one engine for all four experiments mirrors the paper's setup —
+// every experiment gets the same search budget and neighborhood ("maximum
+// two task movements" per step); they differ only in objective function and
+// starting point. Feasibility (the real-time constraint) is tracked
+// lexicographically: a feasible solution always beats an infeasible one,
+// and the returned incumbent is the best feasible mapping seen, or the best
+// overall if nothing feasible was encountered.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seadopt/internal/sched"
+)
+
+// Cost is an objective evaluation: the scalar to minimize plus the
+// feasibility verdict of the underlying schedule.
+type Cost struct {
+	Value    float64
+	Feasible bool
+}
+
+// dominates reports whether a beats b (feasibility first, then value).
+func (a Cost) dominates(b Cost) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.Value < b.Value
+}
+
+// Problem specifies one annealing run.
+type Problem struct {
+	Cores   int
+	Initial sched.Mapping
+	// AltInitials optionally supplies extra starting points; restart r
+	// starts from the r-th entry of {Initial, AltInitials...} (wrapping).
+	AltInitials []sched.Mapping
+	// Evaluate scores a candidate mapping. It is called once per move plus
+	// once for the initial mapping.
+	Evaluate func(m sched.Mapping) (Cost, error)
+	// Moves is the total step budget (required, > 0), split evenly across
+	// restarts.
+	Moves int
+	Seed  int64
+	// Restarts is the number of independent annealing runs (from Initial,
+	// with derived seeds) sharing the move budget; the overall best wins.
+	// Zero selects DefaultRestarts.
+	Restarts int
+	// InitialTempFrac and FinalTempFrac set the geometric cooling schedule
+	// as multiples of the sampled mean neighbor delta |ΔCost| (so the
+	// schedule adapts to the objective's scale — objectives with large
+	// constant offsets anneal identically to their offset-free
+	// equivalents). Zero values select 3 and 0.01.
+	InitialTempFrac float64
+	FinalTempFrac   float64
+}
+
+// DefaultRestarts is the restart count when Problem.Restarts is zero.
+const DefaultRestarts = 2
+
+// Result carries the incumbent of an annealing run.
+type Result struct {
+	Best     sched.Mapping
+	BestCost Cost
+	Accepted int // moves accepted into the walking state
+	Improved int // times the incumbent improved
+}
+
+// Anneal runs simulated annealing over task mappings with the shared
+// move/swap neighborhood (every-core-used invariant preserved). The total
+// move budget is split across Problem.Restarts independent runs and the
+// best incumbent across runs is returned.
+func Anneal(p Problem) (*Result, error) {
+	if p.Moves <= 0 {
+		return nil, fmt.Errorf("search: non-positive move budget %d", p.Moves)
+	}
+	if p.Cores < 1 {
+		return nil, fmt.Errorf("search: non-positive core count %d", p.Cores)
+	}
+	if p.Evaluate == nil {
+		return nil, fmt.Errorf("search: nil objective")
+	}
+	if len(p.Initial) == 0 {
+		return nil, fmt.Errorf("search: empty initial mapping")
+	}
+	restarts := p.Restarts
+	if restarts <= 0 {
+		restarts = DefaultRestarts
+	}
+	if restarts > p.Moves {
+		restarts = 1
+	}
+	starts := append([]sched.Mapping{p.Initial}, p.AltInitials...)
+	sub := p
+	sub.Restarts = 1
+	sub.Moves = p.Moves / restarts
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		sub.Seed = p.Seed + int64(r)*0x9E3779B9
+		sub.Initial = starts[r%len(starts)]
+		res, err := annealOnce(sub)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.BestCost.dominates(best.BestCost) {
+			res.Accepted += bestAccepted(best)
+			res.Improved += bestImproved(best)
+			best = res
+		} else {
+			best.Accepted += res.Accepted
+			best.Improved += res.Improved
+		}
+	}
+	return best, nil
+}
+
+func bestAccepted(r *Result) int {
+	if r == nil {
+		return 0
+	}
+	return r.Accepted
+}
+
+func bestImproved(r *Result) int {
+	if r == nil {
+		return 0
+	}
+	return r.Improved
+}
+
+// annealOnce is a single cooling run.
+func annealOnce(p Problem) (*Result, error) {
+	t0f, tef := p.InitialTempFrac, p.FinalTempFrac
+	if t0f <= 0 {
+		t0f = 3
+	}
+	if tef <= 0 {
+		tef = 0.01
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5EA2C4))
+	cur := p.Initial.Clone()
+	curCost, err := p.Evaluate(cur)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Best: cur.Clone(), BestCost: curCost}
+
+	if p.Cores < 2 || len(p.Initial) < 2 {
+		return res, nil
+	}
+
+	// Calibrate the temperature scale from sampled neighbor deltas so the
+	// schedule is invariant to affine shifts of the objective; the samples
+	// consume search budget so every objective gets the same total
+	// evaluation count.
+	moves := p.Moves
+	nSample := 16
+	if nSample > moves/4 {
+		nSample = moves / 4
+	}
+	var meanDelta float64
+	if nSample > 0 {
+		var sum float64
+		for i := 0; i < nSample; i++ {
+			nb := Neighbor(rng, cur, p.Cores)
+			c, err := p.Evaluate(nb)
+			if err != nil {
+				return nil, err
+			}
+			sum += math.Abs(c.Value - curCost.Value)
+			if c.dominates(res.BestCost) {
+				res.Best = nb.Clone()
+				res.BestCost = c
+				res.Improved++
+			}
+		}
+		moves -= nSample
+		meanDelta = sum / float64(nSample)
+	}
+	if meanDelta <= 0 {
+		meanDelta = math.Abs(curCost.Value)/10 + 1e-12
+	}
+
+	t0 := t0f * meanDelta
+	tEnd := tef * meanDelta
+	if tEnd <= 0 || tEnd >= t0 {
+		tEnd = t0 * 1e-4
+	}
+	alpha := math.Pow(tEnd/t0, 1/float64(moves))
+
+	temp := t0
+	for move := 0; move < moves; move++ {
+		neighbor := Neighbor(rng, cur, p.Cores)
+		c, err := p.Evaluate(neighbor)
+		if err != nil {
+			return nil, err
+		}
+		accept := false
+		switch {
+		case c.Feasible && !curCost.Feasible:
+			accept = true
+		case c.Feasible == curCost.Feasible:
+			delta := c.Value - curCost.Value
+			accept = delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+		}
+		if accept {
+			cur = neighbor
+			curCost = c
+			res.Accepted++
+		}
+		if c.dominates(res.BestCost) {
+			res.Best = neighbor.Clone()
+			res.BestCost = c
+			res.Improved++
+		}
+		temp *= alpha
+	}
+	return res, nil
+}
+
+// Neighbor draws a random neighboring mapping: either one task moved to a
+// different core or two tasks' cores swapped ("maximum two task movements",
+// Fig. 7 step C). Moves that would empty a core are rejected, preserving the
+// architecture-allocation premise that every allocated core hosts at least
+// one task (Fig. 6 line 4); swaps preserve it trivially.
+func Neighbor(rng *rand.Rand, m sched.Mapping, cores int) sched.Mapping {
+	n := len(m)
+	neighbor := m.Clone()
+	if n < 2 || cores < 2 {
+		return neighbor
+	}
+	loads := neighbor.CoreLoads(cores)
+	mustKeepAll := n >= cores
+	for attempt := 0; attempt < 8; attempt++ {
+		if rng.Intn(2) == 0 {
+			t := rng.Intn(n)
+			if mustKeepAll && loads[neighbor[t]] < 2 {
+				continue // moving t would empty its core
+			}
+			c := rng.Intn(cores - 1)
+			if c >= neighbor[t] {
+				c++
+			}
+			neighbor[t] = c
+			return neighbor
+		}
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b && neighbor[a] != neighbor[b] {
+			neighbor[a], neighbor[b] = neighbor[b], neighbor[a]
+			return neighbor
+		}
+	}
+	return neighbor
+}

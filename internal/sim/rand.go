@@ -1,0 +1,6 @@
+package sim
+
+import "math/rand"
+
+// newRand returns a deterministic random source for the given seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

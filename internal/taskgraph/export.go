@@ -1,0 +1,93 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"seadopt/internal/registers"
+)
+
+// DOT renders the graph in Graphviz dot syntax, with computation costs on
+// nodes and communication costs on edges.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.name)
+	sb.WriteString("  rankdir=TB;\n")
+	for _, t := range g.tasks {
+		fmt.Fprintf(&sb, "  t%d [label=\"%s\\n%d cyc\"];\n", t.ID, t.Name, t.Cycles)
+	}
+	for _, es := range g.succ {
+		for _, e := range es {
+			fmt.Fprintf(&sb, "  t%d -> t%d [label=\"%d\"];\n", e.From, e.To, e.Cycles)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Name      string         `json:"name"`
+	Registers []jsonRegister `json:"registers"`
+	Tasks     []jsonTask     `json:"tasks"`
+	Edges     []jsonEdge     `json:"edges"`
+}
+
+type jsonRegister struct {
+	ID   string `json:"id"`
+	Bits int64  `json:"bits"`
+}
+
+type jsonTask struct {
+	Name      string   `json:"name"`
+	Cycles    int64    `json:"cycles"`
+	Registers []string `json:"registers"`
+}
+
+type jsonEdge struct {
+	From   int   `json:"from"`
+	To     int   `json:"to"`
+	Cycles int64 `json:"cycles"`
+}
+
+// MarshalJSON serializes the graph, including its register inventory, into a
+// self-contained JSON document.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name}
+	for _, id := range g.inventory.IDs() {
+		r, _ := g.inventory.Get(id)
+		jg.Registers = append(jg.Registers, jsonRegister{ID: r.ID, Bits: r.Bits})
+	}
+	for _, t := range g.tasks {
+		jg.Tasks = append(jg.Tasks, jsonTask{Name: t.Name, Cycles: t.Cycles, Registers: t.Registers.IDs()})
+	}
+	for _, es := range g.succ {
+		for _, e := range es {
+			jg.Edges = append(jg.Edges, jsonEdge{From: int(e.From), To: int(e.To), Cycles: e.Cycles})
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// FromJSON reconstructs a Graph from the output of MarshalJSON.
+func FromJSON(data []byte) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, fmt.Errorf("taskgraph: decoding graph JSON: %w", err)
+	}
+	inv := registers.NewInventory()
+	for _, r := range jg.Registers {
+		if err := inv.Add(r.ID, r.Bits); err != nil {
+			return nil, err
+		}
+	}
+	b := NewBuilder(jg.Name, inv)
+	for _, t := range jg.Tasks {
+		b.AddTask(t.Name, t.Cycles, t.Registers...)
+	}
+	for _, e := range jg.Edges {
+		b.AddEdge(TaskID(e.From), TaskID(e.To), e.Cycles)
+	}
+	return b.Build()
+}

@@ -1,0 +1,56 @@
+package taskgraph
+
+import "seadopt/internal/registers"
+
+// Fig8CycleUnit is the clock-cycle value of one cost unit in Fig. 8: "all
+// costs are multiples of 60×10⁴ cycles".
+const Fig8CycleUnit = 600_000
+
+// Fig8Deadline is the real-time constraint of the worked example, 75 ms.
+const Fig8Deadline = 0.075
+
+// Fig8 returns the 6-task example application of Fig. 8 together with its
+// exact register table (Fig. 8(b)-(c)):
+//
+//	reg   bits        used by
+//	r1    4096        t1
+//	r2    2048        t1, t2
+//	r3    2048        t1
+//	r4    5120        t2, t3
+//	r5    4096        t2, t3, t4
+//	r6    2048        t2, t3, t4, t5
+//	r7    2048        t4, t5, t6
+//	r8    4096        t5, t6
+//	r9    2048        t6
+//
+// Node costs (units of 60e4 cycles): t1=5, t2=4, t3=4, t4=5, t5=6, t6=4.
+//
+// The figure's edge list is not printed explicitly; the edge set below is
+// reconstructed so the figure's algorithm trace holds: t1's dependency list
+// is {t2, t3}, mapping t3 exposes {t4, t5}, t2's dependent is t4, and t6 is
+// the join consuming t4 and t5 (see DESIGN.md §5.7).
+func Fig8() *Graph {
+	inv := registers.NewInventory()
+	sizes := []int64{4096, 2048, 2048, 5120, 4096, 2048, 2048, 4096, 2048}
+	names := []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"}
+	for i, n := range names {
+		inv.MustAdd(n, sizes[i])
+	}
+
+	b := NewBuilder("fig8-example", inv)
+	t1 := b.AddTask("t1", 5*Fig8CycleUnit, "r1", "r2", "r3")
+	t2 := b.AddTask("t2", 4*Fig8CycleUnit, "r2", "r4", "r5", "r6")
+	t3 := b.AddTask("t3", 4*Fig8CycleUnit, "r4", "r5", "r6")
+	t4 := b.AddTask("t4", 5*Fig8CycleUnit, "r5", "r6", "r7")
+	t5 := b.AddTask("t5", 6*Fig8CycleUnit, "r6", "r7", "r8")
+	t6 := b.AddTask("t6", 4*Fig8CycleUnit, "r7", "r8", "r9")
+
+	b.AddEdge(t1, t2, 1*Fig8CycleUnit)
+	b.AddEdge(t1, t3, 2*Fig8CycleUnit)
+	b.AddEdge(t2, t4, 1*Fig8CycleUnit)
+	b.AddEdge(t3, t4, 2*Fig8CycleUnit)
+	b.AddEdge(t3, t5, 1*Fig8CycleUnit)
+	b.AddEdge(t4, t6, 2*Fig8CycleUnit)
+	b.AddEdge(t5, t6, 3*Fig8CycleUnit)
+	return b.MustBuild()
+}

@@ -1,0 +1,8 @@
+package taskgraph
+
+import "testing/quick"
+
+// quickCfg bounds property-test iterations so the suite stays fast.
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 40}
+}

@@ -1,0 +1,215 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seadopt/internal/registers"
+)
+
+// RandomCycleUnit is the clock-cycle value of one cost unit for the random
+// task graphs of §V: "all costs as multiples of 3.5×10⁶ clock cycles".
+const RandomCycleUnit = 3_500_000
+
+// RandomConfig parameterizes the random task-graph generator exactly as the
+// paper's evaluation section describes. The zero value is not useful; start
+// from DefaultRandomConfig.
+type RandomConfig struct {
+	N int // number of tasks
+
+	// Computation cost per task: uniform integer in [CompMin, CompMax],
+	// in units of CycleUnit. Paper: 1..30.
+	CompMin, CompMax int64
+	// Communication cost per edge: uniform integer in [CommMin, CommMax],
+	// in units of CycleUnit. Paper: 1..10.
+	CommMin, CommMax int64
+	// Local register footprint per task: uniform in [RegMinBits, RegMaxBits].
+	// Paper: 1 kbit .. 5 kbit.
+	RegMinBits, RegMaxBits int64
+	// Out-degree per task: exponential with MeanDependents, truncated to
+	// [0, N/2] (paper: "number of dependents was found by exponential
+	// distribution between 0 to N/2").
+	MeanDependents float64
+	// MaxWidth bounds the parallelism of the generated graph: tasks are
+	// laid out in pipeline layers of 1..MaxWidth tasks (TGFF-style), which
+	// reproduces the deadline pressure visible in the paper's Table III
+	// power numbers (≈10 mW at two cores means the two-core designs run
+	// near nominal voltage, i.e. the graphs are far from embarrassingly
+	// parallel).
+	MaxWidth int
+	// SharedBufferBitsPerCommUnit sizes the shared buffer register created
+	// for every edge (the data exchanged between the endpoint tasks):
+	// comm-units × this many bits. This is the reconstruction that gives
+	// random graphs the same R-vs-T_M trade-off mechanism as the profiled
+	// MPEG-2 decoder (shared state duplicated across cut edges).
+	SharedBufferBitsPerCommUnit int64
+
+	CycleUnit int64 // cycles per cost unit
+}
+
+// DefaultRandomConfig returns the paper's §V parameterization for N tasks.
+func DefaultRandomConfig(n int) RandomConfig {
+	return RandomConfig{
+		N:                           n,
+		CompMin:                     1,
+		CompMax:                     30,
+		CommMin:                     1,
+		CommMax:                     10,
+		RegMinBits:                  1 * Kb,
+		RegMaxBits:                  5 * Kb,
+		MeanDependents:              1.5,
+		MaxWidth:                    4,
+		SharedBufferBitsPerCommUnit: 512,
+		CycleUnit:                   RandomCycleUnit,
+	}
+}
+
+// RandomDeadline returns the paper's deadline for an N-task random graph:
+// 1000×N/2 ms, in seconds.
+func RandomDeadline(n int) float64 { return float64(n) / 2.0 }
+
+// Random generates a random application task graph per cfg using the given
+// seed. The same (cfg, seed) pair always yields the same graph.
+//
+// Construction: tasks are laid out in pipeline layers of 1..MaxWidth tasks;
+// every non-first-layer task depends on one or two tasks of the previous
+// layer (guaranteeing a connected DAG with bounded parallelism), and each
+// task additionally draws an exponential number of extra dependents among
+// the tasks of the next few layers, truncated to N/2 (the paper's
+// distribution). Each task has a private register; each edge additionally
+// creates a buffer register shared by its two endpoint tasks — the same
+// duplication mechanism the profiled MPEG-2 inventory exhibits.
+func Random(cfg RandomConfig, seed int64) (*Graph, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("taskgraph: random graph needs N >= 2, got %d", cfg.N)
+	}
+	if cfg.CompMin <= 0 || cfg.CompMax < cfg.CompMin {
+		return nil, fmt.Errorf("taskgraph: bad computation cost range [%d,%d]", cfg.CompMin, cfg.CompMax)
+	}
+	if cfg.CommMin < 0 || cfg.CommMax < cfg.CommMin {
+		return nil, fmt.Errorf("taskgraph: bad communication cost range [%d,%d]", cfg.CommMin, cfg.CommMax)
+	}
+	if cfg.RegMinBits <= 0 || cfg.RegMaxBits < cfg.RegMinBits {
+		return nil, fmt.Errorf("taskgraph: bad register range [%d,%d]", cfg.RegMinBits, cfg.RegMaxBits)
+	}
+	if cfg.CycleUnit <= 0 {
+		return nil, fmt.Errorf("taskgraph: non-positive cycle unit %d", cfg.CycleUnit)
+	}
+	if cfg.MeanDependents <= 0 {
+		return nil, fmt.Errorf("taskgraph: non-positive mean dependents %v", cfg.MeanDependents)
+	}
+	if cfg.MaxWidth < 1 {
+		return nil, fmt.Errorf("taskgraph: non-positive max width %d", cfg.MaxWidth)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	inv := registers.NewInventory()
+
+	uniform := func(lo, hi int64) int64 { return lo + rng.Int63n(hi-lo+1) }
+
+	// Lay tasks out in pipeline layers of bounded width.
+	var layers [][]int
+	for next := 0; next < cfg.N; {
+		w := 1 + rng.Intn(cfg.MaxWidth)
+		if next+w > cfg.N {
+			w = cfg.N - next
+		}
+		layer := make([]int, w)
+		for i := range layer {
+			layer[i] = next
+			next++
+		}
+		layers = append(layers, layer)
+	}
+
+	type edgeRec struct {
+		u, v  int
+		units int64
+	}
+	var edges []edgeRec
+	outDeg := make([]int, cfg.N)
+	linked := make(map[[2]int]bool)
+	maxDep := cfg.N / 2
+	addEdge := func(u, v int) bool {
+		key := [2]int{u, v}
+		if linked[key] || outDeg[u] >= maxDep {
+			return false
+		}
+		linked[key] = true
+		outDeg[u]++
+		edges = append(edges, edgeRec{u, v, uniform(cfg.CommMin, cfg.CommMax)})
+		return true
+	}
+
+	// Backbone: every non-first-layer task consumes one or two tasks of the
+	// previous layer.
+	for li := 1; li < len(layers); li++ {
+		prev := layers[li-1]
+		for _, v := range layers[li] {
+			nPreds := 1 + rng.Intn(2)
+			if nPreds > len(prev) {
+				nPreds = len(prev)
+			}
+			for _, pi := range rng.Perm(len(prev))[:nPreds] {
+				addEdge(prev[pi], v)
+			}
+		}
+	}
+	// Extra dependents: exponential out-degree into the next few layers.
+	const lookahead = 3
+	for li, layer := range layers {
+		var pool []int
+		for lj := li + 1; lj < len(layers) && lj <= li+lookahead; lj++ {
+			pool = append(pool, layers[lj]...)
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		for _, u := range layer {
+			k := int(rng.ExpFloat64() * cfg.MeanDependents)
+			if k > len(pool) {
+				k = len(pool)
+			}
+			for _, pi := range rng.Perm(len(pool))[:k] {
+				addEdge(u, pool[pi])
+			}
+		}
+	}
+
+	// Register inventory: one private register per task, one shared buffer
+	// per edge.
+	taskRegs := make([][]string, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		id := fmt.Sprintf("loc_%03d", i)
+		inv.MustAdd(id, uniform(cfg.RegMinBits, cfg.RegMaxBits))
+		taskRegs[i] = append(taskRegs[i], id)
+	}
+	if cfg.SharedBufferBitsPerCommUnit > 0 {
+		for ei, e := range edges {
+			id := fmt.Sprintf("buf_%03d_%03d_%d", e.u, e.v, ei)
+			inv.MustAdd(id, e.units*cfg.SharedBufferBitsPerCommUnit)
+			taskRegs[e.u] = append(taskRegs[e.u], id)
+			taskRegs[e.v] = append(taskRegs[e.v], id)
+		}
+	}
+
+	b := NewBuilder(fmt.Sprintf("random-%d-seed%d", cfg.N, seed), inv)
+	ids := make([]TaskID, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		name := fmt.Sprintf("t%03d", i)
+		ids[i] = b.AddTask(name, uniform(cfg.CompMin, cfg.CompMax)*cfg.CycleUnit, taskRegs[i]...)
+	}
+	for _, e := range edges {
+		b.AddEdge(ids[e.u], ids[e.v], e.units*cfg.CycleUnit)
+	}
+	return b.Build()
+}
+
+// MustRandom is Random but panics on error; for fixtures and benchmarks.
+func MustRandom(cfg RandomConfig, seed int64) *Graph {
+	g, err := Random(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,171 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := DefaultRandomConfig(40)
+	a := MustRandom(cfg, 7)
+	b := MustRandom(cfg, 7)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Error("same (cfg, seed) produced different graphs")
+	}
+	c := MustRandom(cfg, 8)
+	cj, _ := json.Marshal(c)
+	if string(aj) == string(cj) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomRespectsConfig(t *testing.T) {
+	for _, n := range []int{20, 40, 60, 80, 100} {
+		cfg := DefaultRandomConfig(n)
+		g := MustRandom(cfg, int64(n))
+		if g.N() != n {
+			t.Fatalf("N=%d: got %d tasks", n, g.N())
+		}
+		for _, task := range g.Tasks() {
+			units := task.Cycles / cfg.CycleUnit
+			if task.Cycles%cfg.CycleUnit != 0 || units < cfg.CompMin || units > cfg.CompMax {
+				t.Errorf("N=%d task %s: cost %d outside [%d,%d] units",
+					n, task.Name, task.Cycles, cfg.CompMin, cfg.CompMax)
+			}
+			if task.Registers.Len() == 0 {
+				t.Errorf("N=%d task %s: empty register footprint", n, task.Name)
+			}
+		}
+		maxDep := n / 2
+		for _, task := range g.Tasks() {
+			if d := len(g.Succs(task.ID)); d > maxDep {
+				t.Errorf("N=%d task %s: %d dependents exceeds N/2=%d", n, task.Name, d, maxDep)
+			}
+		}
+		for _, e := range g.Edges() {
+			units := e.Cycles / cfg.CycleUnit
+			if e.Cycles%cfg.CycleUnit != 0 || units < cfg.CommMin || units > cfg.CommMax {
+				t.Errorf("N=%d edge %d->%d: cost %d outside range", n, e.From, e.To, e.Cycles)
+			}
+		}
+		// Weak connectivity: every non-root task has a predecessor.
+		for _, task := range g.Tasks() {
+			if task.ID != 0 && len(g.Preds(task.ID)) == 0 && len(g.Succs(task.ID)) == 0 {
+				t.Errorf("N=%d task %s: isolated", n, task.Name)
+			}
+		}
+	}
+}
+
+func TestRandomEdgesCreateSharedBuffers(t *testing.T) {
+	g := MustRandom(DefaultRandomConfig(30), 3)
+	inv := g.Inventory()
+	for _, e := range g.Edges() {
+		from := g.Task(e.From).Registers
+		to := g.Task(e.To).Registers
+		if inv.SharedBits(from, to) == 0 {
+			t.Errorf("edge %d->%d: endpoints share no register bits", e.From, e.To)
+		}
+	}
+}
+
+func TestRandomConfigValidation(t *testing.T) {
+	bad := []RandomConfig{
+		{}, // zero value
+		func() RandomConfig { c := DefaultRandomConfig(1); return c }(),
+		func() RandomConfig { c := DefaultRandomConfig(10); c.CompMin = 0; return c }(),
+		func() RandomConfig { c := DefaultRandomConfig(10); c.CompMax = 0; return c }(),
+		func() RandomConfig { c := DefaultRandomConfig(10); c.CommMin = -1; return c }(),
+		func() RandomConfig { c := DefaultRandomConfig(10); c.RegMinBits = 0; return c }(),
+		func() RandomConfig { c := DefaultRandomConfig(10); c.RegMaxBits = 1; return c }(),
+		func() RandomConfig { c := DefaultRandomConfig(10); c.CycleUnit = 0; return c }(),
+		func() RandomConfig { c := DefaultRandomConfig(10); c.MeanDependents = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Random(cfg, 1); err == nil {
+			t.Errorf("config %d accepted, want error", i)
+		}
+	}
+}
+
+// Property: every generated random graph is a valid DAG whose topological
+// order covers all tasks and respects every edge.
+func TestRandomAlwaysDAG(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%60
+		g, err := Random(DefaultRandomConfig(n), seed)
+		if err != nil {
+			return false
+		}
+		order := g.TopoOrder()
+		if len(order) != n {
+			return false
+		}
+		pos := make(map[TaskID]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDeadline(t *testing.T) {
+	if got := RandomDeadline(60); got != 30 {
+		t.Errorf("RandomDeadline(60) = %v s, want 30 (paper: 1000·N/2 ms)", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{MPEG2(), Fig8(), MustRandom(DefaultRandomConfig(25), 11)} {
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", g.Name(), err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: FromJSON: %v", g.Name(), err)
+		}
+		if back.N() != g.N() || len(back.Edges()) != len(g.Edges()) {
+			t.Fatalf("%s: round trip changed shape", g.Name())
+		}
+		for i := 0; i < g.N(); i++ {
+			a, b := g.Task(TaskID(i)), back.Task(TaskID(i))
+			if a.Name != b.Name || a.Cycles != b.Cycles || !a.Registers.Equal(b.Registers) {
+				t.Fatalf("%s: task %d mismatch after round trip", g.Name(), i)
+			}
+		}
+		if back.Inventory().TotalBits() != g.Inventory().TotalBits() {
+			t.Fatalf("%s: inventory mismatch after round trip", g.Name())
+		}
+	}
+}
+
+func TestFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := FromJSON([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := FromJSON([]byte(`{"name":"x","tasks":[],"edges":[]}`)); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	dot := Fig8().DOT()
+	for _, want := range []string{"digraph", "t0 -> t1", "t4 -> t5", "t1 ["} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package taskgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes the structural properties of a task graph that drive the
+// design-space behaviour: depth bounds achievable speedup, width bounds
+// useful core counts, and the parallelism ratio predicts where the paper's
+// architecture-allocation curves (Table III) flatten.
+type Stats struct {
+	Tasks  int
+	Edges  int
+	Roots  int
+	Leaves int
+	// Depth is the number of tasks on the longest dependency chain.
+	Depth int
+	// Width is the maximum number of tasks at equal dependency depth.
+	Width int
+	// TotalComputeCycles and CriticalPathCycles are in clock cycles.
+	TotalComputeCycles int64
+	CriticalPathCycles int64
+	// Parallelism = total compute / critical path: the asymptotic speedup
+	// bound of the graph on infinitely many cores.
+	Parallelism float64
+	// CommToComputeRatio is total communication cycles over compute cycles.
+	CommToComputeRatio float64
+	// AvgOutDegree is the mean number of dependents per task.
+	AvgOutDegree float64
+	// RegisterBits is the total register inventory size.
+	RegisterBits int64
+}
+
+// ComputeStats analyses the graph.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Tasks:              g.N(),
+		Edges:              len(g.Edges()),
+		Roots:              len(g.Roots()),
+		Leaves:             len(g.Leaves()),
+		TotalComputeCycles: g.TotalComputeCycles(),
+		CriticalPathCycles: g.CriticalPathCycles(),
+		RegisterBits:       g.Inventory().TotalBits(),
+	}
+	// Depth per task = 1 + max depth of predecessors, in topo order.
+	depth := make([]int, g.N())
+	levelCount := map[int]int{}
+	for _, t := range g.TopoOrder() {
+		d := 1
+		for _, e := range g.Preds(t) {
+			if depth[e.From]+1 > d {
+				d = depth[e.From] + 1
+			}
+		}
+		depth[t] = d
+		levelCount[d]++
+		if d > s.Depth {
+			s.Depth = d
+		}
+	}
+	for _, n := range levelCount {
+		if n > s.Width {
+			s.Width = n
+		}
+	}
+	if s.CriticalPathCycles > 0 {
+		s.Parallelism = float64(s.TotalComputeCycles) / float64(s.CriticalPathCycles)
+	}
+	if s.TotalComputeCycles > 0 {
+		s.CommToComputeRatio = float64(g.TotalCommCycles()) / float64(s.TotalComputeCycles)
+	}
+	if s.Tasks > 0 {
+		s.AvgOutDegree = float64(s.Edges) / float64(s.Tasks)
+	}
+	return s
+}
+
+// String renders a compact multi-line report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tasks %d, edges %d (avg out-degree %.2f), roots %d, leaves %d\n",
+		s.Tasks, s.Edges, s.AvgOutDegree, s.Roots, s.Leaves)
+	fmt.Fprintf(&sb, "depth %d, width %d, parallelism %.2f\n", s.Depth, s.Width, s.Parallelism)
+	fmt.Fprintf(&sb, "compute %.3g cycles, critical path %.3g cycles, comm/compute %.1f%%\n",
+		float64(s.TotalComputeCycles), float64(s.CriticalPathCycles), s.CommToComputeRatio*100)
+	fmt.Fprintf(&sb, "register inventory %.1f kbit", float64(s.RegisterBits)/1024.0)
+	return sb.String()
+}

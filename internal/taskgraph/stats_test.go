@@ -1,0 +1,102 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+
+	"seadopt/internal/registers"
+)
+
+func TestComputeStatsChain(t *testing.T) {
+	inv := registers.NewInventory()
+	inv.MustAdd("r", 100)
+	b := NewBuilder("chain", inv)
+	a := b.AddTask("a", 10, "r")
+	bb := b.AddTask("b", 20, "r")
+	c := b.AddTask("c", 30, "r")
+	b.AddEdge(a, bb, 5)
+	b.AddEdge(bb, c, 5)
+	g := b.MustBuild()
+
+	s := g.ComputeStats()
+	if s.Tasks != 3 || s.Edges != 2 || s.Roots != 1 || s.Leaves != 1 {
+		t.Errorf("shape wrong: %+v", s)
+	}
+	if s.Depth != 3 || s.Width != 1 {
+		t.Errorf("depth/width = %d/%d, want 3/1", s.Depth, s.Width)
+	}
+	if s.TotalComputeCycles != 60 || s.CriticalPathCycles != 70 {
+		t.Errorf("cycles = %d/%d", s.TotalComputeCycles, s.CriticalPathCycles)
+	}
+	// Pure chain: parallelism < 1 because comm inflates the critical path.
+	if s.Parallelism >= 1 {
+		t.Errorf("chain parallelism = %v, want < 1", s.Parallelism)
+	}
+	if s.RegisterBits != 100 {
+		t.Errorf("register bits = %d", s.RegisterBits)
+	}
+}
+
+func TestComputeStatsDiamond(t *testing.T) {
+	inv := registers.NewInventory()
+	inv.MustAdd("r", 100)
+	b := NewBuilder("diamond", inv)
+	a := b.AddTask("a", 10, "r")
+	l := b.AddTask("l", 10, "r")
+	rr := b.AddTask("r", 10, "r")
+	d := b.AddTask("d", 10, "r")
+	b.AddEdge(a, l, 0)
+	b.AddEdge(a, rr, 0)
+	b.AddEdge(l, d, 0)
+	b.AddEdge(rr, d, 0)
+	g := b.MustBuild()
+
+	s := g.ComputeStats()
+	if s.Depth != 3 || s.Width != 2 {
+		t.Errorf("depth/width = %d/%d, want 3/2", s.Depth, s.Width)
+	}
+	// 40 cycles total over a 30-cycle critical path.
+	if !almost(s.Parallelism, 4.0/3.0) {
+		t.Errorf("parallelism = %v, want 4/3", s.Parallelism)
+	}
+	if s.CommToComputeRatio != 0 {
+		t.Errorf("comm ratio = %v, want 0", s.CommToComputeRatio)
+	}
+}
+
+func TestStatsOnStockGraphs(t *testing.T) {
+	mp := MPEG2().ComputeStats()
+	if mp.Tasks != 11 || mp.Depth < 9 {
+		t.Errorf("MPEG-2 stats off: %+v", mp)
+	}
+	// The decoder is a near-chain: parallelism must be modest.
+	if mp.Parallelism > 1.5 {
+		t.Errorf("MPEG-2 parallelism = %v, suspiciously high", mp.Parallelism)
+	}
+	// The layered random generator bounds width by MaxWidth (4 by default),
+	// so parallelism stays in the range that makes Table III's deadline
+	// pressure real.
+	for _, n := range []int{20, 60, 100} {
+		rs := MustRandom(DefaultRandomConfig(n), int64(n)).ComputeStats()
+		if rs.Width > DefaultRandomConfig(n).MaxWidth {
+			t.Errorf("random-%d width %d exceeds MaxWidth", n, rs.Width)
+		}
+		if rs.Parallelism < 1.0 || rs.Parallelism > 4.5 {
+			t.Errorf("random-%d parallelism = %v outside the intended band", n, rs.Parallelism)
+		}
+	}
+	out := mp.String()
+	for _, want := range []string{"tasks 11", "parallelism", "kbit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

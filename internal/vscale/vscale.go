@@ -1,0 +1,198 @@
+// Package vscale enumerates per-core voltage-scaling combinations for the
+// power-minimization step of the design loop (step 1 of Fig. 4).
+//
+// Because the MPSoC cores are identical, two scaling vectors that are
+// permutations of each other describe the same design space point (the task
+// mapper is free to permute cores). The paper's nextScaling algorithm
+// (Fig. 5a) therefore enumerates only the non-increasing vectors
+// s1 ≥ s2 ≥ ... ≥ sC, starting from the all-slowest vector: for 4 cores and
+// 3 levels that is the 15-row table of Fig. 5(b) instead of 3⁴ = 81 raw
+// combinations.
+//
+// The transition rule (as reconstructed from Fig. 5(b); the paper's
+// pseudocode as typeset produces a different, repetitive sequence — see the
+// package tests): find the right-most core whose coefficient exceeds 1,
+// decrement it, and reset every core to its right to the decremented value.
+package vscale
+
+import (
+	"fmt"
+	"sort"
+
+	"seadopt/internal/arch"
+)
+
+// NextScaling computes the successor of prev in the Fig. 5 enumeration
+// order. It returns ok=false when prev is the final all-nominal vector
+// (s=1 everywhere). prev must be non-increasing with entries ≥ 1; the
+// result is a fresh slice.
+func NextScaling(prev []int) (next []int, ok bool) {
+	next = append([]int(nil), prev...)
+	j := -1
+	for i := len(next) - 1; i >= 0; i-- {
+		if next[i] > 1 {
+			j = i
+			break
+		}
+	}
+	if j < 0 {
+		return nil, false
+	}
+	next[j]--
+	for k := j + 1; k < len(next); k++ {
+		next[k] = next[j]
+	}
+	return next, true
+}
+
+// Enumerator walks the Fig. 5 sequence from the all-slowest vector to the
+// all-nominal vector.
+type Enumerator struct {
+	cores, levels int
+	cur           []int
+	started       bool
+	done          bool
+}
+
+// NewEnumerator returns an enumerator over scaling vectors for the given
+// core count and number of DVS levels.
+func NewEnumerator(cores, levels int) (*Enumerator, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("vscale: need at least 1 core, got %d", cores)
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("vscale: need at least 1 level, got %d", levels)
+	}
+	start := make([]int, cores)
+	for i := range start {
+		start[i] = levels
+	}
+	return &Enumerator{cores: cores, levels: levels, cur: start}, nil
+}
+
+// Next returns the next scaling vector in sequence, or ok=false when the
+// enumeration is exhausted. The returned slice is owned by the caller.
+func (e *Enumerator) Next() (scaling []int, ok bool) {
+	if e.done {
+		return nil, false
+	}
+	if !e.started {
+		e.started = true
+		return append([]int(nil), e.cur...), true
+	}
+	next, ok := NextScaling(e.cur)
+	if !ok {
+		e.done = true
+		return nil, false
+	}
+	e.cur = next
+	return append([]int(nil), next...), true
+}
+
+// Reset restarts the enumeration from the all-slowest vector.
+func (e *Enumerator) Reset() {
+	for i := range e.cur {
+		e.cur[i] = e.levels
+	}
+	e.started = false
+	e.done = false
+}
+
+// All returns every vector of the Fig. 5 enumeration in sequence order.
+func All(cores, levels int) ([][]int, error) {
+	e, err := NewEnumerator(cores, levels)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]int
+	for {
+		s, ok := e.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, s)
+	}
+}
+
+// Count returns the number of distinct non-increasing scaling vectors:
+// the multiset coefficient C(cores+levels-1, cores). For 4 cores and
+// 3 levels this is 15 (Fig. 5b).
+func Count(cores, levels int) int {
+	// Compute C(cores+levels-1, min(cores, levels-1)) iteratively.
+	n := cores + levels - 1
+	k := cores
+	if levels-1 < k {
+		k = levels - 1
+	}
+	res := 1
+	for i := 1; i <= k; i++ {
+		res = res * (n - k + i) / i
+	}
+	return res
+}
+
+// Exhaustive returns all levels^cores raw combinations (each entry in
+// [1, levels]), used by tests to verify that the Fig. 5 enumeration covers
+// every combination up to permutation.
+func Exhaustive(cores, levels int) [][]int {
+	total := 1
+	for i := 0; i < cores; i++ {
+		total *= levels
+	}
+	out := make([][]int, 0, total)
+	cur := make([]int, cores)
+	for i := range cur {
+		cur[i] = 1
+	}
+	for {
+		out = append(out, append([]int(nil), cur...))
+		i := cores - 1
+		for i >= 0 {
+			cur[i]++
+			if cur[i] <= levels {
+				break
+			}
+			cur[i] = 1
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// Canonical returns the sorted-non-increasing representative of a scaling
+// vector (the Fig. 5 form of an arbitrary per-core assignment).
+func Canonical(scaling []int) []int {
+	out := append([]int(nil), scaling...)
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// AllByPower returns the Fig. 5 enumeration for the platform, sorted by
+// ascending full-utilization dynamic power (the order in which step 1 of
+// Fig. 4 offers combinations to the mapper: cheapest first).
+func AllByPower(p *arch.Platform) ([][]int, error) {
+	combos, err := All(p.Cores(), p.NumLevels())
+	if err != nil {
+		return nil, err
+	}
+	power := make([]float64, len(combos))
+	for i, s := range combos {
+		pw, err := p.DynamicPower(s, nil)
+		if err != nil {
+			return nil, err
+		}
+		power[i] = pw
+	}
+	idx := make([]int, len(combos))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return power[idx[a]] < power[idx[b]] })
+	out := make([][]int, len(combos))
+	for i, j := range idx {
+		out[i] = combos[j]
+	}
+	return out, nil
+}

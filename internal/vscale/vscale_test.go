@@ -1,0 +1,204 @@
+package vscale
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"seadopt/internal/arch"
+)
+
+// TestNextScalingFig5b pins the exact 15-row table of Fig. 5(b) for four
+// cores and three scaling levels.
+func TestNextScalingFig5b(t *testing.T) {
+	want := [][]int{
+		{3, 3, 3, 3},
+		{3, 3, 3, 2},
+		{3, 3, 3, 1},
+		{3, 3, 2, 2},
+		{3, 3, 2, 1},
+		{3, 3, 1, 1},
+		{3, 2, 2, 2},
+		{3, 2, 2, 1},
+		{3, 2, 1, 1},
+		{3, 1, 1, 1},
+		{2, 2, 2, 2},
+		{2, 2, 2, 1},
+		{2, 2, 1, 1},
+		{2, 1, 1, 1},
+		{1, 1, 1, 1},
+	}
+	got, err := All(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("enumeration produced %d vectors, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Errorf("row %d: got %v, want %v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestNextScalingTermination(t *testing.T) {
+	if _, ok := NextScaling([]int{1, 1, 1}); ok {
+		t.Error("all-nominal vector should have no successor")
+	}
+	next, ok := NextScaling([]int{2, 1, 1})
+	if !ok || fmt.Sprint(next) != "[1 1 1]" {
+		t.Errorf("NextScaling([2 1 1]) = %v,%v", next, ok)
+	}
+}
+
+func TestNextScalingDoesNotMutateInput(t *testing.T) {
+	prev := []int{3, 2, 1}
+	_, _ = NextScaling(prev)
+	if fmt.Sprint(prev) != "[3 2 1]" {
+		t.Errorf("input mutated: %v", prev)
+	}
+}
+
+func TestEnumeratorReset(t *testing.T) {
+	e, err := NewEnumerator(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := e.Next()
+	for {
+		if _, ok := e.Next(); !ok {
+			break
+		}
+	}
+	if _, ok := e.Next(); ok {
+		t.Error("exhausted enumerator yielded a vector")
+	}
+	e.Reset()
+	again, ok := e.Next()
+	if !ok || fmt.Sprint(again) != fmt.Sprint(first) {
+		t.Errorf("after Reset got %v, want %v", again, first)
+	}
+}
+
+func TestNewEnumeratorValidation(t *testing.T) {
+	if _, err := NewEnumerator(0, 3); err == nil {
+		t.Error("0 cores accepted")
+	}
+	if _, err := NewEnumerator(3, 0); err == nil {
+		t.Error("0 levels accepted")
+	}
+}
+
+func TestCountFormula(t *testing.T) {
+	cases := []struct{ cores, levels, want int }{
+		{4, 3, 15}, // Fig. 5(b): "15 unique combinations ... compared to 3^4=81"
+		{1, 3, 3},
+		{2, 2, 3},
+		{6, 3, 28},
+		{4, 4, 35},
+		{3, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Count(c.cores, c.levels); got != c.want {
+			t.Errorf("Count(%d,%d) = %d, want %d", c.cores, c.levels, got, c.want)
+		}
+	}
+}
+
+// Property: for any (cores, levels) the enumeration is (a) the right length,
+// (b) strictly non-increasing within each vector, (c) duplicate-free, and
+// (d) complete — every exhaustive combination's canonical form appears.
+func TestEnumerationCompleteProperty(t *testing.T) {
+	f := func(coresRaw, levelsRaw uint8) bool {
+		cores := 1 + int(coresRaw)%5
+		levels := 1 + int(levelsRaw)%4
+		combos, err := All(cores, levels)
+		if err != nil {
+			return false
+		}
+		if len(combos) != Count(cores, levels) {
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, s := range combos {
+			for i := 1; i < len(s); i++ {
+				if s[i] > s[i-1] {
+					return false // not non-increasing
+				}
+			}
+			key := fmt.Sprint(s)
+			if seen[key] {
+				return false // duplicate
+			}
+			seen[key] = true
+		}
+		for _, raw := range Exhaustive(cores, levels) {
+			if !seen[fmt.Sprint(Canonical(raw))] {
+				return false // missing combination
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	got := Canonical([]int{1, 3, 2, 3})
+	if fmt.Sprint(got) != "[3 3 2 1]" {
+		t.Errorf("Canonical = %v", got)
+	}
+}
+
+func TestAllByPowerSorted(t *testing.T) {
+	p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+	combos, err := AllByPower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 15 {
+		t.Fatalf("got %d combos", len(combos))
+	}
+	var prev float64 = -1
+	for _, s := range combos {
+		pw, err := p.DynamicPower(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pw < prev {
+			t.Fatalf("power order violated at %v: %v < %v", s, pw, prev)
+		}
+		prev = pw
+	}
+	// Cheapest must be all-slowest, most expensive all-nominal.
+	if fmt.Sprint(combos[0]) != "[3 3 3 3]" {
+		t.Errorf("cheapest combo = %v", combos[0])
+	}
+	if fmt.Sprint(combos[len(combos)-1]) != "[1 1 1 1]" {
+		t.Errorf("most expensive combo = %v", combos[len(combos)-1])
+	}
+}
+
+func TestExhaustiveSize(t *testing.T) {
+	if got := len(Exhaustive(4, 3)); got != 81 {
+		t.Errorf("Exhaustive(4,3) = %d combos, want 81", got)
+	}
+	// Exhaustive vectors must all be in range and unique.
+	seen := make(map[string]bool)
+	for _, s := range Exhaustive(3, 2) {
+		sort.Ints(s)
+		if s[0] < 1 || s[len(s)-1] > 2 {
+			t.Errorf("out of range vector %v", s)
+		}
+	}
+	for _, s := range Exhaustive(2, 3) {
+		k := fmt.Sprint(s)
+		if seen[k] {
+			t.Errorf("duplicate %v", s)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,37 @@
+package seadopt
+
+import (
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+	"seadopt/internal/vscale"
+)
+
+// vscaleAll exposes the Fig. 5 enumeration to the facade.
+func vscaleAll(p *arch.Platform) ([][]int, error) {
+	return vscale.All(p.Cores(), p.NumLevels())
+}
+
+// NextScaling computes the successor of a scaling vector in the Fig. 5(a)
+// enumeration order (all-slowest first, all-nominal last); ok is false at
+// the end of the sequence.
+func NextScaling(prev []int) (next []int, ok bool) {
+	return vscale.NextScaling(prev)
+}
+
+// GraphStats summarizes a graph's structural properties (depth, width,
+// parallelism bound, communication ratio).
+type GraphStats = taskgraph.Stats
+
+// Stats analyses the system's application graph.
+func (s *System) Stats() GraphStats { return s.Graph.ComputeStats() }
+
+// NewCustomPlatform builds a platform from operating frequencies in MHz
+// (fastest first), deriving supply voltages with the ARM7 voltage law of
+// eq. (2).
+func NewCustomPlatform(cores int, freqsMHz ...float64) (*Platform, error) {
+	levels, err := arch.LevelsFromFrequencies(freqsMHz...)
+	if err != nil {
+		return nil, err
+	}
+	return arch.NewPlatform(cores, levels)
+}
