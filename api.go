@@ -1,6 +1,7 @@
 package seadopt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -107,9 +108,17 @@ func NewSystem(g *Graph, p *Platform) (*System, error) {
 	return &System{Graph: g, Platform: p}, nil
 }
 
+// ExploreProgress reports one completed scaling combination of an
+// optimization's design-space exploration; callbacks arrive in enumeration
+// order regardless of parallelism.
+type ExploreProgress = mapping.Progress
+
 // OptimizeOptions tunes the design optimization.
 type OptimizeOptions struct {
-	// SER is the soft error rate per bit per cycle (0 selects DefaultSER).
+	// SER is the soft error rate per bit per cycle. 0 selects DefaultSER
+	// (the paper's 1e-9); any negative value selects a true zero rate
+	// (no soft errors, Γ ≡ 0), which the 0-means-default sentinel cannot
+	// express.
 	SER float64
 	// DeadlineSec is the real-time constraint; 0 means unconstrained.
 	DeadlineSec float64
@@ -118,14 +127,25 @@ type OptimizeOptions struct {
 	StreamIterations int
 	// SearchMoves bounds the per-scaling mapping search (0 = default).
 	SearchMoves int
-	// Seed makes runs reproducible.
+	// Seed makes runs reproducible. Results are identical at any
+	// Parallelism for the same Seed.
 	Seed int64
+	// Parallelism bounds the worker pool exploring scaling combinations:
+	// 0 selects GOMAXPROCS, 1 runs sequentially.
+	Parallelism int
+	// Progress, when non-nil, is called once per explored scaling
+	// combination, in enumeration order. It runs on the optimizing
+	// goroutine; keep it fast.
+	Progress func(ExploreProgress)
 }
 
 func (o OptimizeOptions) mappingConfig() mapping.Config {
 	ser := o.SER
-	if ser == 0 {
+	switch {
+	case ser == 0:
 		ser = DefaultSER
+	case ser < 0:
+		ser = 0
 	}
 	return mapping.Config{
 		SER:         faults.NewSERModel(ser),
@@ -133,6 +153,8 @@ func (o OptimizeOptions) mappingConfig() mapping.Config {
 		Iterations:  o.StreamIterations,
 		SearchMoves: o.SearchMoves,
 		Seed:        o.Seed,
+		Parallelism: o.Parallelism,
+		Progress:    o.Progress,
 	}
 }
 
@@ -167,9 +189,17 @@ func (d *Design) Gantt(width int) string { return d.Eval.Schedule.Gantt(width) }
 // Optimize runs the paper's full design loop (Fig. 4): voltage-scaling
 // enumeration with the proposed soft error-aware task mapper, returning the
 // deadline-meeting design with minimum power, tie-broken by minimum Γ.
+// Scaling combinations are explored concurrently under
+// OptimizeOptions.Parallelism; the result is identical at any setting.
 func (s *System) Optimize(opts OptimizeOptions) (*Design, error) {
+	return s.OptimizeContext(context.Background(), opts)
+}
+
+// OptimizeContext is Optimize with cancellation: when ctx is cancelled the
+// exploration stops promptly and returns ctx.Err().
+func (s *System) OptimizeContext(ctx context.Context, opts OptimizeOptions) (*Design, error) {
 	cfg := opts.mappingConfig()
-	best, _, err := mapping.Explore(s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg)
+	best, _, err := mapping.ExploreContext(ctx, s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +231,11 @@ const (
 // OptimizeBaseline runs the same design loop with a soft error-unaware
 // simulated-annealing mapper (the paper's Exp:1-3 baselines).
 func (s *System) OptimizeBaseline(obj BaselineObjective, opts OptimizeOptions) (*Design, error) {
+	return s.OptimizeBaselineContext(context.Background(), obj, opts)
+}
+
+// OptimizeBaselineContext is OptimizeBaseline with cancellation.
+func (s *System) OptimizeBaselineContext(ctx context.Context, obj BaselineObjective, opts OptimizeOptions) (*Design, error) {
 	cfg := opts.mappingConfig()
 	acfg := anneal.Config{
 		Objective:   obj,
@@ -210,7 +245,7 @@ func (s *System) OptimizeBaseline(obj BaselineObjective, opts OptimizeOptions) (
 		Moves:       cfg.SearchMoves,
 		Seed:        cfg.Seed,
 	}
-	best, _, err := mapping.Explore(s.Graph, s.Platform, anneal.Mapper(acfg), cfg)
+	best, _, err := mapping.ExploreContext(ctx, s.Graph, s.Platform, anneal.Mapper(acfg), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +256,7 @@ func (s *System) OptimizeBaseline(obj BaselineObjective, opts OptimizeOptions) (
 // a fixed per-core scaling vector.
 func (s *System) MapAtScaling(scaling []int, opts OptimizeOptions) (*Design, error) {
 	cfg := opts.mappingConfig()
-	m, ev, err := mapping.SEAMapper(cfg)(s.Graph, s.Platform, scaling)
+	m, ev, err := mapping.MapOnce(context.Background(), s.Graph, s.Platform, scaling, mapping.SEAMapper(cfg), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -244,11 +279,16 @@ func (s *System) Simulate(m Mapping, scaling []int, streamIterations int) (*SimR
 
 // InjectFaults simulates the design and runs a Poisson SEU fault-injection
 // campaign over its register liveness trace, returning the measured number
-// of SEUs experienced and its analytic expectation.
+// of SEUs experienced and its analytic expectation. ser follows the
+// OptimizeOptions.SER convention: 0 selects DefaultSER, negative selects a
+// true zero rate.
 func (s *System) InjectFaults(m Mapping, scaling []int, streamIterations int,
 	ser float64, seed int64) (measured int64, expected float64, err error) {
-	if ser == 0 {
+	switch {
+	case ser == 0:
 		ser = DefaultSER
+	case ser < 0:
+		ser = 0
 	}
 	r, err := s.Simulate(m, scaling, streamIterations)
 	if err != nil {

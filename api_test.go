@@ -1,10 +1,135 @@
 package seadopt
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
+
+// TestOptimizeDeterministicAcrossParallelism: the public contract of the
+// exploration engine — the same Seed yields a byte-identical Design
+// (scaling, mapping, Γ) at Parallelism 1, 4 and NumCPU.
+func TestOptimizeDeterministicAcrossParallelism(t *testing.T) {
+	sys, err := NewARM7System(MPEG2(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fingerprint := func(par int) string {
+		d, err := sys.Optimize(OptimizeOptions{
+			DeadlineSec:      MPEG2Deadline,
+			StreamIterations: MPEG2Frames,
+			SearchMoves:      250,
+			Seed:             2010,
+			Parallelism:      par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return fmt.Sprintf("%v|%v|%x", d.Scaling, d.Mapping, d.Eval.Gamma)
+	}
+	ref := fingerprint(1)
+	for _, par := range []int{4, runtime.NumCPU()} {
+		if got := fingerprint(par); got != ref {
+			t.Errorf("parallelism %d design %q != sequential %q", par, got, ref)
+		}
+	}
+}
+
+// TestOptimizeContextCancellation: OptimizeContext returns ctx.Err()
+// promptly once cancelled.
+func TestOptimizeContextCancellation(t *testing.T) {
+	g, err := RandomGraph(DefaultRandomGraphConfig(60), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewARM7System(g, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = sys.OptimizeContext(ctx, OptimizeOptions{
+		DeadlineSec: RandomGraphDeadline(60),
+		SearchMoves: 200000,
+		Seed:        1,
+		Parallelism: 2,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestOptimizeProgress: one in-order callback per scaling combination.
+func TestOptimizeProgress(t *testing.T) {
+	sys, err := NewARM7System(MPEG2(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	_, err = sys.Optimize(OptimizeOptions{
+		DeadlineSec:      MPEG2Deadline,
+		StreamIterations: MPEG2Frames,
+		SearchMoves:      60,
+		Seed:             1,
+		Parallelism:      4,
+		Progress:         func(p ExploreProgress) { got = append(got, p.Index) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("%d progress events, want 15", len(got))
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("progress out of order: %v", got)
+		}
+	}
+}
+
+// TestTrueZeroSER: a negative SER selects a genuine zero soft error rate
+// (previously unexpressible behind the 0-means-default sentinel).
+func TestTrueZeroSER(t *testing.T) {
+	sys, err := NewARM7System(MPEG2(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mapping{0, 0, 0, 0, 0, 0, 1, 1, 2, 3, 3}
+	scaling := []int{2, 2, 3, 2}
+	ev, err := sys.Evaluate(m, scaling, OptimizeOptions{StreamIterations: 1, SER: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Gamma != 0 {
+		t.Errorf("SER<0 gave Γ = %v, want true zero", ev.Gamma)
+	}
+	evDefault, err := sys.Evaluate(m, scaling, OptimizeOptions{StreamIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evDefault.Gamma <= 0 {
+		t.Error("SER=0 no longer selects the default rate")
+	}
+	measured, expected, err := sys.InjectFaults(m, scaling, 1, -1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured != 0 || expected != 0 {
+		t.Errorf("zero-rate injection measured %d (expected %v), want 0", measured, expected)
+	}
+}
 
 func TestNewARM7System(t *testing.T) {
 	sys, err := NewARM7System(Fig8(), 3, 3)

@@ -165,6 +165,30 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluatorReuse measures the same design-point evaluation as
+// BenchmarkEvaluate on a pinned, buffer-reusing metrics.Evaluator — the
+// inner loop as the mapper searches actually drive it.
+func BenchmarkEvaluatorReuse(b *testing.B) {
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(60), 1)
+	p := arch.MustNewPlatform(6, arch.ARM7Levels3())
+	m := sched.RoundRobin(g.N(), 6)
+	scaling := []int{3, 3, 3, 3, 2, 2}
+	e, err := metrics.NewEvaluator(g, p, faults.NewSERModel(faults.DefaultSER),
+		metrics.Options{Iterations: 1, DeadlineSec: taskgraph.RandomDeadline(60)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Bind(scaling); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorPipelined measures the cycle-level DES simulator
 // running the full 437-frame MPEG-2 pipeline (4807 task instances).
 func BenchmarkSimulatorPipelined(b *testing.B) {

@@ -26,19 +26,20 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		tables = flag.String("table", "", "comma-separated table numbers to run (2, 3)")
-		figs   = flag.String("fig", "", "comma-separated figure numbers to run (3, 9, 10, 11)")
-		abl    = flag.Bool("ablations", false, "run the design-choice ablation studies")
-		gap    = flag.Bool("optgap", false, "run the optimality-gap study (exhaustive enumeration)")
-		quick  = flag.Bool("quick", false, "reduced budgets (~20x faster, noisier)")
-		moves  = flag.Int("moves", 0, "override per-scaling search budget")
-		seed   = flag.Int64("seed", 2010, "random seed")
-		csvdir = flag.String("csvdir", "", "directory for CSV output (optional)")
+		all      = flag.Bool("all", false, "run every experiment")
+		tables   = flag.String("table", "", "comma-separated table numbers to run (2, 3)")
+		figs     = flag.String("fig", "", "comma-separated figure numbers to run (3, 9, 10, 11)")
+		abl      = flag.Bool("ablations", false, "run the design-choice ablation studies")
+		gap      = flag.Bool("optgap", false, "run the optimality-gap study (exhaustive enumeration)")
+		quick    = flag.Bool("quick", false, "reduced budgets (~20x faster, noisier)")
+		moves    = flag.Int("moves", 0, "override per-scaling search budget")
+		parallel = flag.Int("parallel", 0, "scaling-combination workers per design loop (0 = all cores; results identical at any setting)")
+		seed     = flag.Int64("seed", 2010, "random seed")
+		csvdir   = flag.String("csvdir", "", "directory for CSV output (optional)")
 	)
 	flag.Parse()
 
-	cfg := expt.Config{Seed: *seed}
+	cfg := expt.Config{Seed: *seed, Parallelism: *parallel}
 	if *quick {
 		cfg.SearchMoves = 800
 		cfg.AnnealMoves = 800

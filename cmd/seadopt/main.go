@@ -27,8 +27,10 @@ func main() {
 		cores     = flag.Int("cores", 4, "number of MPSoC processing cores")
 		levels    = flag.Int("levels", 3, "DVS levels (2, 3 or 4)")
 		deadline  = flag.Float64("deadline", -1, "real-time constraint in seconds (-1 = workload default)")
-		ser       = flag.Float64("ser", seadopt.DefaultSER, "soft error rate, SEU/bit/cycle")
+		ser       = flag.Float64("ser", seadopt.DefaultSER, "soft error rate, SEU/bit/cycle (0 or negative = no soft errors)")
 		moves     = flag.Int("moves", 0, "per-scaling search budget (0 = default)")
+		parallel  = flag.Int("parallel", 0, "scaling-combination workers (0 = all cores, 1 = sequential; same result either way)")
+		progress  = flag.Bool("progress", false, "print one line per explored scaling combination")
 		seed      = flag.Int64("seed", 2010, "random seed")
 		baseline  = flag.String("baseline", "", "run a soft error-unaware baseline instead: reg, makespan or regtime")
 		gantt     = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
@@ -53,12 +55,31 @@ func main() {
 		fmt.Println(sys.Stats())
 		fmt.Println()
 	}
+	// The library's SER sentinel is 0-means-default; the flag's default is
+	// already DefaultSER, so 0 at the CLI is an explicit request for a
+	// fault-free model — map it to the library's negative-means-zero form.
+	serOpt := *ser
+	if serOpt <= 0 {
+		serOpt = -1
+	}
 	opts := seadopt.OptimizeOptions{
-		SER:              *ser,
+		SER:              serOpt,
 		DeadlineSec:      dl,
 		StreamIterations: iters,
 		SearchMoves:      *moves,
 		Seed:             *seed,
+		Parallelism:      *parallel,
+	}
+	if *progress {
+		opts.Progress = func(p seadopt.ExploreProgress) {
+			met := "infeasible"
+			if p.Design.Eval.MeetsDeadline {
+				met = "feasible"
+			}
+			fmt.Printf("  [%2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g  %s\n",
+				p.Index+1, p.Total, p.Scaling,
+				p.Design.Eval.PowerW*1e3, p.Design.Eval.Gamma, met)
+		}
 	}
 
 	var design *seadopt.Design
@@ -91,7 +112,7 @@ func main() {
 		fmt.Printf("wrote simulation trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 	if *inject {
-		measured, expected, err := sys.InjectFaults(design.Mapping, design.Scaling, iters, *ser, *seed)
+		measured, expected, err := sys.InjectFaults(design.Mapping, design.Scaling, iters, serOpt, *seed)
 		if err != nil {
 			fatal(err)
 		}

@@ -34,6 +34,36 @@
 //	if err != nil { ... }
 //	fmt.Println(design.Summary())
 //
+// # Concurrency and cancellation
+//
+// The Fig. 4 design loop is embarrassingly parallel across voltage-scaling
+// combinations, and Optimize exploits that: combinations fan out over a
+// bounded worker pool sized by OptimizeOptions.Parallelism (0 selects
+// GOMAXPROCS, 1 runs sequentially). Each worker reuses one evaluator —
+// schedule buffers, register-pressure bitsets, per-core metric rows — across
+// the thousands of candidate mappings it scores, and every combination
+// derives its own seed from (Seed, combination index), so the chosen design
+// is byte-identical at any parallelism:
+//
+//	design, err := sys.Optimize(seadopt.OptimizeOptions{
+//		DeadlineSec: seadopt.MPEG2Deadline,
+//		Parallelism: 8,                  // same Design as Parallelism: 1
+//		Progress: func(p seadopt.ExploreProgress) {
+//			log.Printf("%d/%d %v", p.Index+1, p.Total, p.Scaling)
+//		},
+//	})
+//
+// Progress callbacks arrive in enumeration order regardless of worker
+// timing. OptimizeContext and OptimizeBaselineContext accept a
+// context.Context and return ctx.Err() promptly on cancellation.
+//
+// # SER sentinel
+//
+// OptimizeOptions.SER = 0 selects DefaultSER (the paper's 1e-9); a negative
+// value selects a true zero soft error rate (Γ ≡ 0), which the 0-means-
+// default sentinel cannot express. InjectFaults follows the same
+// convention.
+//
 // The experiment harness regenerating every table and figure of the paper's
 // evaluation lives in cmd/experiments; see EXPERIMENTS.md for the recorded
 // paper-vs-measured comparison.

@@ -1,0 +1,3 @@
+module seadopt
+
+go 1.24

@@ -13,6 +13,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 
 	"seadopt/internal/arch"
@@ -131,46 +132,69 @@ func cost(obj Objective, deadline float64, ev *metrics.Evaluation) float64 {
 // on the shared engine of internal/search — the same neighborhood and
 // cooling as the proposed mapper, so the experiments differ only in
 // objective and starting point (Exp:1-3 start from a round-robin scatter).
+//
+// This is the one-shot form: it builds a throwaway evaluator. The engine
+// path (Mapper, driven by mapping.Explore) anneals on the worker's shared
+// evaluator via AnnealEval.
 func Anneal(g *taskgraph.Graph, p *arch.Platform, scaling []int, cfg Config) (*metrics.Evaluation, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := p.ValidScaling(scaling); err != nil {
+	e, err := metrics.NewEvaluator(g, p, cfg.SER,
+		metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+	if err != nil {
 		return nil, err
 	}
-	opt := metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec}
+	if err := e.Bind(scaling); err != nil {
+		return nil, err
+	}
+	return AnnealEval(context.Background(), e, cfg, cfg.Seed)
+}
 
+// AnnealEval anneals on a prepared evaluator already bound to its scaling
+// vector, deriving the walk from seed. The returned evaluation is owned by
+// the caller.
+func AnnealEval(ctx context.Context, e *metrics.Evaluator, cfg Config, seed int64) (*metrics.Evaluation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	res, err := search.Anneal(search.Problem{
-		Cores:           p.Cores(),
-		Initial:         sched.RoundRobin(g.N(), p.Cores()),
+		Ctx:             ctx,
+		Cores:           e.Platform().Cores(),
+		Initial:         sched.RoundRobin(e.Graph().N(), e.Platform().Cores()),
 		Moves:           cfg.Moves,
-		Seed:            cfg.Seed ^ 0xA22EA1,
+		Seed:            seed ^ 0xA22EA1,
 		InitialTempFrac: cfg.InitialTempFrac,
 		FinalTempFrac:   cfg.FinalTempFrac,
-		Evaluate: func(m sched.Mapping) (search.Cost, error) {
-			ev, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
-			if err != nil {
-				return search.Cost{}, err
-			}
+		Evaluator:       e,
+		Objective: func(ev *metrics.Evaluation) search.Cost {
 			return search.Cost{
 				Value:    cost(cfg.Objective, cfg.DeadlineSec, ev),
 				Feasible: ev.MeetsDeadline,
-			}, nil
+			}
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	return metrics.Evaluate(g, p, res.Best, scaling, cfg.SER, opt)
+	ev, err := e.Evaluate(res.Best)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Clone(), nil
 }
 
 // Mapper adapts the annealer to the outer Fig. 4 design loop, so Exp:1-3
 // run under the same power-minimizing voltage-scaling iteration as the
 // proposed technique (the paper applies step 1 to all four experiments).
+// Within the loop the walk derives from the combination seed, not
+// cfg.Seed, so the baselines parallelize deterministically exactly like the
+// proposed mapper.
 func Mapper(cfg Config) mapping.MapperFunc {
-	return func(g *taskgraph.Graph, p *arch.Platform, scaling []int) (sched.Mapping, *metrics.Evaluation, error) {
-		ev, err := Anneal(g, p, scaling, cfg)
+	return func(mc *mapping.MapContext) (sched.Mapping, *metrics.Evaluation, error) {
+		ev, err := AnnealEval(mc.Ctx, mc.Eval, cfg, mc.Seed)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -140,7 +141,7 @@ func Ablations(cfg Config) (*AblationResult, error) {
 		best := -1.0
 		var bestNom float64
 		for _, s := range combos {
-			_, ev, err := mapper(g, p, s)
+			_, ev, err := mapping.MapOnce(context.Background(), g, p, s, mapper, enumCfg)
 			if err != nil {
 				return 0, err
 			}

@@ -20,6 +20,10 @@ type Config struct {
 	// FaultRuns is the number of Monte-Carlo fault-injection repetitions
 	// used for measured-Γ columns.
 	FaultRuns int
+	// Parallelism bounds the exploration engine's worker pool inside each
+	// design loop (0 selects GOMAXPROCS, 1 is sequential). Results are
+	// identical at any setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {

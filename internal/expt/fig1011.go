@@ -3,7 +3,6 @@ package expt
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"seadopt/internal/anneal"
 	"seadopt/internal/arch"
@@ -33,61 +32,51 @@ func fig10Workload(cfg Config) (*taskgraph.Graph, float64) {
 		taskgraph.RandomDeadline(60)
 }
 
-// Fig10 runs both optimizations at every allocation of TableIIICores.
+// Fig10 runs both optimizations at every allocation of TableIIICores. Each
+// Explore fans its scaling combinations out on the engine's worker pool
+// (cfg.Parallelism), and Exp:4 and Exp:3 share one feasibility-probe cache
+// per allocation, so the mapper-independent deadline probe runs once per
+// scaling instead of once per experiment.
 func Fig10(cfg Config) (*Fig10Result, error) {
 	cfg = cfg.withDefaults()
 	g, deadline := fig10Workload(cfg)
 	res := &Fig10Result{Points: make([]Fig10Point, len(TableIIICores))}
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(TableIIICores))
 	for ci, cores := range TableIIICores {
-		wg.Add(1)
-		go func(ci, cores int) {
-			defer wg.Done()
-			p, err := arch.NewPlatform(cores, arch.ARM7Levels3())
-			if err != nil {
-				errs[ci] = err
-				return
-			}
-			mcfg := mapping.Config{
-				SER:         cfg.serModel(),
-				DeadlineSec: deadline,
-				Iterations:  1,
-				SearchMoves: cfg.SearchMoves,
-				Seed:        cfg.Seed + int64(cores),
-			}
-			best4, _, err := mapping.Explore(g, p, mapping.SEAMapper(mcfg), mcfg)
-			if err != nil {
-				errs[ci] = fmt.Errorf("expt: fig10 exp4 %d cores: %w", cores, err)
-				return
-			}
-			acfg := anneal.Config{
-				Objective:   anneal.ObjectiveRegTimeProduct,
-				SER:         mcfg.SER,
-				DeadlineSec: deadline,
-				Iterations:  1,
-				Moves:       cfg.AnnealMoves,
-				Seed:        cfg.Seed + int64(cores),
-			}
-			best3, _, err := mapping.Explore(g, p, anneal.Mapper(acfg), mcfg)
-			if err != nil {
-				errs[ci] = fmt.Errorf("expt: fig10 exp3 %d cores: %w", cores, err)
-				return
-			}
-			res.Points[ci] = Fig10Point{
-				Cores:      cores,
-				Exp4PowerW: best4.Eval.PowerW,
-				Exp4Gamma:  best4.Eval.Gamma,
-				Exp3PowerW: best3.Eval.PowerW,
-				Exp3Gamma:  best3.Eval.Gamma,
-			}
-		}(ci, cores)
-	}
-	wg.Wait()
-	for _, err := range errs {
+		p, err := arch.NewPlatform(cores, arch.ARM7Levels3())
 		if err != nil {
 			return nil, err
+		}
+		mcfg := mapping.Config{
+			SER:         cfg.serModel(),
+			DeadlineSec: deadline,
+			Iterations:  1,
+			SearchMoves: cfg.SearchMoves,
+			Seed:        cfg.Seed + int64(cores),
+			Parallelism: cfg.Parallelism,
+			Probe:       mapping.NewProbeCache(),
+		}
+		best4, _, err := mapping.Explore(g, p, mapping.SEAMapper(mcfg), mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("expt: fig10 exp4 %d cores: %w", cores, err)
+		}
+		acfg := anneal.Config{
+			Objective:   anneal.ObjectiveRegTimeProduct,
+			SER:         mcfg.SER,
+			DeadlineSec: deadline,
+			Iterations:  1,
+			Moves:       cfg.AnnealMoves,
+		}
+		best3, _, err := mapping.Explore(g, p, anneal.Mapper(acfg), mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("expt: fig10 exp3 %d cores: %w", cores, err)
+		}
+		res.Points[ci] = Fig10Point{
+			Cores:      cores,
+			Exp4PowerW: best4.Eval.PowerW,
+			Exp4Gamma:  best4.Eval.Gamma,
+			Exp3PowerW: best3.Eval.PowerW,
+			Exp3Gamma:  best3.Eval.Gamma,
 		}
 	}
 	return res, nil
@@ -153,6 +142,7 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 			Iterations:  1,
 			SearchMoves: cfg.SearchMoves,
 			Seed:        cfg.Seed + int64(nLevels)*1000,
+			Parallelism: cfg.Parallelism,
 		}
 		best, _, err := mapping.Explore(g, p, mapping.SEAMapper(mcfg), mcfg)
 		if err != nil {

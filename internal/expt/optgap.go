@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,7 +54,7 @@ func OptimalityGap(cfg Config) (*OptGapResult, error) {
 		Explored: "4^11 assignments, /4! core symmetry",
 	}
 	for _, exp := range expMappers(cfg, mcfg) {
-		_, ev, err := exp.fn(g, p, scaling)
+		_, ev, err := mapping.MapOnce(context.Background(), g, p, scaling, exp.fn, mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("expt: optgap %s: %w", exp.name, err)
 		}

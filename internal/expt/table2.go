@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -71,13 +72,16 @@ func mpeg2MappingConfig(cfg Config) mapping.Config {
 		Iterations:  taskgraph.MPEG2Frames,
 		SearchMoves: cfg.SearchMoves,
 		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
 	}
 }
 
 // TableII runs the four experiments: each is a full Fig. 4 design loop
 // (power-minimizing voltage scaling iteration) around its own mapper, then a
 // cycle-level simulation with fault injection measures Γ for the chosen
-// design.
+// design. The four explorations share one feasibility-probe cache: the
+// mapper-independent deadline verdict per scaling is computed once, not
+// once per experiment.
 func TableII(cfg Config) (*TableIIResult, error) {
 	cfg = cfg.withDefaults()
 	g := taskgraph.MPEG2()
@@ -86,6 +90,7 @@ func TableII(cfg Config) (*TableIIResult, error) {
 		return nil, err
 	}
 	mcfg := mpeg2MappingConfig(cfg)
+	mcfg.Probe = mapping.NewProbeCache()
 	res := &TableIIResult{}
 	for _, exp := range expMappers(cfg, mcfg) {
 		best, _, err := mapping.Explore(g, p, exp.fn, mcfg)
@@ -204,7 +209,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	var evals []*metrics.Evaluation
 	var names []ExperimentName
 	for _, exp := range expMappers(cfg, mcfg) {
-		_, ev, err := exp.fn(g, p, scaling)
+		_, ev, err := mapping.MapOnce(context.Background(), g, p, scaling, exp.fn, mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("expt: fig9 %s: %w", exp.name, err)
 		}

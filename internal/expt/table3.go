@@ -3,7 +3,6 @@ package expt
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"seadopt/internal/arch"
 	"seadopt/internal/mapping"
@@ -64,63 +63,43 @@ func tableIIIWorkloads(cfg Config) []tableIIIWorkload {
 var TableIIICores = []int{2, 3, 4, 5, 6}
 
 // TableIII runs the proposed optimization (Exp:4) for every application on
-// MPSoCs of two to six cores. Cells are computed concurrently; results are
-// deterministic because every cell derives its own seeds from cfg.Seed.
+// MPSoCs of two to six cores. Each cell is one Explore driven by the
+// concurrent exploration engine (cfg.Parallelism workers over the scaling
+// combinations); results are deterministic because every cell derives its
+// own seeds from cfg.Seed and the engine's reduction is order-independent.
 func TableIII(cfg Config) (*TableIIIResult, error) {
 	cfg = cfg.withDefaults()
 	workloads := tableIIIWorkloads(cfg)
 	res := &TableIIIResult{Apps: make([]TableIIIApp, len(workloads))}
 
-	type job struct{ app, ci int }
-	var jobs []job
 	for a := range workloads {
 		res.Apps[a].Name = workloads[a].name
 		res.Apps[a].Cells = make([]TableIIICell, len(TableIIICores))
-		for ci := range TableIIICores {
-			jobs = append(jobs, job{a, ci})
-		}
 	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, 8)
-	for ji, j := range jobs {
-		wg.Add(1)
-		go func(ji int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			wl := workloads[j.app]
-			cores := TableIIICores[j.ci]
+	for a, wl := range workloads {
+		for ci, cores := range TableIIICores {
 			p, err := arch.NewPlatform(cores, arch.ARM7Levels3())
 			if err != nil {
-				errs[ji] = err
-				return
+				return nil, err
 			}
 			mcfg := mapping.Config{
 				SER:         cfg.serModel(),
 				DeadlineSec: wl.deadline,
 				Iterations:  wl.iterations,
 				SearchMoves: cfg.SearchMoves,
-				Seed:        cfg.Seed + int64(j.app)*101 + int64(cores),
+				Seed:        cfg.Seed + int64(a)*101 + int64(cores),
+				Parallelism: cfg.Parallelism,
 			}
 			best, _, err := mapping.Explore(wl.graph, p, mapping.SEAMapper(mcfg), mcfg)
 			if err != nil {
-				errs[ji] = fmt.Errorf("expt: table3 %s/%d cores: %w", wl.name, cores, err)
-				return
+				return nil, fmt.Errorf("expt: table3 %s/%d cores: %w", wl.name, cores, err)
 			}
-			res.Apps[j.app].Cells[j.ci] = TableIIICell{
+			res.Apps[a].Cells[ci] = TableIIICell{
 				Cores:  cores,
 				PowerW: best.Eval.PowerW,
 				Gamma:  best.Eval.Gamma,
 				Design: best,
 			}
-		}(ji, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
 		}
 	}
 	return res, nil

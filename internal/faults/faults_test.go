@@ -47,7 +47,7 @@ func TestSERModelCalibration(t *testing.T) {
 
 func TestSERModelValidate(t *testing.T) {
 	bad := []SERModel{
-		{BaseRatePerCycle: 0, RefFreqHz: 1e8, NominalV: 1, K: 1},
+		{BaseRatePerCycle: -1e-9, RefFreqHz: 1e8, NominalV: 1, K: 1},
 		{BaseRatePerCycle: 1e-9, RefFreqHz: 0, NominalV: 1, K: 1},
 		{BaseRatePerCycle: 1e-9, RefFreqHz: 1e8, NominalV: 0, K: 1},
 		{BaseRatePerCycle: 1e-9, RefFreqHz: 1e8, NominalV: 1, K: -1},

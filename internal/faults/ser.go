@@ -59,8 +59,10 @@ func NewSERModel(baseRatePerCycle float64) SERModel {
 
 // Validate reports configuration errors.
 func (m SERModel) Validate() error {
-	if m.BaseRatePerCycle <= 0 {
-		return fmt.Errorf("faults: non-positive base SER %v", m.BaseRatePerCycle)
+	// A zero base rate is a valid model (no soft errors at all, Γ ≡ 0);
+	// only negative rates are rejected.
+	if m.BaseRatePerCycle < 0 {
+		return fmt.Errorf("faults: negative base SER %v", m.BaseRatePerCycle)
 	}
 	if m.RefFreqHz <= 0 {
 		return fmt.Errorf("faults: non-positive reference frequency %v", m.RefFreqHz)

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"testing"
 
 	"seadopt/internal/metrics"
@@ -27,7 +28,7 @@ func TestExhaustiveFig8Optimal(t *testing.T) {
 	// The heuristic must be within 10% of the true optimum here, and can
 	// never beat it.
 	c.SearchMoves = 1500
-	_, heur, err := SEAMapper(c)(g, p, scaling)
+	_, heur, err := MapOnce(context.Background(), g, p, scaling, SEAMapper(c), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestExhaustiveSymmetryReduction(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.SearchMoves = 4000
-	_, heur, err := SEAMapper(c)(g, p, scaling)
+	_, heur, err := MapOnce(context.Background(), g, p, scaling, SEAMapper(c), c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,395 @@
+package mapping
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/metrics"
+	"seadopt/internal/sched"
+	"seadopt/internal/search"
+	"seadopt/internal/taskgraph"
+)
+
+// Design is one optimized design point: the scaling vector chosen by the
+// outer loop and the best mapping the inner search found for it.
+type Design struct {
+	Scaling []int
+	Mapping sched.Mapping
+	Eval    *metrics.Evaluation
+}
+
+// Progress reports one completed scaling combination of an exploration.
+// Callbacks arrive in enumeration order (combination i is reported only
+// after 0..i-1), regardless of the worker parallelism.
+type Progress struct {
+	// Index is the 0-based combination index; Total the enumeration size.
+	Index, Total int
+	// Scaling is the combination's per-core vector. Shared; do not mutate.
+	Scaling []int
+	// Design is the combination's optimized design.
+	Design *Design
+	// Best is the incumbent best design after folding this combination in.
+	Best *Design
+}
+
+// Explore runs the outer design loop of Fig. 4 with background context; see
+// ExploreContext.
+func Explore(g *taskgraph.Graph, p *arch.Platform, mapper MapperFunc, cfg Config) (best *Design, perScaling []*Design, err error) {
+	return ExploreContext(context.Background(), g, p, mapper, cfg)
+}
+
+// ExploreContext runs the outer design loop of Fig. 4: every voltage-scaling
+// combination from the Fig. 5 enumeration is offered to the mapper
+// (step 2); step 3's assessment keeps the deadline-meeting design whose
+// *scaling* has minimum nominal power — power minimization happens at the
+// voltage-scaling level (step 1 of the flow), before mapping — tie-broken
+// by minimum Γ and then by minimum measured (utilization-weighted) power.
+// perScaling lists one Design per combination in enumeration order, for
+// the experiment harness.
+//
+// Combinations are independent, so they fan out over a bounded worker pool
+// (Config.Parallelism workers; 0 selects GOMAXPROCS). Each worker owns one
+// reusable metrics.Evaluator rebound per combination, and each combination
+// derives its own seed from (Config.Seed, index), so the chosen best design,
+// the perScaling order and every Progress callback are identical at any
+// parallelism. Cancelling ctx stops the workers promptly and returns
+// ctx.Err().
+func ExploreContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
+	mapper MapperFunc, cfg Config) (best *Design, perScaling []*Design, err error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	combos, err := allScalings(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(combos) == 0 {
+		return nil, nil, fmt.Errorf("mapping: no scaling combinations to explore")
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(combos) {
+		workers = len(combos)
+	}
+	probe := cfg.Probe
+	if probe == nil {
+		probe = NewProbeCache()
+	}
+
+	type outcome struct {
+		idx     int
+		design  *Design
+		nominal float64
+		probed  bool
+		err     error
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int)
+	results := make(chan outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eval, err := metrics.NewEvaluator(g, p, cfg.SER,
+				metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+			for i := range jobs {
+				if err != nil {
+					results <- outcome{idx: i, err: err}
+					continue
+				}
+				o := outcome{idx: i}
+				o.design, o.nominal, o.probed, o.err = exploreCombo(wctx, eval, mapper, combos[i], i, cfg, probe)
+				results <- o
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range combos {
+			select {
+			case jobs <- i:
+			case <-wctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Deterministic ordered reduction: outcomes are folded in enumeration
+	// order as soon as their prefix is complete, so the acceptance walk and
+	// the Progress stream never depend on worker timing.
+	done := make([]*outcome, len(combos))
+	next := 0
+	var firstErr error
+	firstErrIdx := len(combos)
+	var bestNominal float64
+	bestProbed := false
+	for o := range results {
+		o := o
+		if o.err != nil {
+			// Jobs aborted by the internal cancel report the context error;
+			// keep the lowest-indexed real failure as the verdict.
+			if !errors.Is(o.err, context.Canceled) && o.idx < firstErrIdx {
+				firstErr, firstErrIdx = o.err, o.idx
+				cancel()
+			}
+			continue
+		}
+		done[o.idx] = &o
+		for next < len(combos) && done[next] != nil {
+			d := done[next]
+			perScaling = append(perScaling, d.design)
+			better := false
+			switch {
+			case best == nil:
+				better = true
+			case d.probed != bestProbed:
+				better = d.probed
+			default:
+				better = betterDesign(d.design.Eval, d.nominal, best.Eval, bestNominal)
+			}
+			if better {
+				best = d.design
+				bestNominal = d.nominal
+				bestProbed = d.probed
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(Progress{
+					Index:   next,
+					Total:   len(combos),
+					Scaling: d.design.Scaling,
+					Design:  d.design,
+					Best:    best,
+				})
+			}
+			next++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if next != len(combos) {
+		// Only reachable if a worker swallowed a cancellation without a
+		// parent-context error; treat it as cancellation.
+		return nil, nil, context.Canceled
+	}
+	return best, perScaling, nil
+}
+
+// exploreCombo runs one scaling combination on a worker's evaluator: the
+// mapper, the nominal-power assessment and the shared feasibility probe.
+func exploreCombo(ctx context.Context, eval *metrics.Evaluator, mapper MapperFunc,
+	scaling []int, idx int, cfg Config, probe *ProbeCache) (*Design, float64, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	if err := eval.Bind(scaling); err != nil {
+		return nil, 0, false, err
+	}
+	mc := &MapContext{
+		Ctx:      ctx,
+		Graph:    eval.Graph(),
+		Platform: eval.Platform(),
+		Scaling:  eval.Scaling(),
+		Eval:     eval,
+		Seed:     comboSeed(cfg.Seed, idx),
+	}
+	m, ev, err := mapper(mc)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
+	}
+	nominal, err := mc.Platform.DynamicPower(scaling, nil)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	// Step 1's feasibility decision is mapper-independent: a common
+	// deadline probe decides which scalings are candidates, so every
+	// experiment (Exp:1-4) selects its design from the same scaling
+	// set and differences between them come from mapping alone. If the
+	// probe proves feasibility that the experiment's own mapper missed,
+	// the probe's mapping is the design at this scaling.
+	probeEv, probed, err := probe.feasibleAtScaling(mc, cfg)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if probed && !ev.MeetsDeadline {
+		// Clone: the cache owns probeEv, and Explore calls sharing the
+		// cache must not hand out aliased mutable Designs.
+		ev = probeEv.Clone()
+		m = ev.Schedule.Mapping
+	}
+	probed = probed && ev.MeetsDeadline
+	d := &Design{Scaling: append([]int(nil), scaling...), Mapping: m, Eval: ev}
+	return d, nominal, probed, nil
+}
+
+// comboSeed derives the stream seed of combination i from the master seed
+// (splitmix64 finalizer), decorrelating the combinations while keeping each
+// one's stream a pure function of (seed, i).
+func comboSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// betterDesign implements the step-3 acceptance order: feasibility first,
+// then nominal scaling power, then Γ, then measured power.
+func betterDesign(a *metrics.Evaluation, aNominal float64, b *metrics.Evaluation, bNominal float64) bool {
+	if a.MeetsDeadline != b.MeetsDeadline {
+		return a.MeetsDeadline
+	}
+	const rel = 1e-9
+	if d := aNominal - bNominal; d < -rel*(aNominal+bNominal) {
+		return true
+	} else if d > rel*(aNominal+bNominal) {
+		return false
+	}
+	if a.Gamma != b.Gamma {
+		return a.Gamma < b.Gamma
+	}
+	return a.PowerW < b.PowerW
+}
+
+// ProbeMoves is the hill-climb budget of the common feasibility probe.
+const ProbeMoves = 400
+
+// ProbeCache memoizes the mapper-independent feasibility probe per scaling
+// vector, so a probe verdict computed once is shared by every Explore call
+// driven with the same cache — e.g. the four experiments of Table II probe
+// each scaling once between them instead of once each. It is safe for
+// concurrent use.
+//
+// A cache is only meaningful across Explore calls that share the same
+// graph, platform, deadline, iteration count and seed; do not share one
+// across different workloads.
+type ProbeCache struct {
+	mu sync.Mutex
+	m  map[string]*metrics.Evaluation // nil value = probed infeasible
+}
+
+// NewProbeCache returns an empty probe cache.
+func NewProbeCache() *ProbeCache {
+	return &ProbeCache{m: make(map[string]*metrics.Evaluation)}
+}
+
+// feasibleAtScaling is the mapper-independent deadline probe of step 1: a
+// longest-processing-time balanced mapping refined by a short makespan hill
+// climb, with a fixed seed derived from Config.Seed so every experiment
+// sees the same verdict for the same (graph, platform, scaling, deadline).
+// On success it returns the feasible mapping's evaluation (owned by the
+// cache; treat as read-only).
+func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error) {
+	key := fmt.Sprint(mc.Scaling)
+	pc.mu.Lock()
+	ev, hit := pc.m[key]
+	pc.mu.Unlock()
+	if hit {
+		return ev, ev != nil, nil
+	}
+	ev, ok, err := probeFeasible(mc, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		ev = nil
+	}
+	pc.mu.Lock()
+	pc.m[key] = ev
+	pc.mu.Unlock()
+	return ev, ok, nil
+}
+
+// probeFeasible computes the probe on mc's evaluator; the returned
+// evaluation is owned.
+func probeFeasible(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error) {
+	g, p, e := mc.Graph, mc.Platform, mc.Eval
+
+	// LPT seed: heaviest tasks first onto the least-loaded core, weighting
+	// load by the core's clock period (slow cores absorb less work).
+	n := g.N()
+	cores := p.Cores()
+	order := make([]taskgraph.TaskID, n)
+	for i := range order {
+		order[i] = taskgraph.TaskID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := g.Task(order[a]).Cycles, g.Task(order[b]).Cycles
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	m := make(sched.Mapping, n)
+	loadSec := make([]float64, cores)
+	freq := make([]float64, cores)
+	for c, s := range mc.Scaling {
+		freq[c] = p.MustLevel(s).FreqHz()
+	}
+	for _, t := range order {
+		bestCore := 0
+		for c := 1; c < cores; c++ {
+			if loadSec[c] < loadSec[bestCore] {
+				bestCore = c
+			}
+		}
+		m[t] = bestCore
+		loadSec[bestCore] += float64(g.Task(t).Cycles) / freq[bestCore]
+	}
+
+	ev, err := e.Evaluate(m)
+	if err != nil {
+		return nil, false, err
+	}
+	if ev.MeetsDeadline {
+		return ev.Clone(), true, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xFEA51B1E))
+	cur, curTM := m, ev.TMSeconds
+	for move := 0; move < ProbeMoves; move++ {
+		if err := mc.Ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		neighbor := search.Neighbor(rng, cur, cores)
+		nev, err := e.Evaluate(neighbor)
+		if err != nil {
+			return nil, false, err
+		}
+		if nev.MeetsDeadline {
+			return nev.Clone(), true, nil
+		}
+		if nev.TMSeconds <= curTM {
+			cur, curTM = neighbor, nev.TMSeconds
+		}
+	}
+	return nil, false, nil
+}
+
+// allScalings returns the Fig. 5 enumeration for the platform.
+func allScalings(p *arch.Platform) ([][]int, error) {
+	return enumerate(p.Cores(), p.NumLevels())
+}

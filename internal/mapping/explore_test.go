@@ -1,0 +1,237 @@
+package mapping
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"seadopt/internal/metrics"
+	"seadopt/internal/sched"
+	"seadopt/internal/taskgraph"
+)
+
+// designFingerprint renders everything that identifies a design byte-for-
+// byte: scaling, mapping and the Γ/power/T_M of its evaluation.
+func designFingerprint(d *Design) string {
+	return fmt.Sprintf("s=%v m=%v gamma=%x power=%x tm=%x",
+		d.Scaling, d.Mapping, d.Eval.Gamma, d.Eval.PowerW, d.Eval.TMSeconds)
+}
+
+// TestExploreDeterministicAcrossParallelism is the engine's core contract:
+// the same seed yields a byte-identical best design and perScaling list at
+// parallelism 1, 4 and NumCPU.
+func TestExploreDeterministicAcrossParallelism(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	base := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+	base.SearchMoves = 300
+
+	type run struct {
+		best string
+		per  []string
+	}
+	runAt := func(par int) run {
+		c := base
+		c.Parallelism = par
+		best, per, err := Explore(g, p, SEAMapper(c), c)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		r := run{best: designFingerprint(best)}
+		for _, d := range per {
+			r.per = append(r.per, designFingerprint(d))
+		}
+		return r
+	}
+
+	ref := runAt(1)
+	for _, par := range []int{4, runtime.NumCPU()} {
+		got := runAt(par)
+		if got.best != ref.best {
+			t.Errorf("parallelism %d: best design diverged:\n  seq: %s\n  par: %s",
+				par, ref.best, got.best)
+		}
+		if len(got.per) != len(ref.per) {
+			t.Fatalf("parallelism %d: perScaling has %d entries, want %d",
+				par, len(got.per), len(ref.per))
+		}
+		for i := range ref.per {
+			if got.per[i] != ref.per[i] {
+				t.Errorf("parallelism %d: perScaling[%d] diverged:\n  seq: %s\n  par: %s",
+					par, i, ref.per[i], got.per[i])
+			}
+		}
+	}
+}
+
+// TestExploreBaselineDeterministicAcrossParallelism repeats the contract for
+// the annealing baselines, which share the engine.
+func TestExploreBaselineDeterministicAcrossParallelism(t *testing.T) {
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(20), 3)
+	p := plat(3)
+	base := cfg(taskgraph.RandomDeadline(20), 1)
+	base.SearchMoves = 200
+
+	runAt := func(par int) string {
+		c := base
+		c.Parallelism = par
+		best, _, err := Explore(g, p, SEAMapper(c), c)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return designFingerprint(best)
+	}
+	ref := runAt(1)
+	if got := runAt(4); got != ref {
+		t.Errorf("best design diverged:\n  seq: %s\n  par: %s", ref, got)
+	}
+}
+
+// TestExploreProgressOrdered checks the Progress contract: exactly one
+// callback per combination, in enumeration order, at any parallelism.
+func TestExploreProgressOrdered(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	for _, par := range []int{1, 4} {
+		c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+		c.SearchMoves = 60
+		c.Parallelism = par
+		var seen []int
+		c.Progress = func(pr Progress) {
+			seen = append(seen, pr.Index)
+			if pr.Total != 15 {
+				t.Errorf("Total = %d, want 15", pr.Total)
+			}
+			if pr.Design == nil || pr.Best == nil {
+				t.Error("nil design in progress event")
+			}
+		}
+		if _, _, err := Explore(g, p, SEAMapper(c), c); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != 15 {
+			t.Fatalf("parallelism %d: %d progress events, want 15", par, len(seen))
+		}
+		for i, idx := range seen {
+			if idx != i {
+				t.Fatalf("parallelism %d: progress out of order: %v", par, seen)
+			}
+		}
+	}
+}
+
+// TestExploreCancellation asserts Explore returns ctx.Err() promptly when
+// cancelled mid-run, for both sequential and parallel pools.
+func TestExploreCancellation(t *testing.T) {
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(60), 5)
+	p := plat(4)
+	for _, par := range []int{1, 4} {
+		c := cfg(taskgraph.RandomDeadline(60), 1)
+		c.SearchMoves = 200000 // far more work than the deadline allows
+		c.Parallelism = par
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, _, err := ExploreContext(ctx, g, p, SEAMapper(c), c)
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Errorf("parallelism %d: cancellation took %v, want prompt return", par, elapsed)
+		}
+	}
+}
+
+// TestExplorePreCancelled: a context cancelled before the call returns
+// immediately without mapping anything.
+func TestExplorePreCancelled(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	mapper := func(mc *MapContext) (sched.Mapping, *metrics.Evaluation, error) {
+		if mc.Ctx.Err() == nil {
+			called = true
+		}
+		return nil, nil, mc.Ctx.Err()
+	}
+	if _, _, err := ExploreContext(ctx, g, p, mapper, c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("mapper ran with a live context after pre-cancellation")
+	}
+}
+
+// TestExploreMapperErrorPropagates: a mapper failure surfaces as an error
+// naming the scaling, at any parallelism.
+func TestExploreMapperErrorPropagates(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	boom := errors.New("mapper exploded")
+	for _, par := range []int{1, 4} {
+		c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+		c.Parallelism = par
+		mapper := func(mc *MapContext) (sched.Mapping, *metrics.Evaluation, error) {
+			return nil, nil, boom
+		}
+		_, _, err := ExploreContext(context.Background(), g, p, mapper, c)
+		if !errors.Is(err, boom) {
+			t.Errorf("parallelism %d: err = %v, want wrapped mapper error", par, err)
+		}
+	}
+}
+
+// TestProbeCacheShared: with a shared cache, the probe runs once per scaling
+// across two explorations over the same workload.
+func TestProbeCacheShared(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+	c.SearchMoves = 60
+	c.Probe = NewProbeCache()
+	best1, _, err := Explore(g, p, SEAMapper(c), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := len(c.Probe.m)
+	if cached != 15 {
+		t.Fatalf("probe cache holds %d scalings after one explore, want 15", cached)
+	}
+	best2, _, err := Explore(g, p, SEAMapper(c), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Probe.m) != cached {
+		t.Errorf("second explore grew the probe cache to %d entries", len(c.Probe.m))
+	}
+	if designFingerprint(best1) != designFingerprint(best2) {
+		t.Errorf("shared probe cache changed the result:\n  1st: %s\n  2nd: %s",
+			designFingerprint(best1), designFingerprint(best2))
+	}
+}
+
+// TestComboSeedDecorrelates: distinct combinations must get distinct seeds
+// and the derivation must be a pure function of (seed, index).
+func TestComboSeedDecorrelates(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := comboSeed(2010, i)
+		if seen[s] {
+			t.Fatalf("duplicate combo seed at index %d", i)
+		}
+		seen[s] = true
+		if s != comboSeed(2010, i) {
+			t.Fatal("comboSeed not deterministic")
+		}
+	}
+}

@@ -42,6 +42,19 @@ type Config struct {
 	SearchMoves int
 	// Seed drives the (deterministic) random neighborhood generation.
 	Seed int64
+	// Parallelism bounds the Explore worker pool: each worker maps one
+	// scaling combination at a time on its own reusable evaluator. 0
+	// selects GOMAXPROCS; 1 runs sequentially. Results are identical at
+	// any setting.
+	Parallelism int
+	// Progress, when non-nil, receives one callback per completed scaling
+	// combination, in enumeration order. Callbacks run on the exploring
+	// goroutine; keep them fast.
+	Progress func(Progress)
+	// Probe optionally shares a feasibility-probe cache across Explore
+	// calls over the same workload (see ProbeCache). Nil gives each call
+	// a private cache.
+	Probe *ProbeCache
 }
 
 // DefaultSearchMoves is the per-scaling neighborhood budget when
@@ -68,6 +81,9 @@ func (c Config) Validate() error {
 	}
 	if c.SearchMoves < 0 {
 		return fmt.Errorf("mapping: negative search budget %d", c.SearchMoves)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("mapping: negative parallelism %d", c.Parallelism)
 	}
 	return nil
 }

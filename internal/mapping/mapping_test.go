@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -222,7 +223,7 @@ func TestSEAMapperBeatsRandomMappings(t *testing.T) {
 	scaling := []int{2, 2, 3, 2}
 	c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
 	c.SearchMoves = 1500
-	_, ev, err := SEAMapper(c)(g, p, scaling)
+	_, ev, err := MapOnce(context.Background(), g, p, scaling, SEAMapper(c), c)
 	if err != nil {
 		t.Fatal(err)
 	}

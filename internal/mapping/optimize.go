@@ -1,9 +1,7 @@
 package mapping
 
 import (
-	"fmt"
-	"math/rand"
-	"sort"
+	"context"
 
 	"seadopt/internal/arch"
 	"seadopt/internal/metrics"
@@ -11,6 +9,96 @@ import (
 	"seadopt/internal/search"
 	"seadopt/internal/taskgraph"
 )
+
+// MapContext carries everything a mapper needs for one scaling combination
+// of the design loop: the pinned workload, a reusable Evaluator already
+// bound to Scaling, a cancellation context, and the combination-derived
+// seed. The Explore engine builds one per combination; MapOnce builds a
+// standalone one for single-scaling runs.
+type MapContext struct {
+	// Ctx cancels the mapper; implementations must return Ctx.Err()
+	// promptly after cancellation.
+	Ctx      context.Context
+	Graph    *taskgraph.Graph
+	Platform *arch.Platform
+	// Scaling is the per-core scaling vector of this combination. Shared;
+	// do not mutate.
+	Scaling []int
+	// Eval is bound to (Graph, Platform, Scaling). Evaluations it returns
+	// are borrowed: mappers must Clone any evaluation they return or retain
+	// across calls.
+	Eval *metrics.Evaluator
+	// Seed is derived deterministically from (Config.Seed, combination
+	// index), so every mapper sees the same stream at the same combination
+	// regardless of worker scheduling, and distinct combinations get
+	// decorrelated streams.
+	Seed int64
+}
+
+// MapperFunc produces a mapping for one scaling combination. The soft
+// error-aware mapper (SEAMapper) and the simulated-annealing baselines in
+// internal/anneal both satisfy this shape, so the outer Fig. 4 loop can
+// drive either. The returned Evaluation must be owned by the caller (not
+// borrowed from mc.Eval).
+type MapperFunc func(mc *MapContext) (sched.Mapping, *metrics.Evaluation, error)
+
+// NewMapContext builds a standalone context for running a mapper at a
+// single scaling vector outside the Explore engine, with cfg.Seed as the
+// stream seed.
+func NewMapContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
+	scaling []int, cfg Config) (*MapContext, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e, err := metrics.NewEvaluator(g, p, cfg.SER,
+		metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Bind(scaling); err != nil {
+		return nil, err
+	}
+	return &MapContext{
+		Ctx:      ctx,
+		Graph:    g,
+		Platform: p,
+		Scaling:  e.Scaling(),
+		Eval:     e,
+		Seed:     cfg.Seed,
+	}, nil
+}
+
+// MapOnce runs mapper at a single scaling vector with a fresh evaluator —
+// the entry point for fixed-scaling studies (Fig. 9, the ablations) and the
+// public MapAtScaling facade.
+func MapOnce(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
+	scaling []int, mapper MapperFunc, cfg Config) (sched.Mapping, *metrics.Evaluation, error) {
+	mc, err := NewMapContext(ctx, g, p, scaling, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mapper(mc)
+}
+
+// SEAMapper returns the proposed two-stage soft error-aware mapper
+// (InitialSEAMapping followed by OptimizedMapping) as a MapperFunc.
+func SEAMapper(cfg Config) MapperFunc {
+	return func(mc *MapContext) (sched.Mapping, *metrics.Evaluation, error) {
+		init, err := InitialSEAMapping(mc.Graph, mc.Platform, mc.Scaling, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		ev, err := optimizedMapping(mc, init, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ev.Schedule.Mapping, ev, nil
+	}
+}
 
 // OptimizedMapping implements the search stage of Fig. 7: starting from the
 // initial mapping, it explores neighboring mappings (single-task moves and
@@ -24,13 +112,25 @@ import (
 // penalty pulling infeasible walks back) and starting point (here: the
 // Fig. 6 greedy mapping). The paper bounds the search by wall-clock time;
 // a deterministic move budget (Config.SearchMoves) replaces it.
+//
+// This is the one-shot form; the engine path (optimizedMapping via
+// SEAMapper) reuses the caller's MapContext and evaluator.
 func OptimizedMapping(g *taskgraph.Graph, p *arch.Platform, scaling []int,
 	initial sched.Mapping, cfg Config) (*metrics.Evaluation, error) {
+	mc, err := NewMapContext(context.Background(), g, p, scaling, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return optimizedMapping(mc, initial, cfg)
+}
+
+// optimizedMapping is the Fig. 7 search on a prepared MapContext. The
+// returned evaluation is owned by the caller.
+func optimizedMapping(mc *MapContext, initial sched.Mapping, cfg Config) (*metrics.Evaluation, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	opt := metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec}
 
 	// Phase 1 (≈2/3 of the budget): annealing walk on Γ, shared engine.
 	annealMoves := cfg.SearchMoves * 2 / 3
@@ -38,26 +138,24 @@ func OptimizedMapping(g *taskgraph.Graph, p *arch.Platform, scaling []int,
 		annealMoves = 1
 	}
 	res, err := search.Anneal(search.Problem{
-		Cores:   p.Cores(),
+		Ctx:     mc.Ctx,
+		Cores:   mc.Platform.Cores(),
 		Initial: initial,
 		// The second restart starts from a balanced scatter: the greedy
 		// stage-1 seed excels under deadline pressure but can trap the
 		// walk at deep uniform scalings where clustering is infeasible.
-		AltInitials: []sched.Mapping{sched.RoundRobin(g.N(), p.Cores())},
+		AltInitials: []sched.Mapping{sched.RoundRobin(mc.Graph.N(), mc.Platform.Cores())},
 		Moves:       annealMoves,
-		Seed:        cfg.Seed ^ 0x5EAD0,
-		Evaluate: func(m sched.Mapping) (search.Cost, error) {
-			ev, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
-			if err != nil {
-				return search.Cost{}, err
-			}
+		Seed:        mc.Seed ^ 0x5EAD0,
+		Evaluator:   mc.Eval,
+		Objective: func(ev *metrics.Evaluation) search.Cost {
 			v := ev.Gamma
 			if cfg.DeadlineSec > 0 && !ev.MeetsDeadline {
 				// Proportional penalty keeps the gradient toward
 				// feasibility visible (Fig. 7 steps B-C).
 				v *= 1 + 10*(ev.TMSeconds-cfg.DeadlineSec)/cfg.DeadlineSec
 			}
-			return search.Cost{Value: v, Feasible: ev.MeetsDeadline}, nil
+			return search.Cost{Value: v, Feasible: ev.MeetsDeadline}
 		},
 	})
 	if err != nil {
@@ -67,24 +165,37 @@ func OptimizedMapping(g *taskgraph.Graph, p *arch.Platform, scaling []int,
 	// landscape has a narrow valley along the T_M floor where random moves
 	// look flat; systematically trying every (task, core) relocation finds
 	// the register-locality improvements SA walks past.
-	return polishGamma(g, p, scaling, res.Best, cfg, opt, cfg.SearchMoves-annealMoves)
+	return polishGamma(mc, res.Best, cfg, cfg.SearchMoves-annealMoves)
 }
 
 // polishGamma runs first-improvement descent over single-task relocations
 // (every-core-used invariant preserved), bounded by an evaluation budget.
-func polishGamma(g *taskgraph.Graph, p *arch.Platform, scaling []int,
-	m sched.Mapping, cfg Config, opt metrics.Options, budget int) (*metrics.Evaluation, error) {
-	best, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
+// The returned evaluation is owned by the caller.
+func polishGamma(mc *MapContext, m sched.Mapping, cfg Config, budget int) (*metrics.Evaluation, error) {
+	e := mc.Eval
+	best, err := e.Evaluate(m)
 	if err != nil {
 		return nil, err
 	}
-	n := g.N()
-	cores := p.Cores()
+	n := mc.Graph.N()
+	cores := mc.Platform.Cores()
+	bestM := m.Clone()
+	bestGamma, bestTM, bestFeasible := best.Gamma, best.TMSeconds, best.MeetsDeadline
+	finish := func() (*metrics.Evaluation, error) {
+		ev, err := e.Evaluate(bestM)
+		if err != nil {
+			return nil, err
+		}
+		return ev.Clone(), nil
+	}
 	if cores < 2 || n < 2 {
-		return best, nil
+		return finish()
 	}
 	cur := m.Clone()
 	for budget > 0 {
+		if err := mc.Ctx.Err(); err != nil {
+			return nil, err
+		}
 		improved := false
 		loads := cur.CoreLoads(cores)
 	sweep:
@@ -92,222 +203,44 @@ func polishGamma(g *taskgraph.Graph, p *arch.Platform, scaling []int,
 			if n >= cores && loads[cur[t]] < 2 {
 				continue // relocation would empty the core
 			}
+			if err := mc.Ctx.Err(); err != nil {
+				return nil, err
+			}
 			home := cur[t]
 			for c := 0; c < cores; c++ {
 				if c == home {
 					continue
 				}
 				cur[t] = c
-				ev, err := metrics.Evaluate(g, p, cur, scaling, cfg.SER, opt)
+				ev, err := e.Evaluate(cur)
 				if err != nil {
 					return nil, err
 				}
 				budget--
-				better := ev.MeetsDeadline && (!best.MeetsDeadline || ev.Gamma < best.Gamma)
-				if !better && !best.MeetsDeadline && ev.TMSeconds < best.TMSeconds {
+				better := ev.MeetsDeadline && (!bestFeasible || ev.Gamma < bestGamma)
+				if !better && !bestFeasible && ev.TMSeconds < bestTM {
 					better = true // still hunting feasibility
 				}
 				if better {
-					best = ev
+					bestGamma, bestTM, bestFeasible = ev.Gamma, ev.TMSeconds, ev.MeetsDeadline
+					copy(bestM, cur)
 					loads[home]--
 					loads[c]++
 					improved = true
 					if budget <= 0 {
-						return best, nil
+						return finish()
 					}
 					continue sweep
 				}
 				cur[t] = home
 				if budget <= 0 {
-					return best, nil
+					return finish()
 				}
 			}
 		}
 		if !improved {
-			return best, nil
+			return finish()
 		}
 	}
-	return best, nil
-}
-
-// Design is one optimized design point: the scaling vector chosen by the
-// outer loop and the best mapping the inner search found for it.
-type Design struct {
-	Scaling []int
-	Mapping sched.Mapping
-	Eval    *metrics.Evaluation
-}
-
-// MapperFunc produces a mapping for one scaling vector. The soft error-aware
-// mapper (SEAMapper) and the simulated-annealing baselines in internal/anneal
-// both satisfy this shape, so the outer Fig. 4 loop can drive either.
-type MapperFunc func(g *taskgraph.Graph, p *arch.Platform, scaling []int) (sched.Mapping, *metrics.Evaluation, error)
-
-// SEAMapper returns the proposed two-stage soft error-aware mapper
-// (InitialSEAMapping followed by OptimizedMapping) as a MapperFunc.
-func SEAMapper(cfg Config) MapperFunc {
-	return func(g *taskgraph.Graph, p *arch.Platform, scaling []int) (sched.Mapping, *metrics.Evaluation, error) {
-		init, err := InitialSEAMapping(g, p, scaling, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		ev, err := OptimizedMapping(g, p, scaling, init, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		return ev.Schedule.Mapping, ev, nil
-	}
-}
-
-// Explore runs the outer design loop of Fig. 4: every voltage-scaling
-// combination from the Fig. 5 enumeration is offered to the mapper
-// (step 2); step 3's assessment keeps the deadline-meeting design whose
-// *scaling* has minimum nominal power — power minimization happens at the
-// voltage-scaling level (step 1 of the flow), before mapping — tie-broken
-// by minimum Γ and then by minimum measured (utilization-weighted) power.
-// perScaling lists one Design per combination in enumeration order, for
-// the experiment harness.
-func Explore(g *taskgraph.Graph, p *arch.Platform, mapper MapperFunc, cfg Config) (best *Design, perScaling []*Design, err error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, err
-	}
-	combos, err := allScalings(p)
-	if err != nil {
-		return nil, nil, err
-	}
-	var bestNominal float64
-	bestProbed := false
-	for _, scaling := range combos {
-		m, ev, err := mapper(g, p, scaling)
-		if err != nil {
-			return nil, nil, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
-		}
-		nominal, err := p.DynamicPower(scaling, nil)
-		if err != nil {
-			return nil, nil, err
-		}
-		// Step 1's feasibility decision is mapper-independent: a common
-		// deadline probe decides which scalings are candidates, so every
-		// experiment (Exp:1-4) selects its design from the same scaling
-		// set and differences between them come from mapping alone. If the
-		// probe proves feasibility that the experiment's own mapper missed,
-		// the probe's mapping is the design at this scaling.
-		probeEv, probed := feasibleAtScaling(g, p, scaling, cfg)
-		if probed && !ev.MeetsDeadline {
-			m, ev = probeEv.Schedule.Mapping, probeEv
-		}
-		probed = probed && ev.MeetsDeadline
-		d := &Design{Scaling: append([]int(nil), scaling...), Mapping: m, Eval: ev}
-		perScaling = append(perScaling, d)
-		better := false
-		switch {
-		case best == nil:
-			better = true
-		case probed != bestProbed:
-			better = probed
-		default:
-			better = betterDesign(ev, nominal, best.Eval, bestNominal)
-		}
-		if better {
-			best = d
-			bestNominal = nominal
-			bestProbed = probed
-		}
-	}
-	if best == nil {
-		return nil, nil, fmt.Errorf("mapping: no scaling combinations to explore")
-	}
-	return best, perScaling, nil
-}
-
-// betterDesign implements the step-3 acceptance order: feasibility first,
-// then nominal scaling power, then Γ, then measured power.
-func betterDesign(a *metrics.Evaluation, aNominal float64, b *metrics.Evaluation, bNominal float64) bool {
-	if a.MeetsDeadline != b.MeetsDeadline {
-		return a.MeetsDeadline
-	}
-	const rel = 1e-9
-	if d := aNominal - bNominal; d < -rel*(aNominal+bNominal) {
-		return true
-	} else if d > rel*(aNominal+bNominal) {
-		return false
-	}
-	if a.Gamma != b.Gamma {
-		return a.Gamma < b.Gamma
-	}
-	return a.PowerW < b.PowerW
-}
-
-// ProbeMoves is the hill-climb budget of the common feasibility probe.
-const ProbeMoves = 400
-
-// feasibleAtScaling is the mapper-independent deadline probe of step 1: a
-// longest-processing-time balanced mapping refined by a short makespan hill
-// climb, with a fixed derived seed so every experiment sees the same
-// verdict for the same (graph, platform, scaling, deadline). On success it
-// returns the feasible mapping's evaluation.
-func feasibleAtScaling(g *taskgraph.Graph, p *arch.Platform, scaling []int, cfg Config) (*metrics.Evaluation, bool) {
-	opt := metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec}
-
-	// LPT seed: heaviest tasks first onto the least-loaded core, weighting
-	// load by the core's clock period (slow cores absorb less work).
-	n := g.N()
-	cores := p.Cores()
-	order := make([]taskgraph.TaskID, n)
-	for i := range order {
-		order[i] = taskgraph.TaskID(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := g.Task(order[a]).Cycles, g.Task(order[b]).Cycles
-		if ca != cb {
-			return ca > cb
-		}
-		return order[a] < order[b]
-	})
-	m := make(sched.Mapping, n)
-	loadSec := make([]float64, cores)
-	freq := make([]float64, cores)
-	for c, s := range scaling {
-		freq[c] = p.MustLevel(s).FreqHz()
-	}
-	for _, t := range order {
-		bestCore := 0
-		for c := 1; c < cores; c++ {
-			if loadSec[c] < loadSec[bestCore] {
-				bestCore = c
-			}
-		}
-		m[t] = bestCore
-		loadSec[bestCore] += float64(g.Task(t).Cycles) / freq[bestCore]
-	}
-
-	ev, err := metrics.Evaluate(g, p, m, scaling, cfg.SER, opt)
-	if err != nil {
-		return nil, false
-	}
-	if ev.MeetsDeadline {
-		return ev, true
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xFEA51B1E))
-	cur, curEv := m, ev
-	for move := 0; move < ProbeMoves; move++ {
-		neighbor := search.Neighbor(rng, cur, cores)
-		nev, err := metrics.Evaluate(g, p, neighbor, scaling, cfg.SER, opt)
-		if err != nil {
-			return nil, false
-		}
-		if nev.MeetsDeadline {
-			return nev, true
-		}
-		if nev.TMSeconds <= curEv.TMSeconds {
-			cur, curEv = neighbor, nev
-		}
-	}
-	return nil, false
-}
-
-// allScalings returns the Fig. 5 enumeration for the platform.
-func allScalings(p *arch.Platform) ([][]int, error) {
-	return enumerate(p.Cores(), p.NumLevels())
+	return finish()
 }

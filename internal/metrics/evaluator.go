@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/faults"
+	"seadopt/internal/sched"
+	"seadopt/internal/taskgraph"
+)
+
+// Evaluator is the reusable form of Evaluate: it pins a (graph, platform)
+// pair — and, after Bind, a scaling vector — and amortizes every
+// per-evaluation allocation across calls. The mapper searches evaluate
+// thousands of candidate mappings per scaling combination; with an
+// Evaluator each of those calls reuses
+//
+//   - the list scheduler's agenda, ready pools and output arrays
+//     (sched.Scheduler),
+//   - a bitset register-pressure profile: task footprints are compiled once
+//     into word-packed bitmasks over the inventory, so the per-core R_i of
+//     eq. (8) is a handful of ORs and popcounts instead of map unions,
+//   - the per-core metric rows and utilization scratch of the Evaluation
+//     itself.
+//
+// The *Evaluation returned by Evaluate is BORROWED: it is valid only until
+// the next Evaluate or Bind call on this Evaluator. Callers that keep an
+// evaluation (an incumbent in a search, a per-scaling design) must Clone it.
+// The package-level Evaluate wrapper preserves the old owned-result
+// contract.
+//
+// An Evaluator is not safe for concurrent use; give each worker its own.
+type Evaluator struct {
+	g   *taskgraph.Graph
+	p   *arch.Platform
+	ser faults.SERModel
+	opt Options
+	sch *sched.Scheduler
+
+	// Graph-constant register pressure profile.
+	words    int        // words per bitmask
+	taskMask [][]uint64 // per-task footprint over inventory indices
+	regBits  []int64    // width of inventory register i, by index
+
+	// Per-core scratch.
+	coreMask  [][]uint64
+	coreLoads []int
+	util      []float64
+
+	// Bound per-scaling context.
+	bound        bool
+	lambdaSec    []float64
+	lambdaCyc    []float64
+	nominalHz    float64
+	baselineBits int64
+
+	ev Evaluation
+}
+
+// NewEvaluator builds an evaluator for g on p under the given SER model and
+// options. Bind must be called before Evaluate.
+func NewEvaluator(g *taskgraph.Graph, p *arch.Platform, ser faults.SERModel, opt Options) (*Evaluator, error) {
+	if err := ser.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Iterations < 1 {
+		opt.Iterations = 1
+	}
+	n := g.N()
+	cores := p.Cores()
+	inv := g.Inventory()
+	ids := inv.IDs()
+	index := make(map[string]int, len(ids))
+	regBits := make([]int64, len(ids))
+	for i, id := range ids {
+		index[id] = i
+		regBits[i] = inv.Bits(id)
+	}
+	words := (len(ids) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	taskMask := make([][]uint64, n)
+	maskBacking := make([]uint64, n*words)
+	for t := 0; t < n; t++ {
+		taskMask[t] = maskBacking[t*words : (t+1)*words : (t+1)*words]
+		for id := range g.Task(taskgraph.TaskID(t)).Registers {
+			i := index[id]
+			taskMask[t][i/64] |= 1 << (i % 64)
+		}
+	}
+	coreMask := make([][]uint64, cores)
+	coreBacking := make([]uint64, cores*words)
+	for c := 0; c < cores; c++ {
+		coreMask[c] = coreBacking[c*words : (c+1)*words : (c+1)*words]
+	}
+	e := &Evaluator{
+		g:            g,
+		p:            p,
+		ser:          ser,
+		opt:          opt,
+		sch:          sched.NewScheduler(g, p),
+		words:        words,
+		taskMask:     taskMask,
+		regBits:      regBits,
+		coreMask:     coreMask,
+		coreLoads:    make([]int, cores),
+		util:         make([]float64, cores),
+		lambdaSec:    make([]float64, cores),
+		lambdaCyc:    make([]float64, cores),
+		nominalHz:    p.MustLevel(1).FreqHz(),
+		baselineBits: p.BaselineBits(),
+	}
+	e.ev.PerCore = make([]CoreMetrics, cores)
+	return e, nil
+}
+
+// Graph returns the pinned task graph.
+func (e *Evaluator) Graph() *taskgraph.Graph { return e.g }
+
+// Platform returns the pinned platform.
+func (e *Evaluator) Platform() *arch.Platform { return e.p }
+
+// Options returns the evaluation options.
+func (e *Evaluator) Options() Options { return e.opt }
+
+// SER returns the soft error rate model.
+func (e *Evaluator) SER() faults.SERModel { return e.ser }
+
+// Bind pins the scaling vector for subsequent Evaluate calls, precomputing
+// the per-core λ rates. It invalidates any borrowed Evaluation.
+func (e *Evaluator) Bind(scaling []int) error {
+	if err := e.sch.Bind(scaling); err != nil {
+		return err
+	}
+	for c, s := range e.sch.Scaling() {
+		level := e.p.MustLevel(s)
+		e.lambdaSec[c] = e.ser.RatePerSec(level.Vdd)
+		e.lambdaCyc[c] = e.ser.RatePerCycle(level.Vdd, level.FreqHz())
+	}
+	e.bound = true
+	return nil
+}
+
+// Scaling returns the bound scaling vector. The slice is shared; do not
+// mutate.
+func (e *Evaluator) Scaling() []int { return e.sch.Scaling() }
+
+// Evaluate schedules m at the bound scaling and evaluates the design point
+// against eqs. (3), (5), (7), (8). The result is borrowed; see the type
+// comment.
+func (e *Evaluator) Evaluate(m sched.Mapping) (*Evaluation, error) {
+	if !e.bound {
+		return nil, fmt.Errorf("metrics: Evaluate called before Bind")
+	}
+	s, err := e.sch.Schedule(m)
+	if err != nil {
+		return nil, err
+	}
+	cores := e.p.Cores()
+
+	ev := &e.ev
+	ev.Schedule = s
+	ev.MakespanSec = s.MakespanSeconds()
+	ev.DeadlineSec = e.opt.DeadlineSec
+	ev.TMSeconds = s.PipelinedMakespanSeconds(e.opt.Iterations)
+	ev.TMCycles = ev.TMSeconds * e.nominalHz
+	ev.TotalRegBits = 0
+	ev.Gamma = 0
+	ev.PowerW = 0
+
+	// Per-core register pressure: OR the footprint bitmasks of the tasks on
+	// each core, then sum the widths of the set bits (eq. 8).
+	for c := 0; c < cores; c++ {
+		e.coreLoads[c] = 0
+		row := e.coreMask[c]
+		for w := range row {
+			row[w] = 0
+		}
+	}
+	for t, c := range m {
+		e.coreLoads[c]++
+		row := e.coreMask[c]
+		for w, word := range e.taskMask[t] {
+			row[w] |= word
+		}
+	}
+
+	horizon := ev.TMSeconds
+	for c := 0; c < cores; c++ {
+		cm := &ev.PerCore[c]
+		*cm = CoreMetrics{
+			Core:         c,
+			BusyCycles:   s.BusyCycles(c),
+			BusySec:      s.BusySeconds(c),
+			LambdaPerSec: e.lambdaSec[c],
+			Lambda:       e.lambdaCyc[c],
+		}
+		if horizon > 0 {
+			if u := cm.BusySec / horizon; u > 1 {
+				cm.Utilization = 1
+			} else {
+				cm.Utilization = u
+			}
+		}
+		e.util[c] = cm.Utilization
+		if e.coreLoads[c] > 0 {
+			var rb int64
+			for w, word := range e.coreMask[c] {
+				base := w * 64
+				for word != 0 {
+					i := bits.TrailingZeros64(word)
+					rb += e.regBits[base+i]
+					word &= word - 1
+				}
+			}
+			cm.RegBits = rb
+			cm.BaselineBits = e.baselineBits
+			cm.ExposureSec = ev.TMSeconds
+		}
+		cm.Gamma = float64(cm.RegBits+cm.BaselineBits) * cm.ExposureSec * cm.LambdaPerSec
+		ev.TotalRegBits += cm.RegBits
+		ev.Gamma += cm.Gamma
+	}
+
+	pw, err := e.p.DynamicPower(s.Scaling, e.util)
+	if err != nil {
+		return nil, err
+	}
+	ev.PowerW = pw
+	ev.MeetsDeadline = e.opt.DeadlineSec <= 0 || ev.TMSeconds <= e.opt.DeadlineSec
+	return ev, nil
+}
+
+// Clone returns an independent deep copy of the evaluation, safe to retain
+// after the Evaluator that produced it moves on.
+func (ev *Evaluation) Clone() *Evaluation {
+	out := *ev
+	if ev.Schedule != nil {
+		out.Schedule = ev.Schedule.Clone()
+	}
+	out.PerCore = append([]CoreMetrics(nil), ev.PerCore...)
+	return &out
+}

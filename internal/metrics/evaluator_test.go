@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/faults"
+	"seadopt/internal/sched"
+	"seadopt/internal/taskgraph"
+)
+
+// TestEvaluatorMatchesEvaluate: the reusable evaluator must reproduce the
+// one-shot path bit-for-bit across many random mappings and rebinds — the
+// whole optimization stack sits on this equivalence.
+func TestEvaluatorMatchesEvaluate(t *testing.T) {
+	graphs := []*taskgraph.Graph{
+		taskgraph.MPEG2(),
+		taskgraph.Fig8(),
+		taskgraph.MustRandom(taskgraph.DefaultRandomConfig(40), 7),
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, g := range graphs {
+		p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+		opt := Options{Iterations: 3, DeadlineSec: 5}
+		e, err := NewEvaluator(g, p, ser(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalings := [][]int{{1, 1, 1, 1}, {2, 2, 3, 2}, {3, 3, 3, 3}}
+		for _, scaling := range scalings {
+			if err := e.Bind(scaling); err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 25; trial++ {
+				m := sched.RandomMapping(rng, g.N(), 4)
+				got, err := e.Evaluate(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Evaluate(g, p, m, scaling, ser(), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Gamma != want.Gamma || got.PowerW != want.PowerW ||
+					got.TMSeconds != want.TMSeconds || got.TotalRegBits != want.TotalRegBits ||
+					got.MeetsDeadline != want.MeetsDeadline || got.TMCycles != want.TMCycles {
+					t.Fatalf("%s scaling %v mapping %v:\n  evaluator: %v\n  one-shot:  %v",
+						g.Name(), scaling, m, got, want)
+				}
+				for c := range got.PerCore {
+					if got.PerCore[c] != want.PerCore[c] {
+						t.Fatalf("%s scaling %v core %d: %+v != %+v",
+							g.Name(), scaling, c, got.PerCore[c], want.PerCore[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluationCloneIndependence: a cloned evaluation must survive the
+// evaluator moving on to other mappings.
+func TestEvaluationCloneIndependence(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+	e, err := NewEvaluator(g, p, ser(), Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Bind([]int{2, 2, 3, 2}); err != nil {
+		t.Fatal(err)
+	}
+	m1 := sched.RoundRobin(g.N(), 4)
+	ev1, err := e.Evaluate(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := ev1.Clone()
+	gamma1, tm1 := kept.Gamma, kept.TMSeconds
+	mapping1 := kept.Schedule.Mapping.Clone()
+
+	// Trample the evaluator's scratch with a different design.
+	m2 := sched.Mapping{0, 0, 0, 0, 0, 0, 1, 1, 2, 3, 3}
+	if _, err := e.Evaluate(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Bind([]int{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(m2); err != nil {
+		t.Fatal(err)
+	}
+
+	if kept.Gamma != gamma1 || kept.TMSeconds != tm1 {
+		t.Error("clone's metrics changed under evaluator reuse")
+	}
+	for i := range mapping1 {
+		if kept.Schedule.Mapping[i] != mapping1[i] {
+			t.Fatal("clone's schedule mapping changed under evaluator reuse")
+		}
+	}
+}
+
+// TestEvaluatorRequiresBind: Evaluate before Bind is a clean error.
+func TestEvaluatorRequiresBind(t *testing.T) {
+	g := taskgraph.Fig8()
+	p := arch.MustNewPlatform(3, arch.ARM7Levels3())
+	e, err := NewEvaluator(g, p, ser(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate(sched.RoundRobin(g.N(), 3)); err == nil {
+		t.Error("Evaluate before Bind accepted")
+	}
+}
+
+// TestZeroSERModel: a true zero soft error rate is a valid model yielding
+// Γ = 0 without degenerating the rest of the evaluation.
+func TestZeroSERModel(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+	zero := faults.NewSERModel(0)
+	ev, err := Evaluate(g, p, sched.RoundRobin(g.N(), 4), []int{1, 1, 1, 1}, zero,
+		Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Gamma != 0 {
+		t.Errorf("zero SER gave Γ = %v, want 0", ev.Gamma)
+	}
+	if ev.PowerW <= 0 || ev.TMSeconds <= 0 {
+		t.Error("zero SER degenerated power/timing")
+	}
+}

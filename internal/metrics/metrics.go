@@ -73,13 +73,20 @@ type Evaluation struct {
 
 // Evaluate schedules g under (mapping, scaling) and evaluates the design
 // point. ser must be a validated SER model.
+//
+// This is the one-shot convenience form: it builds a throwaway Evaluator, so
+// the result is uniquely owned by the caller. Hot loops that evaluate
+// thousands of mappings should hold an Evaluator and reuse it.
 func Evaluate(g *taskgraph.Graph, p *arch.Platform, m sched.Mapping, scaling []int,
 	ser faults.SERModel, opt Options) (*Evaluation, error) {
-	s, err := sched.ListSchedule(g, p, m, scaling)
+	e, err := NewEvaluator(g, p, ser, opt)
 	if err != nil {
 		return nil, err
 	}
-	return EvaluateSchedule(s, p, ser, opt)
+	if err := e.Bind(scaling); err != nil {
+		return nil, err
+	}
+	return e.Evaluate(m)
 }
 
 // EvaluateSchedule evaluates an already-built schedule.

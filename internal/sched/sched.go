@@ -152,169 +152,20 @@ type Schedule struct {
 // deterministic tie break. This is exactly the dispatch policy of the
 // cycle-level simulator in internal/sim, so the two makespans agree — the
 // analytic scheduler is the fast mirror the optimizers iterate on.
+//
+// ListSchedule is the one-shot convenience form: it builds a throwaway
+// Scheduler, so the returned Schedule is uniquely owned by the caller. Hot
+// loops that schedule thousands of mappings should hold a Scheduler (or a
+// metrics.Evaluator) and reuse it.
 func ListSchedule(g *taskgraph.Graph, p *arch.Platform, m Mapping, scaling []int) (*Schedule, error) {
 	if err := m.Validate(g, p.Cores()); err != nil {
 		return nil, err
 	}
-	if err := p.ValidScaling(scaling); err != nil {
+	sc := NewScheduler(g, p)
+	if err := sc.Bind(scaling); err != nil {
 		return nil, err
 	}
-	n := g.N()
-	freq := make([]float64, p.Cores())
-	for i, s := range scaling {
-		freq[i] = p.MustLevel(s).FreqHz()
-	}
-
-	bl := g.BLevels()
-	remainingPreds := make([]int, n)
-	for t := 0; t < n; t++ {
-		remainingPreds[t] = len(g.Preds(taskgraph.TaskID(t)))
-	}
-
-	sc := &Schedule{
-		Graph:      g,
-		Mapping:    m.Clone(),
-		Scaling:    append([]int(nil), scaling...),
-		Slots:      make([]Slot, n),
-		busyCycles: make([]int64, p.Cores()),
-		busySec:    make([]float64, p.Cores()),
-		freqHz:     freq,
-	}
-
-	// Time-ordered agenda of token arrivals and task completions.
-	type agendaEvent struct {
-		at     float64
-		seq    int
-		isStop bool             // task completion (vs token arrival)
-		task   taskgraph.TaskID // completing task or token target
-	}
-	var agenda []agendaEvent
-	seq := 0
-	push := func(at float64, isStop bool, task taskgraph.TaskID) {
-		agenda = append(agenda, agendaEvent{at, seq, isStop, task})
-		seq++
-	}
-	popEarliest := func() agendaEvent {
-		best := 0
-		for i := 1; i < len(agenda); i++ {
-			if agenda[i].at < agenda[best].at ||
-				(agenda[i].at == agenda[best].at && agenda[i].seq < agenda[best].seq) {
-				best = i
-			}
-		}
-		e := agenda[best]
-		agenda = append(agenda[:best], agenda[best+1:]...)
-		return e
-	}
-
-	pools := make([][]taskgraph.TaskID, p.Cores())
-	coreBusy := make([]bool, p.Cores())
-	scheduledCount := 0
-
-	dispatch := func(core int, now float64) {
-		if coreBusy[core] || len(pools[core]) == 0 {
-			return
-		}
-		best := 0
-		for i := 1; i < len(pools[core]); i++ {
-			a, b := pools[core][i], pools[core][best]
-			if bl[a] > bl[b] || (bl[a] == bl[b] && a < b) {
-				best = i
-			}
-		}
-		t := pools[core][best]
-		pools[core] = append(pools[core][:best], pools[core][best+1:]...)
-		dur := float64(g.Task(t).Cycles) / freq[core]
-		sc.Slots[t] = Slot{Task: t, Core: core, StartSec: now, EndSec: now + dur}
-		coreBusy[core] = true
-		scheduledCount++
-		push(now+dur, true, t)
-	}
-
-	// Seed: root tasks are data-ready at time zero.
-	for t := 0; t < n; t++ {
-		if remainingPreds[t] == 0 {
-			pools[m[t]] = append(pools[m[t]], taskgraph.TaskID(t))
-		}
-	}
-	for c := range pools {
-		dispatch(c, 0)
-	}
-
-	for len(agenda) > 0 {
-		// Batch all events at the same timestamp before dispatching so a
-		// completion and a token arrival at time t see each other.
-		ev := popEarliest()
-		now := ev.at
-		batch := []agendaEvent{ev}
-		for len(agenda) > 0 {
-			next := popEarliest()
-			if next.at != now {
-				agenda = append(agenda, next)
-				break
-			}
-			batch = append(batch, next)
-		}
-		touched := make(map[int]bool)
-		for _, e := range batch {
-			if e.isStop {
-				t := e.task
-				core := m[t]
-				coreBusy[core] = false
-				touched[core] = true
-				if now > sc.makespan {
-					sc.makespan = now
-				}
-				for _, edge := range g.Succs(t) {
-					if m[edge.To] == core || edge.Cycles == 0 {
-						remainingPreds[edge.To]--
-						if remainingPreds[edge.To] == 0 {
-							pools[m[edge.To]] = append(pools[m[edge.To]], edge.To)
-							touched[m[edge.To]] = true
-						}
-						continue
-					}
-					// Cross-core token, billed at the slower endpoint.
-					fSlow := freq[core]
-					if fd := freq[m[edge.To]]; fd < fSlow {
-						fSlow = fd
-					}
-					push(now+float64(edge.Cycles)/fSlow, false, edge.To)
-				}
-			} else {
-				t := e.task
-				remainingPreds[t]--
-				if remainingPreds[t] == 0 {
-					pools[m[t]] = append(pools[m[t]], t)
-					touched[m[t]] = true
-				}
-			}
-		}
-		for c := range touched {
-			dispatch(c, now)
-		}
-	}
-	if scheduledCount != n {
-		return nil, fmt.Errorf("sched: graph %q not schedulable (%d of %d tasks ran)", g.Name(), scheduledCount, n)
-	}
-
-	// Eq. (7): per-core busy cycles = task cycles + dependency cycles of
-	// cross-core edges, billed to both endpoint cores (the producer drives
-	// the link, the consumer receives; DESIGN.md §5).
-	for t := 0; t < n; t++ {
-		core := m[t]
-		sc.busyCycles[core] += g.Task(taskgraph.TaskID(t)).Cycles
-		for _, e := range g.Succs(taskgraph.TaskID(t)) {
-			if m[e.To] != core {
-				sc.busyCycles[core] += e.Cycles
-				sc.busyCycles[m[e.To]] += e.Cycles
-			}
-		}
-	}
-	for c := range sc.busySec {
-		sc.busySec[c] = float64(sc.busyCycles[c]) / freq[c]
-	}
-	return sc, nil
+	return sc.Schedule(m)
 }
 
 // MakespanSeconds returns the single-iteration DAG makespan.

@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"fmt"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+// agendaEvent is one entry of the scheduler's time-ordered agenda: either a
+// task completion or a cross-core token arrival.
+type agendaEvent struct {
+	at     float64
+	seq    int
+	isStop bool             // task completion (vs token arrival)
+	task   taskgraph.TaskID // completing task or token target
+}
+
+// Scheduler is a reusable list scheduler pinned to a (graph, platform) pair.
+// Bind selects the per-core scaling vector; Schedule then list-schedules any
+// mapping without allocating: every internal buffer (agenda, ready pools,
+// predecessor counts) and the output Schedule itself are reused across calls.
+//
+// The returned *Schedule is BORROWED — it stays valid only until the next
+// Schedule or Bind call on this Scheduler. Callers that retain a schedule
+// across calls must Clone it. The one-shot ListSchedule wrapper keeps the
+// old allocate-per-call contract for code outside the hot path.
+//
+// A Scheduler is not safe for concurrent use; the exploration engine gives
+// each worker its own (via metrics.Evaluator).
+type Scheduler struct {
+	g  *taskgraph.Graph
+	p  *arch.Platform
+	bl []int64 // b-level priorities, graph-constant
+
+	scaling []int
+	freq    []float64
+
+	// Scratch reused across Schedule calls.
+	remainingPreds []int
+	agenda         []agendaEvent
+	batch          []agendaEvent
+	pools          [][]taskgraph.TaskID
+	coreBusy       []bool
+	touched        []bool
+	touchedList    []int
+
+	out Schedule
+}
+
+// NewScheduler builds a scheduler for g on p. Bind must be called before
+// Schedule.
+func NewScheduler(g *taskgraph.Graph, p *arch.Platform) *Scheduler {
+	n := g.N()
+	cores := p.Cores()
+	s := &Scheduler{
+		g:              g,
+		p:              p,
+		bl:             g.BLevels(),
+		scaling:        make([]int, cores),
+		freq:           make([]float64, cores),
+		remainingPreds: make([]int, n),
+		pools:          make([][]taskgraph.TaskID, cores),
+		coreBusy:       make([]bool, cores),
+		touched:        make([]bool, cores),
+		touchedList:    make([]int, 0, cores),
+	}
+	s.out = Schedule{
+		Graph:      g,
+		Mapping:    make(Mapping, n),
+		Scaling:    s.scaling,
+		Slots:      make([]Slot, n),
+		busyCycles: make([]int64, cores),
+		busySec:    make([]float64, cores),
+		freqHz:     s.freq,
+	}
+	return s
+}
+
+// Graph returns the pinned task graph.
+func (s *Scheduler) Graph() *taskgraph.Graph { return s.g }
+
+// Platform returns the pinned platform.
+func (s *Scheduler) Platform() *arch.Platform { return s.p }
+
+// Bind selects the scaling vector for subsequent Schedule calls. It
+// invalidates any borrowed Schedule previously returned.
+func (s *Scheduler) Bind(scaling []int) error {
+	if err := s.p.ValidScaling(scaling); err != nil {
+		return err
+	}
+	copy(s.scaling, scaling)
+	for i, lv := range s.scaling {
+		s.freq[i] = s.p.MustLevel(lv).FreqHz()
+	}
+	return nil
+}
+
+// Scaling returns the bound scaling vector. The slice is shared; do not
+// mutate.
+func (s *Scheduler) Scaling() []int { return s.scaling }
+
+// Schedule list-schedules mapping m at the bound scaling, using exactly the
+// dispatch policy of ListSchedule (highest b-level first, TaskID tie break).
+// The result is borrowed; see the type comment.
+func (s *Scheduler) Schedule(m Mapping) (*Schedule, error) {
+	if err := m.Validate(s.g, s.p.Cores()); err != nil {
+		return nil, err
+	}
+	if s.freq[0] == 0 {
+		return nil, fmt.Errorf("sched: Schedule called before Bind")
+	}
+	g, n, cores := s.g, s.g.N(), s.p.Cores()
+
+	// Reset output and scratch state.
+	sc := &s.out
+	copy(sc.Mapping, m)
+	sc.makespan = 0
+	for c := 0; c < cores; c++ {
+		sc.busyCycles[c] = 0
+		sc.busySec[c] = 0
+		s.pools[c] = s.pools[c][:0]
+		s.coreBusy[c] = false
+		s.touched[c] = false
+	}
+	for t := 0; t < n; t++ {
+		s.remainingPreds[t] = len(g.Preds(taskgraph.TaskID(t)))
+	}
+	s.agenda = s.agenda[:0]
+
+	seq := 0
+	push := func(at float64, isStop bool, task taskgraph.TaskID) {
+		s.agenda = append(s.agenda, agendaEvent{at, seq, isStop, task})
+		seq++
+	}
+	popEarliest := func() agendaEvent {
+		best := 0
+		for i := 1; i < len(s.agenda); i++ {
+			if s.agenda[i].at < s.agenda[best].at ||
+				(s.agenda[i].at == s.agenda[best].at && s.agenda[i].seq < s.agenda[best].seq) {
+				best = i
+			}
+		}
+		e := s.agenda[best]
+		s.agenda = append(s.agenda[:best], s.agenda[best+1:]...)
+		return e
+	}
+
+	scheduledCount := 0
+	dispatch := func(core int, now float64) {
+		if s.coreBusy[core] || len(s.pools[core]) == 0 {
+			return
+		}
+		best := 0
+		for i := 1; i < len(s.pools[core]); i++ {
+			a, b := s.pools[core][i], s.pools[core][best]
+			if s.bl[a] > s.bl[b] || (s.bl[a] == s.bl[b] && a < b) {
+				best = i
+			}
+		}
+		t := s.pools[core][best]
+		s.pools[core] = append(s.pools[core][:best], s.pools[core][best+1:]...)
+		dur := float64(g.Task(t).Cycles) / s.freq[core]
+		sc.Slots[t] = Slot{Task: t, Core: core, StartSec: now, EndSec: now + dur}
+		s.coreBusy[core] = true
+		scheduledCount++
+		push(now+dur, true, t)
+	}
+
+	// Seed: root tasks are data-ready at time zero.
+	for t := 0; t < n; t++ {
+		if s.remainingPreds[t] == 0 {
+			s.pools[m[t]] = append(s.pools[m[t]], taskgraph.TaskID(t))
+		}
+	}
+	for c := range s.pools {
+		dispatch(c, 0)
+	}
+
+	touch := func(core int) {
+		if !s.touched[core] {
+			s.touched[core] = true
+			s.touchedList = append(s.touchedList, core)
+		}
+	}
+
+	for len(s.agenda) > 0 {
+		// Batch all events at the same timestamp before dispatching so a
+		// completion and a token arrival at time t see each other.
+		ev := popEarliest()
+		now := ev.at
+		s.batch = append(s.batch[:0], ev)
+		for len(s.agenda) > 0 {
+			next := popEarliest()
+			if next.at != now {
+				s.agenda = append(s.agenda, next)
+				break
+			}
+			s.batch = append(s.batch, next)
+		}
+		s.touchedList = s.touchedList[:0]
+		for _, e := range s.batch {
+			if e.isStop {
+				t := e.task
+				core := m[t]
+				s.coreBusy[core] = false
+				touch(core)
+				if now > sc.makespan {
+					sc.makespan = now
+				}
+				for _, edge := range g.Succs(t) {
+					if m[edge.To] == core || edge.Cycles == 0 {
+						s.remainingPreds[edge.To]--
+						if s.remainingPreds[edge.To] == 0 {
+							s.pools[m[edge.To]] = append(s.pools[m[edge.To]], edge.To)
+							touch(m[edge.To])
+						}
+						continue
+					}
+					// Cross-core token, billed at the slower endpoint.
+					fSlow := s.freq[core]
+					if fd := s.freq[m[edge.To]]; fd < fSlow {
+						fSlow = fd
+					}
+					push(now+float64(edge.Cycles)/fSlow, false, edge.To)
+				}
+			} else {
+				t := e.task
+				s.remainingPreds[t]--
+				if s.remainingPreds[t] == 0 {
+					s.pools[m[t]] = append(s.pools[m[t]], t)
+					touch(m[t])
+				}
+			}
+		}
+		for _, c := range s.touchedList {
+			dispatch(c, now)
+			s.touched[c] = false
+		}
+	}
+	if scheduledCount != n {
+		return nil, fmt.Errorf("sched: graph %q not schedulable (%d of %d tasks ran)", g.Name(), scheduledCount, n)
+	}
+
+	// Eq. (7): per-core busy cycles = task cycles + dependency cycles of
+	// cross-core edges, billed to both endpoint cores (the producer drives
+	// the link, the consumer receives; DESIGN.md §5).
+	for t := 0; t < n; t++ {
+		core := m[t]
+		sc.busyCycles[core] += g.Task(taskgraph.TaskID(t)).Cycles
+		for _, e := range g.Succs(taskgraph.TaskID(t)) {
+			if m[e.To] != core {
+				sc.busyCycles[core] += e.Cycles
+				sc.busyCycles[m[e.To]] += e.Cycles
+			}
+		}
+	}
+	for c := range sc.busySec {
+		sc.busySec[c] = float64(sc.busyCycles[c]) / s.freq[c]
+	}
+	return sc, nil
+}
+
+// Clone returns an independent deep copy of the schedule, safe to retain
+// after the Scheduler that produced it moves on.
+func (s *Schedule) Clone() *Schedule {
+	out := *s
+	out.Mapping = s.Mapping.Clone()
+	out.Scaling = append([]int(nil), s.Scaling...)
+	out.Slots = append([]Slot(nil), s.Slots...)
+	out.busyCycles = append([]int64(nil), s.busyCycles...)
+	out.busySec = append([]float64(nil), s.busySec...)
+	out.freqHz = append([]float64(nil), s.freqHz...)
+	return &out
+}

@@ -13,10 +13,12 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"seadopt/internal/metrics"
 	"seadopt/internal/sched"
 )
 
@@ -37,13 +39,26 @@ func (a Cost) dominates(b Cost) bool {
 
 // Problem specifies one annealing run.
 type Problem struct {
+	// Ctx optionally cancels the search; it is checked once per move and the
+	// walk returns Ctx.Err() promptly after cancellation. Nil means
+	// context.Background().
+	Ctx     context.Context
 	Cores   int
 	Initial sched.Mapping
 	// AltInitials optionally supplies extra starting points; restart r
 	// starts from the r-th entry of {Initial, AltInitials...} (wrapping).
 	AltInitials []sched.Mapping
-	// Evaluate scores a candidate mapping. It is called once per move plus
-	// once for the initial mapping.
+	// Evaluator and Objective form the engine path shared by the proposed
+	// mapper and the Exp:1-3 baselines: candidates are scheduled and
+	// assessed on the reusable Evaluator (no per-move allocation) and the
+	// Objective maps the borrowed evaluation to a search cost. The
+	// evaluation passed to Objective is only valid for the duration of the
+	// call.
+	Evaluator *metrics.Evaluator
+	Objective func(ev *metrics.Evaluation) Cost
+	// Evaluate scores a candidate mapping directly; it is used when
+	// Evaluator is nil (custom or toy objectives). It is called once per
+	// move plus once for the initial mapping.
 	Evaluate func(m sched.Mapping) (Cost, error)
 	// Moves is the total step budget (required, > 0), split evenly across
 	// restarts.
@@ -85,10 +100,23 @@ func Anneal(p Problem) (*Result, error) {
 		return nil, fmt.Errorf("search: non-positive core count %d", p.Cores)
 	}
 	if p.Evaluate == nil {
-		return nil, fmt.Errorf("search: nil objective")
+		if p.Evaluator == nil || p.Objective == nil {
+			return nil, fmt.Errorf("search: nil objective")
+		}
+		ev, obj := p.Evaluator, p.Objective
+		p.Evaluate = func(m sched.Mapping) (Cost, error) {
+			e, err := ev.Evaluate(m)
+			if err != nil {
+				return Cost{}, err
+			}
+			return obj(e), nil
+		}
 	}
 	if len(p.Initial) == 0 {
 		return nil, fmt.Errorf("search: empty initial mapping")
+	}
+	if p.Ctx == nil {
+		p.Ctx = context.Background()
 	}
 	restarts := p.Restarts
 	if restarts <= 0 {
@@ -103,6 +131,9 @@ func Anneal(p Problem) (*Result, error) {
 	sub.Moves = p.Moves / restarts
 	var best *Result
 	for r := 0; r < restarts; r++ {
+		if err := p.Ctx.Err(); err != nil {
+			return nil, err
+		}
 		sub.Seed = p.Seed + int64(r)*0x9E3779B9
 		sub.Initial = starts[r%len(starts)]
 		res, err := annealOnce(sub)
@@ -170,6 +201,9 @@ func annealOnce(p Problem) (*Result, error) {
 	if nSample > 0 {
 		var sum float64
 		for i := 0; i < nSample; i++ {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, err
+			}
 			nb := Neighbor(rng, cur, p.Cores)
 			c, err := p.Evaluate(nb)
 			if err != nil {
@@ -198,6 +232,9 @@ func annealOnce(p Problem) (*Result, error) {
 
 	temp := t0
 	for move := 0; move < moves; move++ {
+		if err := p.Ctx.Err(); err != nil {
+			return nil, err
+		}
 		neighbor := Neighbor(rng, cur, p.Cores)
 		c, err := p.Evaluate(neighbor)
 		if err != nil {
