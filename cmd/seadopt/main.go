@@ -12,13 +12,25 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"seadopt"
 	"seadopt/internal/trace"
 )
+
+// narrationOut routes human-facing narration (progress lines, trace and
+// fault-injection notices): stderr when stdout is reserved for the
+// machine-readable -json payload.
+func narrationOut(jsonMode bool) io.Writer {
+	if jsonMode {
+		return os.Stderr
+	}
+	return os.Stdout
+}
 
 func main() {
 	var (
@@ -37,12 +49,22 @@ func main() {
 		stats     = flag.Bool("stats", false, "print structural statistics of the workload graph")
 		traceOut  = flag.String("trace", "", "write a Chrome-tracing JSON of the design's simulation to this file")
 		inject    = flag.Bool("inject", true, "run fault injection on the chosen design")
+		jsonOut   = flag.Bool("json", false, "print the chosen design as wire JSON (the encoding seadoptd serves) instead of text")
+		dumpGraph = flag.Bool("dump-graph", false, "print the workload graph as canonical JSON and exit (pipe into a seadoptd job)")
 	)
 	flag.Parse()
 
 	g, dl, iters, err := loadWorkload(*graphName, *tasks, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *dumpGraph {
+		data, err := g.MarshalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return
 	}
 	if *deadline >= 0 {
 		dl = *deadline
@@ -71,12 +93,13 @@ func main() {
 		Parallelism:      *parallel,
 	}
 	if *progress {
+		progressOut := narrationOut(*jsonOut)
 		opts.Progress = func(p seadopt.ExploreProgress) {
 			met := "infeasible"
 			if p.Design.Eval.MeetsDeadline {
 				met = "feasible"
 			}
-			fmt.Printf("  [%2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g  %s\n",
+			fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g  %s\n",
 				p.Index+1, p.Total, p.Scaling,
 				p.Design.Eval.PowerW*1e3, p.Design.Eval.Gamma, met)
 		}
@@ -85,8 +108,10 @@ func main() {
 	var design *seadopt.Design
 	switch *baseline {
 	case "":
-		fmt.Printf("optimizing %s on %d cores / %d DVS levels (proposed, deadline %.3fs)...\n",
-			g.Name(), *cores, *levels, dl)
+		if !*jsonOut {
+			fmt.Printf("optimizing %s on %d cores / %d DVS levels (proposed, deadline %.3fs)...\n",
+				g.Name(), *cores, *levels, dl)
+		}
 		design, err = sys.Optimize(opts)
 	case "reg":
 		design, err = sys.OptimizeBaseline(seadopt.MinimizeRegisterUsage, opts)
@@ -101,22 +126,30 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Print(design.Summary())
-	if *gantt {
-		fmt.Print(design.Gantt(100))
+	if *jsonOut {
+		data, err := json.Marshal(design)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		fmt.Print(design.Summary())
+		if *gantt {
+			fmt.Print(design.Gantt(100))
+		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, sys, design, iters); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote simulation trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		fmt.Fprintf(narrationOut(*jsonOut), "wrote simulation trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 	if *inject {
 		measured, expected, err := sys.InjectFaults(design.Mapping, design.Scaling, iters, serOpt, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("fault injection: %d SEUs experienced (analytic expectation %.4g)\n", measured, expected)
+		fmt.Fprintf(narrationOut(*jsonOut), "fault injection: %d SEUs experienced (analytic expectation %.4g)\n", measured, expected)
 	}
 	if !design.Eval.MeetsDeadline {
 		fmt.Fprintln(os.Stderr, "warning: no deadline-meeting design exists for this configuration")

@@ -1,0 +1,110 @@
+// Command seadoptd serves the seadopt design optimizer as a long-running
+// daemon: clients POST task-graph optimization jobs (canonical JSON, TGFF
+// or DOT), follow their design-space exploration over Server-Sent Events,
+// and fetch deterministic Design results that are content-addressed cached
+// and single-flight deduplicated across concurrent submitters.
+//
+//	seadoptd -addr :8080 -workers 2 -cache-size 256
+//
+// API (see internal/service for the full contract):
+//
+//	POST   /v1/jobs               submit (JSON envelope, or raw body + ?format=)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          status + result
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/jobs/{id}/progress SSE progress stream
+//	GET    /healthz               liveness (503 while draining)
+//	GET    /metrics               Prometheus text metrics
+//
+// On SIGTERM/SIGINT the daemon stops accepting jobs, drains in-flight work
+// for up to -drain-timeout, then aborts whatever remains and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seadopt/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "seadoptd:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the daemon and blocks until ctx is cancelled and the drain
+// completes. ready, when non-nil, receives the bound listen address once
+// the server is accepting connections (tests bind :0 and need the port).
+func run(ctx context.Context, args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("seadoptd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "HTTP listen address")
+		workers      = fs.Int("workers", 2, "concurrently executing optimization jobs")
+		cacheSize    = fs.Int("cache-size", 256, "result-cache capacity in entries (negative disables)")
+		queueDepth   = fs.Int("queue-depth", 1024, "maximum queued jobs before submissions get 429")
+		parallel     = fs.Int("engine-parallel", 0, "per-job exploration parallelism (0 = all cores)")
+		retention    = fs.Int("job-retention", 4096, "finished job records kept queryable (negative = unlimited)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		Workers:           *workers,
+		CacheEntries:      *cacheSize,
+		QueueDepth:        *queueDepth,
+		EngineParallelism: *parallel,
+		JobRetention:      *retention,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	log.Printf("seadoptd listening on %s (%d workers, cache %d entries)", ln.Addr(), *workers, *cacheSize)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died; don't leak the worker pool behind it.
+		abort, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = svc.Close(abort)
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("seadoptd draining (up to %v)...", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the job queue. Both share the
+	// drain budget; Close aborts whatever is still running when it expires.
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("seadoptd: http shutdown: %v", err)
+	}
+	if err := svc.Close(drainCtx); err != nil {
+		log.Printf("seadoptd: drain deadline exceeded; in-flight jobs were aborted")
+		return nil
+	}
+	log.Printf("seadoptd drained cleanly")
+	return nil
+}

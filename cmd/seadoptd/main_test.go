@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"seadopt"
+)
+
+// TestDaemonEndToEnd boots seadoptd on an ephemeral port, fires concurrent
+// identical MPEG-2 submissions at it, and asserts the cache/single-flight
+// counters prove exactly one engine execution before a SIGTERM-equivalent
+// drain shuts it down cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "30s"},
+			func(addr string) { addrCh <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// Liveness first.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	gj, err := seadopt.MPEG2().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := json.Marshal(map[string]any{
+		"format":   "json",
+		"graph":    json.RawMessage(gj),
+		"platform": map[string]int{"cores": 4, "levels": 3},
+		"options": map[string]any{
+			"deadline_sec":      seadopt.MPEG2Deadline,
+			"stream_iterations": seadopt.MPEG2Frames,
+			"seed":              2010,
+		},
+	})
+
+	const clients = 6
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(env))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var st struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var result []byte
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st struct {
+				State  string          `json:"state"`
+				Error  string          `json:"error"`
+				Result json.RawMessage `json:"result"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == "done" {
+				if result == nil {
+					result = st.Result
+				} else if !bytes.Equal(result, st.Result) {
+					t.Fatalf("job %s result differs from siblings", id)
+				}
+				break
+			}
+			if st.State == "failed" || st.State == "canceled" {
+				t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	m := regexp.MustCompile(`(?m)^seadoptd_engine_executions_total ([0-9]+)$`).FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("no engine execution counter in metrics:\n%s", body)
+	}
+	if n, _ := strconv.Atoi(string(m[1])); n != 1 {
+		t.Fatalf("engine executed %d times for %d identical submissions, want 1", n, clients)
+	}
+
+	// Drain: cancel the run context (what SIGTERM does) and wait for exit.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon failed to drain and exit")
+	}
+}

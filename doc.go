@@ -64,6 +64,15 @@
 // default sentinel cannot express. InjectFaults follows the same
 // convention.
 //
+// # Serving
+//
+// ParseGraph ingests externally-authored task graphs (canonical JSON, TGFF,
+// Graphviz DOT) with validation and deterministic defaulting, and Design
+// marshals to a stable wire JSON via encoding/json. cmd/seadoptd serves the
+// whole optimizer as a daemon — job queue, single-flight deduplication,
+// content-addressed result cache, SSE progress — on these two surfaces; the
+// server core lives in internal/service.
+//
 // The experiment harness regenerating every table and figure of the paper's
 // evaluation lives in cmd/experiments; see EXPERIMENTS.md for the recorded
 // paper-vs-measured comparison.

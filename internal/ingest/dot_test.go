@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"testing"
+
+	"seadopt/internal/taskgraph"
+)
+
+// TestDOTReingestsOwnExport parses the DOT rendering taskgraph produces for
+// the MPEG-2 decoder: names, computation costs and edge costs must survive;
+// register footprints are defaulted (DOT carries no inventory).
+func TestDOTReingestsOwnExport(t *testing.T) {
+	want := taskgraph.MPEG2()
+	g, err := ParseBytes(FormatDOT, []byte(want.DOT()))
+	if err != nil {
+		t.Fatalf("ParseBytes(dot) on own export: %v", err)
+	}
+	if g.N() != want.N() {
+		t.Fatalf("got %d tasks, want %d", g.N(), want.N())
+	}
+	for i := 0; i < g.N(); i++ {
+		got, exp := g.Task(taskgraph.TaskID(i)), want.Task(taskgraph.TaskID(i))
+		if got.Name != exp.Name {
+			t.Errorf("task %d name %q, want %q", i, got.Name, exp.Name)
+		}
+		if got.Cycles != exp.Cycles {
+			t.Errorf("task %s: %d cycles, want %d", got.Name, got.Cycles, exp.Cycles)
+		}
+		if bits := g.Inventory().SetBits(got.Registers); bits != DefaultRegisterBits {
+			t.Errorf("task %s: %d register bits, want defaulted %d", got.Name, bits, DefaultRegisterBits)
+		}
+	}
+	if len(g.Edges()) != len(want.Edges()) {
+		t.Fatalf("got %d edges, want %d", len(g.Edges()), len(want.Edges()))
+	}
+	for _, e := range want.Edges() {
+		c, ok := g.EdgeCost(e.From, e.To)
+		if !ok || c != e.Cycles {
+			t.Errorf("edge %d->%d cost %d,%v; want %d", e.From, e.To, c, ok, e.Cycles)
+		}
+	}
+}
+
+func TestDOTAttributesAndChains(t *testing.T) {
+	const doc = `// hand-authored workload
+strict digraph "pipe line" {
+	rankdir=LR;
+	node [shape=box];
+	a [cycles=1000, regbits=512];
+	b [label="Decode\n2000 cyc"];
+	a -> b -> c [cycles="77"];
+	b -> d [label="42"];
+	c -> d;
+}
+`
+	g, err := ParseBytes(FormatDOT, []byte(doc))
+	if err != nil {
+		t.Fatalf("ParseBytes(dot): %v", err)
+	}
+	if g.Name() != "pipe line" {
+		t.Errorf("name %q, want \"pipe line\"", g.Name())
+	}
+	if g.N() != 4 {
+		t.Fatalf("got %d tasks, want 4", g.N())
+	}
+	byName := map[string]taskgraph.Task{}
+	for _, task := range g.Tasks() {
+		byName[task.Name] = task
+	}
+	if byName["a"].Cycles != 1000 {
+		t.Errorf("a: %d cycles, want 1000", byName["a"].Cycles)
+	}
+	if got := g.Inventory().SetBits(byName["a"].Registers); got != 512 {
+		t.Errorf("a: %d register bits, want 512", got)
+	}
+	if byName["Decode"].Cycles != 2000 {
+		t.Errorf("label-costed node: %d cycles, want 2000", byName["Decode"].Cycles)
+	}
+	if byName["c"].Cycles != DefaultComputeCycles {
+		t.Errorf("defaulted node: %d cycles, want %d", byName["c"].Cycles, DefaultComputeCycles)
+	}
+	// Chain edges share the chain's attribute list.
+	if c, _ := g.EdgeCost(byName["a"].ID, byName["Decode"].ID); c != 77 {
+		t.Errorf("a->b cost %d, want 77", c)
+	}
+	if c, _ := g.EdgeCost(byName["Decode"].ID, byName["c"].ID); c != 77 {
+		t.Errorf("b->c cost %d, want 77", c)
+	}
+	if c, _ := g.EdgeCost(byName["Decode"].ID, byName["d"].ID); c != 42 {
+		t.Errorf("b->d label cost %d, want 42", c)
+	}
+	if c, _ := g.EdgeCost(byName["c"].ID, byName["d"].ID); c != 0 {
+		t.Errorf("bare edge cost %d, want 0", c)
+	}
+}
+
+// TestDOTRandomWorkloadRoundTrip exercises the path examples/serve uses:
+// generate a §V random graph, render DOT, re-ingest.
+func TestDOTRandomWorkloadRoundTrip(t *testing.T) {
+	want := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(30), 11)
+	g, err := ParseBytes(FormatDOT, []byte(want.DOT()))
+	if err != nil {
+		t.Fatalf("re-ingesting random DOT: %v", err)
+	}
+	if g.N() != want.N() || len(g.Edges()) != len(want.Edges()) {
+		t.Fatalf("shape %d/%d, want %d/%d", g.N(), len(g.Edges()), want.N(), len(want.Edges()))
+	}
+	if g.CriticalPathCycles() != want.CriticalPathCycles() {
+		t.Fatalf("critical path %d, want %d", g.CriticalPathCycles(), want.CriticalPathCycles())
+	}
+}
+
+func TestDOTMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not dot":          `{"name":"g"}`,
+		"missing brace":    `digraph g  a -> b; }`,
+		"unterminated":     `digraph g { a -> b;`,
+		"dangling arrow":   `digraph g { a -> ; }`,
+		"bad cycles":       `digraph g { a [cycles=lots]; a -> b; }`,
+		"bad regbits":      `digraph g { a [regbits=-4]; a -> b; }`,
+		"unclosed string":  `digraph g { a [label="oops]; }`,
+		"unclosed comment": `digraph g { /* a -> b; }`,
+		"trailing":         `digraph g { a -> b; } extra`,
+		"empty":            `digraph g { }`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseBytes(FormatDOT, []byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package ingest imports externally-authored task graphs into the optimizer.
+//
+// The optimizer's native workloads (MPEG-2, Fig. 8, §V random graphs) are
+// constructed in code; serving arbitrary scenarios requires accepting task
+// graphs authored outside this repository. The package understands three
+// formats:
+//
+//   - JSON: the canonical self-contained encoding produced by
+//     taskgraph.Graph.MarshalJSON (register inventory + tasks + edges).
+//   - TGFF: the task-graph subset of the "Task Graphs For Free" generator
+//     output (@TASK_GRAPH blocks with TASK/ARC statements, plus optional
+//     @WCET/@COMMUN/@REGISTERS attribute tables).
+//   - DOT: Graphviz digraphs, including the ones rendered by
+//     taskgraph.Graph.DOT, with costs in `cycles`/`regbits` attributes or
+//     parsed from "Name\nN cyc" labels.
+//
+// Every importer produces a validated taskgraph.Graph: structural errors
+// (cycles, duplicate task IDs, duplicate edges, dangling references) and
+// disconnected graphs are rejected with errors that name the offending
+// element. Formats that carry no WCET or register data fall back to the
+// deterministic defaulting rules below, so the same input bytes always
+// produce the same graph — a prerequisite for the content-addressed
+// ProblemKey the result cache is keyed by.
+//
+// # Defaulting rules
+//
+// TGFF types index the optional attribute tables; when a table is absent the
+// defaults scale with the type so distinct types stay distinguishable:
+//
+//   - task cycles:   @WCET[type] if the table exists, else
+//     DefaultComputeCycles × (type+1);
+//   - arc cycles:    @COMMUN[type] if the table exists, else
+//     DefaultCommCycles × (type+1);
+//   - register bits: @REGISTERS[type] if the table exists, else
+//     1024 × (1 + type mod 5) — the paper's 1–5 kbit footprint range.
+//
+// DOT nodes default to DefaultComputeCycles when neither a `cycles`
+// attribute nor a "N cyc" label line is present, DOT edges default to zero
+// communication cost, and every DOT/TGFF task owns one private register
+// (`loc_<task>`) sized by the rules above (DefaultRegisterBits for DOT
+// without a `regbits` attribute). Register *sharing* between tasks is only
+// expressible in the JSON format, which carries the full inventory.
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"seadopt/internal/taskgraph"
+)
+
+// Format identifies a task-graph interchange format.
+type Format string
+
+// The supported interchange formats.
+const (
+	FormatJSON Format = "json"
+	FormatTGFF Format = "tgff"
+	FormatDOT  Format = "dot"
+)
+
+// Deterministic defaulting constants (see the package comment).
+const (
+	// DefaultComputeCycles is one §V cost unit: 3.5e6 clock cycles.
+	DefaultComputeCycles = taskgraph.RandomCycleUnit
+	// DefaultCommCycles is the per-type communication default (0.1 unit).
+	DefaultCommCycles = taskgraph.RandomCycleUnit / 10
+	// DefaultRegisterBits sizes the private register of a DOT task that
+	// carries no regbits attribute (2 kbit, mid of the paper's range).
+	DefaultRegisterBits = 2048
+)
+
+// ParseFormat maps a user-supplied format name (or file extension) to a
+// Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimPrefix(strings.TrimSpace(s), ".")) {
+	case "json":
+		return FormatJSON, nil
+	case "tgff":
+		return FormatTGFF, nil
+	case "dot", "gv":
+		return FormatDOT, nil
+	default:
+		return "", fmt.Errorf("ingest: unknown task-graph format %q (want json, tgff or dot)", s)
+	}
+}
+
+// Detect sniffs the format of a task-graph document: '{' opens the JSON
+// encoding, '@' opens a TGFF section, and a digraph keyword opens DOT.
+// It returns an error when no format matches.
+func Detect(data []byte) (Format, error) {
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		t := strings.TrimSpace(string(line))
+		if t == "" || strings.HasPrefix(t, "#") || strings.HasPrefix(t, "//") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(t, "{"):
+			return FormatJSON, nil
+		case strings.HasPrefix(t, "@"):
+			return FormatTGFF, nil
+		case strings.HasPrefix(t, "digraph"), strings.HasPrefix(t, "strict"), strings.HasPrefix(t, "graph"):
+			return FormatDOT, nil
+		default:
+			return "", fmt.Errorf("ingest: cannot detect task-graph format from leading line %q", t)
+		}
+	}
+	return "", fmt.Errorf("ingest: empty task-graph document")
+}
+
+// Parse reads one task graph in the given format from r and returns it
+// validated (acyclic, weakly connected, unique task names).
+func Parse(f Format, r io.Reader) (*taskgraph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading task graph: %w", err)
+	}
+	return ParseBytes(f, data)
+}
+
+// ParseBytes is Parse over an in-memory document.
+func ParseBytes(f Format, data []byte) (*taskgraph.Graph, error) {
+	var g *taskgraph.Graph
+	var err error
+	switch f {
+	case FormatJSON:
+		g, err = taskgraph.FromJSON(data)
+	case FormatTGFF:
+		g, err = parseTGFF(data)
+	case FormatDOT:
+		g, err = parseDOT(data)
+	default:
+		return nil, fmt.Errorf("ingest: unknown task-graph format %q (want json, tgff or dot)", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateGraph(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ValidateGraph enforces the ingestion contract on top of the structural
+// checks taskgraph.Builder already performs (acyclicity, duplicate edges,
+// dangling endpoints): task names must be unique, and the graph must be
+// weakly connected — a disconnected "graph" is almost always two workloads
+// pasted together, and scheduling them as one corrupts the deadline and
+// exposure models.
+func ValidateGraph(g *taskgraph.Graph) error {
+	seen := make(map[string]taskgraph.TaskID, g.N())
+	for _, t := range g.Tasks() {
+		if prev, dup := seen[t.Name]; dup {
+			return fmt.Errorf("ingest: duplicate task name %q (tasks %d and %d); task names are IDs and must be unique",
+				t.Name, prev, t.ID)
+		}
+		seen[t.Name] = t.ID
+	}
+	// Weak connectivity: BFS from task 0 treating every edge as undirected.
+	if g.N() > 1 {
+		visited := make([]bool, g.N())
+		queue := []taskgraph.TaskID{0}
+		visited[0] = true
+		count := 1
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Succs(id) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					count++
+					queue = append(queue, e.To)
+				}
+			}
+			for _, e := range g.Preds(id) {
+				if !visited[e.From] {
+					visited[e.From] = true
+					count++
+					queue = append(queue, e.From)
+				}
+			}
+		}
+		if count != g.N() {
+			for id, ok := range visited {
+				if !ok {
+					return fmt.Errorf("ingest: graph %q is not weakly connected: task %q (%d of %d tasks reachable from %q); split disconnected workloads into separate jobs",
+						g.Name(), g.Task(taskgraph.TaskID(id)).Name, count, g.N(), g.Task(0).Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package ingest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/faults"
+	"seadopt/internal/taskgraph"
+)
+
+// Options are the result-affecting knobs of an optimization problem. They
+// mirror the root OptimizeOptions minus the execution-only fields
+// (Parallelism, Progress), which deliberately do not participate in problem
+// identity: the engine's result is byte-identical at any parallelism, so two
+// submissions differing only in execution settings are the same problem.
+type Options struct {
+	// SER follows the library convention: 0 selects the paper's default
+	// rate, negative selects a true zero rate.
+	SER float64 `json:"ser"`
+	// DeadlineSec is the real-time constraint; 0 means unconstrained.
+	DeadlineSec float64 `json:"deadline_sec"`
+	// StreamIterations is the pipelined stream length (0/1 = plain DAG).
+	StreamIterations int `json:"stream_iterations"`
+	// SearchMoves bounds the per-scaling mapping search (0 = default).
+	SearchMoves int `json:"search_moves"`
+	// Seed makes runs reproducible.
+	Seed int64 `json:"seed"`
+	// Baseline selects a soft error-unaware mapper instead of the paper's:
+	// "" (proposed), "reg", "makespan" or "regtime".
+	Baseline string `json:"baseline"`
+}
+
+// Validate rejects option values the engine cannot run.
+func (o Options) Validate() error {
+	switch o.Baseline {
+	case "", "reg", "makespan", "regtime":
+	default:
+		return fmt.Errorf("ingest: unknown baseline %q (want \"\", reg, makespan or regtime)", o.Baseline)
+	}
+	if o.DeadlineSec < 0 {
+		return fmt.Errorf("ingest: negative deadline %v", o.DeadlineSec)
+	}
+	if o.StreamIterations < 0 {
+		return fmt.Errorf("ingest: negative stream iterations %d", o.StreamIterations)
+	}
+	if o.SearchMoves < 0 {
+		return fmt.Errorf("ingest: negative search moves %d", o.SearchMoves)
+	}
+	return nil
+}
+
+// normalize resolves the sentinel encodings so that equivalent option sets
+// hash identically: SER 0 and the explicit paper rate are the same problem,
+// as are every negative "no soft errors" value, and StreamIterations 0 and 1.
+func (o Options) normalize() Options {
+	switch {
+	case o.SER == 0:
+		o.SER = faults.DefaultSER
+	case o.SER < 0:
+		o.SER = 0
+	}
+	if o.StreamIterations < 1 {
+		o.StreamIterations = 1
+	}
+	return o
+}
+
+// Problem is one fully-specified optimization job: what to optimize (graph),
+// where it runs (platform) and how (options).
+type Problem struct {
+	Graph    *taskgraph.Graph
+	Platform *arch.Platform
+	Options  Options
+}
+
+// problemKeyVersion is bumped whenever the canonical encoding or the
+// engine's result semantics change, invalidating previously cached keys.
+const problemKeyVersion = 1
+
+// canonicalProblem is the stable wire form the ProblemKey hashes. Field
+// order is fixed; every field is value-typed or deterministically ordered
+// (the graph encoding orders registers by inventory insertion, tasks by ID
+// and edges by source task).
+type canonicalProblem struct {
+	V        int               `json:"v"`
+	Graph    json.RawMessage   `json:"graph"`
+	Platform canonicalPlatform `json:"platform"`
+	Options  Options           `json:"options"`
+}
+
+type canonicalPlatform struct {
+	Cores        int              `json:"cores"`
+	CL           float64          `json:"cl"`
+	BaselineBits int64            `json:"baseline_bits"`
+	Levels       []canonicalLevel `json:"levels"`
+}
+
+type canonicalLevel struct {
+	S       int     `json:"s"`
+	FreqMHz float64 `json:"freq_mhz"`
+	Vdd     float64 `json:"vdd"`
+}
+
+// CanonicalEncoding returns the stable byte encoding of the problem that
+// Key hashes. Two problems with equal encodings produce identical designs.
+func (p *Problem) CanonicalEncoding() ([]byte, error) {
+	if p.Graph == nil || p.Platform == nil {
+		return nil, fmt.Errorf("ingest: problem needs both a graph and a platform")
+	}
+	if err := p.Options.Validate(); err != nil {
+		return nil, err
+	}
+	gj, err := p.Graph.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: encoding graph for problem key: %w", err)
+	}
+	cp := canonicalProblem{
+		V:     problemKeyVersion,
+		Graph: gj,
+		Platform: canonicalPlatform{
+			Cores:        p.Platform.Cores(),
+			CL:           p.Platform.CL(),
+			BaselineBits: p.Platform.BaselineBits(),
+		},
+		Options: p.Options.normalize(),
+	}
+	for _, l := range p.Platform.Levels() {
+		cp.Platform.Levels = append(cp.Platform.Levels, canonicalLevel{S: l.S, FreqMHz: l.FreqMHz, Vdd: l.Vdd})
+	}
+	return json.Marshal(cp)
+}
+
+// Key returns the content-addressed identity of the problem: a SHA-256 over
+// the canonical encoding of (graph, platform, options), in the form
+// "sha256:<hex>". Identical problems — regardless of the format they were
+// ingested from or the execution settings they run under — share a key,
+// which is what the service's result cache and single-flight coalescing
+// key on.
+func (p *Problem) Key() (string, error) {
+	enc, err := p.CanonicalEncoding()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(enc)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}

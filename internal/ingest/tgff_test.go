@@ -1,0 +1,173 @@
+package ingest
+
+import (
+	"testing"
+
+	"seadopt/internal/taskgraph"
+)
+
+const sampleTGFF = `# three-stage pipeline with attribute tables
+@TASK_GRAPH 0 {
+	PERIOD 300
+	TASK src TYPE 0
+	TASK mid TYPE 1
+	TASK sink TYPE 0
+	ARC a0 FROM src TO mid TYPE 0
+	ARC a1 FROM mid TO sink TYPE 1
+}
+@WCET 0 {
+	0 3500000
+	1 7000000
+}
+@COMMUN 0 {
+	0 100000
+	1 200000
+}
+@REGISTERS 0 {
+	0 1024
+	1 4096
+}
+`
+
+func TestTGFFWithTables(t *testing.T) {
+	g, err := ParseBytes(FormatTGFF, []byte(sampleTGFF))
+	if err != nil {
+		t.Fatalf("ParseBytes(tgff): %v", err)
+	}
+	if g.Name() != "tgff-0" {
+		t.Errorf("name %q, want tgff-0", g.Name())
+	}
+	if g.N() != 3 {
+		t.Fatalf("got %d tasks, want 3", g.N())
+	}
+	wantCycles := map[string]int64{"src": 3_500_000, "mid": 7_000_000, "sink": 3_500_000}
+	wantBits := map[string]int64{"src": 1024, "mid": 4096, "sink": 1024}
+	for _, task := range g.Tasks() {
+		if task.Cycles != wantCycles[task.Name] {
+			t.Errorf("task %s: %d cycles, want %d", task.Name, task.Cycles, wantCycles[task.Name])
+		}
+		if got := g.Inventory().SetBits(task.Registers); got != wantBits[task.Name] {
+			t.Errorf("task %s: %d register bits, want %d", task.Name, got, wantBits[task.Name])
+		}
+	}
+	if c, ok := g.EdgeCost(0, 1); !ok || c != 100_000 {
+		t.Errorf("edge src->mid cost %d,%v; want 100000", c, ok)
+	}
+	if c, ok := g.EdgeCost(1, 2); !ok || c != 200_000 {
+		t.Errorf("edge mid->sink cost %d,%v; want 200000", c, ok)
+	}
+}
+
+func TestTGFFDefaultingRules(t *testing.T) {
+	const doc = `@TASK_GRAPH 0 {
+	TASK a TYPE 0
+	TASK b TYPE 2
+	TASK c TYPE 6
+	ARC e0 FROM a TO b TYPE 0
+	ARC e1 FROM b TO c TYPE 3
+}
+`
+	g, err := ParseBytes(FormatTGFF, []byte(doc))
+	if err != nil {
+		t.Fatalf("ParseBytes(tgff): %v", err)
+	}
+	// cycles = DefaultComputeCycles × (type+1)
+	wantCycles := map[string]int64{
+		"a": 1 * DefaultComputeCycles,
+		"b": 3 * DefaultComputeCycles,
+		"c": 7 * DefaultComputeCycles,
+	}
+	// bits = 1024 × (1 + type mod 5)
+	wantBits := map[string]int64{"a": 1024, "b": 3 * 1024, "c": 2 * 1024}
+	for _, task := range g.Tasks() {
+		if task.Cycles != wantCycles[task.Name] {
+			t.Errorf("task %s: %d cycles, want %d", task.Name, task.Cycles, wantCycles[task.Name])
+		}
+		if got := g.Inventory().SetBits(task.Registers); got != wantBits[task.Name] {
+			t.Errorf("task %s: %d register bits, want %d", task.Name, got, wantBits[task.Name])
+		}
+	}
+	// comm = DefaultCommCycles × (type+1)
+	if c, _ := g.EdgeCost(0, 1); c != 1*DefaultCommCycles {
+		t.Errorf("edge a->b cost %d, want %d", c, DefaultCommCycles)
+	}
+	if c, _ := g.EdgeCost(1, 2); c != 4*DefaultCommCycles {
+		t.Errorf("edge b->c cost %d, want %d", c, 4*DefaultCommCycles)
+	}
+}
+
+// TestTGFFDeterministic: same bytes, same graph — the property the
+// content-addressed cache needs from every importer.
+func TestTGFFDeterministic(t *testing.T) {
+	g1, err := ParseBytes(FormatTGFF, []byte(sampleTGFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseBytes(FormatTGFF, []byte(sampleTGFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := g1.MarshalJSON()
+	j2, _ := g2.MarshalJSON()
+	if string(j1) != string(j2) {
+		t.Fatalf("two parses of the same TGFF differ:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestTGFFUnknownSectionsSkipped(t *testing.T) {
+	const doc = `@PE 0 {
+	0 1.0 2.0 3.0
+}
+@TASK_GRAPH 0 {
+	TASK a TYPE 0
+	TASK b TYPE 0
+	ARC e FROM a TO b TYPE 0
+}
+@HYPERPERIOD 0 {
+	300
+}
+`
+	g, err := ParseBytes(FormatTGFF, []byte(doc))
+	if err != nil {
+		t.Fatalf("unknown sections should be skipped: %v", err)
+	}
+	if g.N() != 2 {
+		t.Fatalf("got %d tasks, want 2", g.N())
+	}
+}
+
+func TestTGFFMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no graph":        "@WCET 0 {\n0 5\n}\n",
+		"empty graph":     "@TASK_GRAPH 0 {\n}\n",
+		"bad task":        "@TASK_GRAPH 0 {\nTASK a\n}\n",
+		"bad arc":         "@TASK_GRAPH 0 {\nTASK a TYPE 0\nARC e FROM a TYPE 0\n}\n",
+		"negative type":   "@TASK_GRAPH 0 {\nTASK a TYPE -1\n}\n",
+		"unclosed":        "@TASK_GRAPH 0 {\nTASK a TYPE 0\n",
+		"stray statement": "TASK a TYPE 0\n",
+		"bad table row":   sampleTGFF + "@WCET 1 {\n0 1 2\n}\n",
+		"zero table cost": "@TASK_GRAPH 0 {\nTASK a TYPE 0\n}\n@WCET 0 {\n0 0\n}\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseBytes(FormatTGFF, []byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestTGFFFeedsOptimizer builds a platform-sized TGFF workload and checks it
+// is schedulable end to end (the ingest → taskgraph handoff).
+func TestTGFFFeedsOptimizer(t *testing.T) {
+	g, err := ParseBytes(FormatTGFF, []byte(sampleTGFF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CriticalPathCycles() <= 0 {
+		t.Fatal("degenerate critical path")
+	}
+	order := g.TopoOrder()
+	if len(order) != g.N() {
+		t.Fatalf("topo order covers %d of %d tasks", len(order), g.N())
+	}
+	var _ taskgraph.TaskID = order[0]
+}

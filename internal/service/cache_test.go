@@ -1,0 +1,59 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func entry(i int) *cacheEntry {
+	return &cacheEntry{key: fmt.Sprintf("k%d", i), result: []byte(fmt.Sprintf("r%d", i)), total: i}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add(entry(1))
+	c.Add(entry(2))
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 evicted below capacity")
+	}
+	// k1 is now most recent; adding k3 evicts k2.
+	c.Add(entry(3))
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("k2 survived past capacity")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("recently-used k1 evicted")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Fatal("fresh k3 missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheRefresh(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add(entry(1))
+	e := entry(1)
+	e.result = []byte("updated")
+	c.Add(e)
+	if c.Len() != 1 {
+		t.Fatalf("refreshing an entry grew the cache to %d", c.Len())
+	}
+	got, ok := c.Get("k1")
+	if !ok || string(got.result) != "updated" {
+		t.Fatalf("refresh lost: %v %q", ok, got.result)
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	c.Add(entry(1))
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache non-empty")
+	}
+}

@@ -1,0 +1,356 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/ingest"
+)
+
+// submitRequest is the JSON envelope of POST /v1/jobs. The graph field is
+// either an inline canonical-JSON graph object (format "json") or a string
+// holding the document in any supported format.
+type submitRequest struct {
+	// Format of the graph payload: "json", "tgff", "dot"; "" sniffs.
+	Format string `json:"format"`
+	// Graph is the task graph document.
+	Graph json.RawMessage `json:"graph"`
+	// Platform selects the ARM7 MPSoC configuration.
+	Platform platformSpec `json:"platform"`
+	// Options are the result-affecting optimization knobs.
+	Options ingest.Options `json:"options"`
+	// Priority orders the queue; higher runs first. Default 0.
+	Priority int `json:"priority"`
+}
+
+type platformSpec struct {
+	// Cores is the MPSoC core count (default 4).
+	Cores int `json:"cores"`
+	// Levels is the DVS level-table size: 2, 3 or 4 (default 3).
+	Levels int `json:"levels"`
+}
+
+func (p platformSpec) build() (*arch.Platform, error) {
+	if p.Cores == 0 {
+		p.Cores = 4
+	}
+	if p.Levels == 0 {
+		p.Levels = 3
+	}
+	table, err := arch.ARM7LevelsFor(p.Levels)
+	if err != nil {
+		return nil, err
+	}
+	return arch.NewPlatform(p.Cores, table)
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs               submit a job (JSON envelope, or a raw
+//	                              TGFF/DOT/JSON body with query params)
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          job status + result
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/jobs/{id}/progress Server-Sent-Events progress stream
+//	GET    /healthz               liveness/readiness
+//	GET    /metrics               Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := decodeSubmit(r, body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	graphDoc, format, err := req.graphDocument()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := ingest.ParseBytes(format, graphDoc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	platform, err := req.Platform.build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(&ingest.Problem{Graph: g, Platform: platform, Options: req.Options}, req.Priority)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	code := http.StatusAccepted
+	if st.State == StateDone {
+		code = http.StatusOK // served from the result cache
+	}
+	writeJSON(w, code, st)
+}
+
+// readBody caps submissions at 16 MiB; a task graph bigger than that is a
+// mistake, not a workload.
+func readBody(r *http.Request) ([]byte, error) {
+	const maxBody = 16 << 20
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("empty request body; POST a job envelope or a task-graph document")
+	}
+	return body, nil
+}
+
+// decodeSubmit accepts either the JSON envelope (application/json or a body
+// opening with '{' that decodes as one) or a raw task-graph document with
+// the job parameters in the query string (?format=dot&cores=4&...). An
+// explicit ?format= always selects raw-body mode, whatever the
+// Content-Type — a canonical-JSON graph POSTed with ?format=json must not
+// be mistaken for an envelope.
+func decodeSubmit(r *http.Request, body []byte) (*submitRequest, error) {
+	ct := r.Header.Get("Content-Type")
+	rawMode := r.URL.Query().Get("format") != ""
+	if !rawMode && (strings.Contains(ct, "json") || (ct == "" && len(body) > 0 && body[0] == '{')) {
+		var req submitRequest
+		dec := json.NewDecoder(strings.NewReader(string(body)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("decoding job envelope: %w (raw-body submissions need ?format=)", err)
+		}
+		if len(req.Graph) == 0 {
+			return nil, fmt.Errorf("job envelope is missing the graph field")
+		}
+		return &req, nil
+	}
+	// Raw-body mode: the body is the graph document itself.
+	q := r.URL.Query()
+	req := &submitRequest{Format: q.Get("format")}
+	data, err := json.Marshal(string(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Graph = data
+	intq := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("query param %s=%q is not an integer", name, v)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"cores":             &req.Platform.Cores,
+		"levels":            &req.Platform.Levels,
+		"stream_iterations": &req.Options.StreamIterations,
+		"search_moves":      &req.Options.SearchMoves,
+		"priority":          &req.Priority,
+	} {
+		if err := intq(name, dst); err != nil {
+			return nil, err
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("query param seed=%q is not an integer", v)
+		}
+		req.Options.Seed = n
+	}
+	for name, dst := range map[string]*float64{
+		"ser":          &req.Options.SER,
+		"deadline_sec": &req.Options.DeadlineSec,
+	} {
+		if v := q.Get(name); v != "" {
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("query param %s=%q is not a number", name, v)
+			}
+			*dst = x
+		}
+	}
+	req.Options.Baseline = q.Get("baseline")
+	return req, nil
+}
+
+// graphDocument resolves the envelope's graph field to document bytes and a
+// format: a JSON string is a text document in any format, an object is the
+// canonical JSON graph.
+func (req *submitRequest) graphDocument() ([]byte, ingest.Format, error) {
+	doc := []byte(req.Graph)
+	if len(doc) > 0 && doc[0] == '"' {
+		var text string
+		if err := json.Unmarshal(doc, &text); err != nil {
+			return nil, "", fmt.Errorf("decoding graph string: %w", err)
+		}
+		doc = []byte(text)
+	} else if req.Format != "" && req.Format != "json" && req.Format != "auto" {
+		return nil, "", fmt.Errorf("format %q needs the graph as a string, got a JSON object", req.Format)
+	}
+	if req.Format == "" || req.Format == "auto" {
+		f, err := ingest.Detect(doc)
+		if err != nil {
+			return nil, "", err
+		}
+		return doc, f, nil
+	}
+	f, err := ingest.ParseFormat(req.Format)
+	if err != nil {
+		return nil, "", err
+	}
+	return doc, f, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	if state := r.URL.Query().Get("state"); state != "" {
+		filtered := jobs[:0]
+		for _, j := range jobs {
+			if string(j.State) == state {
+				filtered = append(filtered, j)
+			}
+		}
+		jobs = filtered
+	}
+	// The list view elides result payloads; fetch a single job for those.
+	for i := range jobs {
+		jobs[i].Result = nil
+		jobs[i].Summary = ""
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrFinished):
+		httpError(w, http.StatusConflict, err)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// handleProgress streams a job's exploration progress as Server-Sent
+// Events: one "progress" event per scaling combination, in enumeration
+// order (replaying from the start for late subscribers), then a single
+// terminal "done" event carrying the job's final status.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	watcher, err := s.Watch(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		ev, ok := watcher.Next(r.Context())
+		if !ok {
+			break
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			break
+		}
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+		flusher.Flush()
+	}
+	if r.Context().Err() != nil {
+		return // client went away; no terminal event to deliver
+	}
+	if st, err := s.Job(id); err == nil {
+		data, err := json.Marshal(st)
+		if err == nil {
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	renderMetrics(w, s.Metrics())
+}
+
+// writeJSON renders responses compactly: an embedded result payload must
+// reach every client byte-identically, whether it rides a job GET, a submit
+// response or the SSE terminal event, so no path may re-indent it.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

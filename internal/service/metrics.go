@@ -1,0 +1,42 @@
+package service
+
+import (
+	"fmt"
+	"io"
+)
+
+// allStates fixes the /metrics rendering order so every per-state gauge is
+// always present (a state with zero jobs still exports 0 — scrapers should
+// never see series appear and disappear).
+var allStates = []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+
+// renderMetrics writes the snapshot in the Prometheus text exposition
+// format under the seadoptd_ namespace.
+func renderMetrics(w io.Writer, m Metrics) {
+	gauge := func(name, help string, value int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, value)
+	}
+	counter := func(name, help string, value int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+
+	gauge("seadoptd_queue_depth", "Flights waiting for a worker.", int64(m.QueueDepth))
+	gauge("seadoptd_workers", "Size of the worker pool.", int64(m.Workers))
+	draining := int64(0)
+	if m.Draining {
+		draining = 1
+	}
+	gauge("seadoptd_draining", "1 while the server drains for shutdown.", draining)
+	gauge("seadoptd_cache_entries", "Results held by the LRU cache.", int64(m.CacheEntries))
+	gauge("seadoptd_cache_capacity", "Configured cache capacity.", int64(m.CacheCapacity))
+	counter("seadoptd_cache_hits_total", "Jobs answered from the result cache.", m.CacheHits)
+	counter("seadoptd_cache_misses_total", "Submissions that missed the result cache.", m.CacheMisses)
+	counter("seadoptd_coalesced_total", "Jobs coalesced onto an in-flight identical problem.", m.Coalesced)
+	counter("seadoptd_engine_executions_total", "Underlying optimizer executions.", m.EngineExecutions)
+	counter("seadoptd_jobs_submitted_total", "Jobs accepted for processing.", m.Submitted)
+
+	fmt.Fprintf(w, "# HELP seadoptd_jobs Jobs per lifecycle state.\n# TYPE seadoptd_jobs gauge\n")
+	for _, st := range allStates {
+		fmt.Fprintf(w, "seadoptd_jobs{state=%q} %d\n", st, m.Jobs[st])
+	}
+}

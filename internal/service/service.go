@@ -1,0 +1,750 @@
+// Package service turns the seadopt optimizer into a long-running
+// optimization-as-a-service daemon: a job-oriented server core with a
+// bounded-worker queue, per-job cancellation, and a content-addressed
+// result cache.
+//
+// # Job model
+//
+// A submission is an ingest.Problem — (task graph, platform, options) — and
+// a priority. Every submission gets a Job with a dense ID and walks the
+// state machine
+//
+//	queued → running → done | failed
+//	   \________\____→ canceled
+//
+// Problems are content-addressed by their ingest ProblemKey. Three tiers of
+// deduplication keep concurrent traffic off the engine:
+//
+//  1. result cache: a completed result for the same key completes the job
+//     immediately (cache hit, no queueing);
+//  2. single-flight coalescing: a job whose key is already queued or
+//     running attaches to that in-flight computation and shares its
+//     result, progress stream, and — by construction — its bytes;
+//  3. otherwise the job becomes a new flight on the priority queue, served
+//     by a bounded worker pool running the deterministic exploration
+//     engine, so equal problems produce byte-identical results even when
+//     caching is disabled.
+//
+// Cancelling a job detaches it from its flight; the underlying computation
+// is cancelled (promptly, via context) only when its last attached job is
+// gone. The HTTP front end in this package exposes the whole model, with
+// per-job Server-Sent-Events progress streams mirroring the engine's
+// in-enumeration-order Progress callbacks.
+package service
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seadopt"
+	"seadopt/internal/ingest"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Service errors. The HTTP layer maps them onto status codes.
+var (
+	ErrNotFound  = errors.New("service: no such job")
+	ErrFinished  = errors.New("service: job already finished")
+	ErrDraining  = errors.New("service: server is draining, not accepting jobs")
+	ErrQueueFull = errors.New("service: job queue is full")
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds the number of concurrently executing optimization
+	// jobs. 0 selects 2: each job's engine already fans out over
+	// EngineParallelism cores, so a small number of concurrent jobs keeps
+	// the machine busy without thrashing.
+	Workers int
+	// CacheEntries caps the LRU result cache; 0 selects 256, negative
+	// disables caching.
+	CacheEntries int
+	// QueueDepth bounds the number of queued (not yet running) flights;
+	// 0 selects 1024. Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// EngineParallelism is the per-job exploration parallelism
+	// (OptimizeOptions.Parallelism): 0 selects GOMAXPROCS. The result is
+	// identical at any setting.
+	EngineParallelism int
+	// JobRetention caps how many finished (done/failed/canceled) job
+	// records — and their progress logs — stay queryable; beyond it the
+	// oldest finished jobs are evicted so a long-running daemon's memory
+	// stays bounded. 0 selects 4096, negative retains everything. Results
+	// outlive their job records in the LRU cache.
+	JobRetention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.EngineParallelism <= 0 {
+		c.EngineParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 4096
+	}
+	return c
+}
+
+// ProgressEvent is one completed scaling combination of a job's design-space
+// exploration, mirrored from the engine's in-order Progress callbacks: Index
+// is the 0-based combination index within Total, and events always arrive in
+// enumeration order.
+type ProgressEvent struct {
+	Index      int     `json:"index"`
+	Total      int     `json:"total"`
+	Scaling    []int   `json:"scaling"`
+	PowerW     float64 `json:"power_w"`
+	Gamma      float64 `json:"gamma"`
+	Feasible   bool    `json:"feasible"`
+	BestPowerW float64 `json:"best_power_w"`
+	BestGamma  float64 `json:"best_gamma"`
+}
+
+// Job is the server-side record of one submission. All fields are guarded
+// by the Server mutex; external callers see JobStatus snapshots.
+type Job struct {
+	id        string
+	key       string
+	graph     string
+	priority  int
+	state     State
+	cacheHit  bool
+	coalesced bool
+	errMsg    string
+	result    []byte
+	summary   string
+	total     int // exploration size, for flight-less (cache-hit) jobs
+	submitted time.Time
+	finished  time.Time
+	flight    *flight
+	// detached flips when the job is individually canceled, so progress
+	// watchers can observe it without the server mutex.
+	detached atomic.Bool
+}
+
+// JobStatus is an externally-visible snapshot of a job.
+type JobStatus struct {
+	ID          string          `json:"id"`
+	Key         string          `json:"key"`
+	Graph       string          `json:"graph"`
+	State       State           `json:"state"`
+	Priority    int             `json:"priority"`
+	CacheHit    bool            `json:"cache_hit,omitempty"`
+	Coalesced   bool            `json:"coalesced,omitempty"`
+	Completed   int             `json:"progress_completed"`
+	Total       int             `json:"progress_total"`
+	Error       string          `json:"error,omitempty"`
+	Summary     string          `json:"summary,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	FinishedAt  time.Time       `json:"finished_at,omitzero"`
+}
+
+// flight is one underlying engine execution, shared by every job whose
+// problem hashes to the same key while it is queued or running.
+type flight struct {
+	key     string
+	problem *ingest.Problem
+	seq     int64
+	prio    int
+	index   int // heap index; -1 once popped
+	refs    int // attached (non-canceled) jobs
+	jobs    []*Job
+	running bool
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	// The progress log has its own lock so SSE streaming never contends
+	// with the scheduler. Lock ordering: Server.mu may be held when taking
+	// logMu, never the reverse.
+	logMu   sync.Mutex
+	logCond *sync.Cond
+	events  []ProgressEvent
+	closed  bool
+}
+
+func (f *flight) append(ev ProgressEvent) {
+	f.logMu.Lock()
+	f.events = append(f.events, ev)
+	f.logCond.Broadcast()
+	f.logMu.Unlock()
+}
+
+// close marks the progress stream terminal and wakes every watcher.
+func (f *flight) close() {
+	f.logMu.Lock()
+	f.closed = true
+	f.logCond.Broadcast()
+	f.logMu.Unlock()
+}
+
+// notify wakes watchers so they can re-check non-log conditions (job
+// cancellation, client disconnect).
+func (f *flight) notify() {
+	f.logMu.Lock()
+	f.logCond.Broadcast()
+	f.logMu.Unlock()
+}
+
+// flightQueue is a priority heap: higher priority first, FIFO within a
+// priority (by submission sequence).
+type flightQueue []*flight
+
+func (q flightQueue) Len() int { return len(q) }
+func (q flightQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio > q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q flightQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *flightQueue) Push(x any) {
+	f := x.(*flight)
+	f.index = len(*q)
+	*q = append(*q, f)
+}
+func (q *flightQueue) Pop() any {
+	old := *q
+	f := old[len(old)-1]
+	old[len(old)-1] = nil
+	f.index = -1
+	*q = old[:len(old)-1]
+	return f
+}
+
+// Server is the optimization-as-a-service core: it owns the job table, the
+// flight queue, the worker pool and the result cache. Create one with New
+// and shut it down with Close.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*Job
+	jobOrder  []string
+	flights   map[string]*flight
+	queue     flightQueue
+	cache     *lruCache
+	jobSeq    int64
+	flightSeq int64
+	terminal  int // jobs currently retained in a terminal state
+	draining  bool
+
+	wg sync.WaitGroup
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64
+	engineExecs atomic.Int64
+	submitted   atomic.Int64
+}
+
+// New starts a Server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*flight),
+		cache:   newLRUCache(cfg.CacheEntries),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues an optimization problem and returns the job's initial
+// status: done immediately on a cache hit, queued/running when coalesced
+// onto an in-flight computation, queued otherwise.
+func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
+	// Hash outside the lock; the graph encoding dominates the cost.
+	key, err := p.Key()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	e, hit := s.cache.Get(key)
+	inflight, coalescing := s.flights[key]
+	if !hit && !coalescing && len(s.queue) >= s.cfg.QueueDepth {
+		// Reject before anything is recorded: rejected traffic must not
+		// move the submitted/miss counters or leave a job record behind.
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobSeq++
+	j := &Job{
+		id:        fmt.Sprintf("j-%06d", s.jobSeq),
+		key:       key,
+		graph:     p.Graph.Name(),
+		priority:  priority,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.submitted.Add(1)
+
+	if hit {
+		s.cacheHits.Add(1)
+		j.state = StateDone
+		j.cacheHit = true
+		j.result = e.result
+		j.summary = e.summary
+		j.total = e.total
+		j.finished = j.submitted
+		s.terminal++
+		s.pruneLocked()
+		return s.statusLocked(j), nil
+	}
+	s.cacheMisses.Add(1)
+
+	if f := inflight; coalescing {
+		s.coalesced.Add(1)
+		j.coalesced = true
+		j.flight = f
+		f.refs++
+		f.jobs = append(f.jobs, j)
+		if f.running {
+			j.state = StateRunning
+		} else {
+			j.state = StateQueued
+			// A high-priority submission drags its shared flight forward.
+			if priority > f.prio {
+				f.prio = priority
+				heap.Fix(&s.queue, f.index)
+			}
+		}
+		return s.statusLocked(j), nil
+	}
+
+	fctx, fcancel := context.WithCancel(s.ctx)
+	s.flightSeq++
+	f := &flight{
+		key:     key,
+		problem: p,
+		seq:     s.flightSeq,
+		prio:    priority,
+		refs:    1,
+		jobs:    []*Job{j},
+		ctx:     fctx,
+		cancel:  fcancel,
+	}
+	f.logCond = sync.NewCond(&f.logMu)
+	j.state = StateQueued
+	j.flight = f
+	s.flights[key] = f
+	heap.Push(&s.queue, f)
+	s.cond.Signal()
+	return s.statusLocked(j), nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Server) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. The job is detached from its
+// flight immediately; the underlying engine execution is cancelled only
+// when no other job is attached to it. Cancelling a finished job returns
+// ErrFinished.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	if j.state.Terminal() {
+		return s.statusLocked(j), fmt.Errorf("%w (%s is %s)", ErrFinished, id, j.state)
+	}
+	j.state = StateCanceled
+	j.finished = time.Now()
+	j.detached.Store(true)
+	s.terminal++
+	if f := j.flight; f != nil {
+		f.refs--
+		if f.refs == 0 {
+			f.cancel()
+			// Unpublish the dying flight either way, so an identical
+			// resubmission starts fresh instead of coalescing onto a
+			// cancelled execution and being reported canceled itself.
+			delete(s.flights, f.key)
+			if !f.running {
+				// Still queued: nothing will ever run it; retire it now.
+				heap.Remove(&s.queue, f.index)
+				defer f.close()
+			}
+		}
+		defer f.notify()
+	}
+	s.pruneLocked()
+	return s.statusLocked(j), nil
+}
+
+// Watch returns a progress watcher for the job, replaying the events
+// already emitted and following the live stream.
+func (s *Server) Watch(id string) (*Watcher, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return &Watcher{j: j, f: j.flight}, nil
+}
+
+// Watcher iterates a job's progress events in enumeration order. Each job's
+// watchers see the same sequence: a replay of everything already emitted,
+// then the live tail.
+type Watcher struct {
+	j    *Job
+	f    *flight
+	next int
+}
+
+// Next blocks until another progress event is available and returns it.
+// It returns ok=false when the stream is over: the flight finished, the
+// job was canceled, or ctx was cancelled (client gone).
+func (w *Watcher) Next(ctx context.Context) (ProgressEvent, bool) {
+	f := w.f
+	if f == nil {
+		return ProgressEvent{}, false // cache-hit job: no computation ran
+	}
+	stop := context.AfterFunc(ctx, f.notify)
+	defer stop()
+	f.logMu.Lock()
+	defer f.logMu.Unlock()
+	for {
+		if w.next < len(f.events) {
+			ev := f.events[w.next]
+			w.next++
+			return ev, true
+		}
+		if f.closed || ctx.Err() != nil || w.j.detached.Load() {
+			return ProgressEvent{}, false
+		}
+		f.logCond.Wait()
+	}
+}
+
+// worker serves flights off the priority queue until Close drains the
+// server.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		f := heap.Pop(&s.queue).(*flight)
+		if f.refs == 0 {
+			// Raced with a cancellation that did not retire it; nothing to do.
+			if cur, ok := s.flights[f.key]; ok && cur == f {
+				delete(s.flights, f.key)
+			}
+			s.mu.Unlock()
+			f.close()
+			continue
+		}
+		f.running = true
+		for _, j := range f.jobs {
+			if j.state == StateQueued {
+				j.state = StateRunning
+			}
+		}
+		s.mu.Unlock()
+		s.run(f)
+	}
+}
+
+// run executes a flight and fans its outcome out to every attached job.
+func (s *Server) run(f *flight) {
+	result, summary, err := s.execute(f)
+	s.mu.Lock()
+	// Retire only our own entry: a cancellation may already have
+	// unpublished this flight and let a fresh one claim the key.
+	if cur, ok := s.flights[f.key]; ok && cur == f {
+		delete(s.flights, f.key)
+	}
+	if err == nil {
+		total := 0
+		f.logMu.Lock()
+		if n := len(f.events); n > 0 {
+			total = f.events[n-1].Total
+		}
+		f.logMu.Unlock()
+		s.cache.Add(&cacheEntry{key: f.key, result: result, summary: summary, total: total})
+	}
+	now := time.Now()
+	for _, j := range f.jobs {
+		if j.state != StateRunning {
+			continue // individually canceled while we ran
+		}
+		j.finished = now
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.result = result
+			j.summary = summary
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.state = StateCanceled
+			j.errMsg = "canceled"
+		default:
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		}
+		s.terminal++
+	}
+	s.pruneLocked()
+	s.mu.Unlock()
+	f.close()
+}
+
+// execute runs the engine for a flight. This is the only place the service
+// calls into the optimizer; the engine-execution counter around it is what
+// the single-flight and cache tests assert on.
+func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
+	sys, err := seadopt.NewSystem(f.problem.Graph, f.problem.Platform)
+	if err != nil {
+		return nil, "", err
+	}
+	o := f.problem.Options
+	opts := seadopt.OptimizeOptions{
+		SER:              o.SER,
+		DeadlineSec:      o.DeadlineSec,
+		StreamIterations: o.StreamIterations,
+		SearchMoves:      o.SearchMoves,
+		Seed:             o.Seed,
+		Parallelism:      s.cfg.EngineParallelism,
+		Progress: func(p seadopt.ExploreProgress) {
+			f.append(ProgressEvent{
+				Index:      p.Index,
+				Total:      p.Total,
+				Scaling:    append([]int{}, p.Scaling...),
+				PowerW:     p.Design.Eval.PowerW,
+				Gamma:      p.Design.Eval.Gamma,
+				Feasible:   p.Design.Eval.MeetsDeadline,
+				BestPowerW: p.Best.Eval.PowerW,
+				BestGamma:  p.Best.Eval.Gamma,
+			})
+		},
+	}
+	s.engineExecs.Add(1)
+	var d *seadopt.Design
+	switch o.Baseline {
+	case "":
+		d, err = sys.OptimizeContext(f.ctx, opts)
+	case "reg":
+		d, err = sys.OptimizeBaselineContext(f.ctx, seadopt.MinimizeRegisterUsage, opts)
+	case "makespan":
+		d, err = sys.OptimizeBaselineContext(f.ctx, seadopt.MinimizeMakespan, opts)
+	case "regtime":
+		d, err = sys.OptimizeBaselineContext(f.ctx, seadopt.MinimizeRegTime, opts)
+	default:
+		return nil, "", fmt.Errorf("service: unknown baseline %q", o.Baseline)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	result, err = json.Marshal(d)
+	if err != nil {
+		return nil, "", err
+	}
+	return result, d.Summary(), nil
+}
+
+// pruneLocked evicts the oldest finished jobs beyond the retention cap;
+// the caller holds s.mu. Running and queued jobs are never evicted, and
+// evicted results remain servable from the LRU cache.
+func (s *Server) pruneLocked() {
+	if s.cfg.JobRetention < 0 || s.terminal <= s.cfg.JobRetention {
+		return
+	}
+	evict := s.terminal - s.cfg.JobRetention
+	keep := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		if evict > 0 && j.state.Terminal() {
+			delete(s.jobs, id)
+			s.terminal--
+			evict--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	// Let the dropped tail be collected.
+	for i := len(keep); i < len(s.jobOrder); i++ {
+		s.jobOrder[i] = ""
+	}
+	s.jobOrder = keep
+}
+
+// statusLocked snapshots a job; the caller holds s.mu.
+func (s *Server) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Key:         j.key,
+		Graph:       j.graph,
+		State:       j.state,
+		Priority:    j.priority,
+		CacheHit:    j.cacheHit,
+		Coalesced:   j.coalesced,
+		Error:       j.errMsg,
+		Summary:     j.summary,
+		SubmittedAt: j.submitted,
+		FinishedAt:  j.finished,
+	}
+	if j.state == StateDone {
+		st.Result = j.result
+	}
+	if f := j.flight; f != nil {
+		f.logMu.Lock()
+		st.Completed = len(f.events)
+		if n := len(f.events); n > 0 {
+			st.Total = f.events[n-1].Total
+		}
+		f.logMu.Unlock()
+	} else if j.cacheHit {
+		st.Completed, st.Total = j.total, j.total
+	}
+	return st
+}
+
+// Metrics is a point-in-time snapshot of the server's operational counters.
+type Metrics struct {
+	QueueDepth       int             `json:"queue_depth"`
+	Workers          int             `json:"workers"`
+	Draining         bool            `json:"draining"`
+	CacheEntries     int             `json:"cache_entries"`
+	CacheCapacity    int             `json:"cache_capacity"`
+	CacheHits        int64           `json:"cache_hits"`
+	CacheMisses      int64           `json:"cache_misses"`
+	Coalesced        int64           `json:"coalesced"`
+	EngineExecutions int64           `json:"engine_executions"`
+	Submitted        int64           `json:"submitted"`
+	Jobs             map[State]int64 `json:"jobs"`
+}
+
+// Metrics snapshots the server counters, including jobs-per-state gauges.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		QueueDepth:       len(s.queue),
+		Workers:          s.cfg.Workers,
+		Draining:         s.draining,
+		CacheEntries:     s.cache.Len(),
+		CacheCapacity:    s.cfg.CacheEntries,
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		Coalesced:        s.coalesced.Load(),
+		EngineExecutions: s.engineExecs.Load(),
+		Submitted:        s.submitted.Load(),
+		Jobs:             make(map[State]int64),
+	}
+	for _, j := range s.jobs {
+		m.Jobs[j.state]++
+	}
+	return m
+}
+
+// Draining reports whether Close has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Close drains the server: new submissions are rejected, queued and running
+// flights are allowed to finish, and Close returns when the worker pool has
+// exited. If ctx expires first, every remaining flight is cancelled and
+// Close waits for the (prompt) abort before returning ctx.Err().
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel() // aborts in-flight engine executions promptly
+		<-done
+		return ctx.Err()
+	}
+}

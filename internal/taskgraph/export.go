@@ -3,6 +3,7 @@ package taskgraph
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"seadopt/internal/registers"
@@ -53,24 +54,53 @@ type jsonEdge struct {
 
 // MarshalJSON serializes the graph, including its register inventory, into a
 // self-contained JSON document.
+//
+// The encoding is canonical: registers sorted by ID, tasks in ID order with
+// sorted register footprints, edges sorted by (from, to), and empty
+// collections encode as [] rather than null. Marshaling a graph
+// reconstructed by FromJSON reproduces the original bytes, and two graphs
+// that differ only in register-declaration or edge-declaration order encode
+// identically — which is what content-addressed caching keys rely on. Task
+// numbering is semantic (TaskIDs are positional), so task order is the one
+// dimension identity is sensitive to.
 func (g *Graph) MarshalJSON() ([]byte, error) {
-	jg := jsonGraph{Name: g.name}
-	for _, id := range g.inventory.IDs() {
+	jg := jsonGraph{
+		Name:      g.name,
+		Registers: make([]jsonRegister, 0, g.inventory.Len()),
+		Tasks:     make([]jsonTask, 0, len(g.tasks)),
+		Edges:     make([]jsonEdge, 0),
+	}
+	regIDs := g.inventory.IDs()
+	sort.Strings(regIDs)
+	for _, id := range regIDs {
 		r, _ := g.inventory.Get(id)
 		jg.Registers = append(jg.Registers, jsonRegister{ID: r.ID, Bits: r.Bits})
 	}
 	for _, t := range g.tasks {
-		jg.Tasks = append(jg.Tasks, jsonTask{Name: t.Name, Cycles: t.Cycles, Registers: t.Registers.IDs()})
+		regs := t.Registers.IDs()
+		if regs == nil {
+			regs = []string{}
+		}
+		jg.Tasks = append(jg.Tasks, jsonTask{Name: t.Name, Cycles: t.Cycles, Registers: regs})
 	}
 	for _, es := range g.succ {
 		for _, e := range es {
 			jg.Edges = append(jg.Edges, jsonEdge{From: int(e.From), To: int(e.To), Cycles: e.Cycles})
 		}
 	}
+	sort.Slice(jg.Edges, func(i, j int) bool {
+		if jg.Edges[i].From != jg.Edges[j].From {
+			return jg.Edges[i].From < jg.Edges[j].From
+		}
+		return jg.Edges[i].To < jg.Edges[j].To
+	})
 	return json.Marshal(jg)
 }
 
-// FromJSON reconstructs a Graph from the output of MarshalJSON.
+// FromJSON reconstructs a Graph from the output of MarshalJSON. The result
+// passes the full Builder validation (well-formed costs, no duplicate or
+// dangling edges, acyclic), and re-marshaling it reproduces the canonical
+// form of the input byte-for-byte.
 func FromJSON(data []byte) (*Graph, error) {
 	var jg jsonGraph
 	if err := json.Unmarshal(data, &jg); err != nil {
@@ -79,15 +109,37 @@ func FromJSON(data []byte) (*Graph, error) {
 	inv := registers.NewInventory()
 	for _, r := range jg.Registers {
 		if err := inv.Add(r.ID, r.Bits); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("taskgraph: decoding graph JSON: %w", err)
 		}
 	}
 	b := NewBuilder(jg.Name, inv)
-	for _, t := range jg.Tasks {
-		b.AddTask(t.Name, t.Cycles, t.Registers...)
+	for i, t := range jg.Tasks {
+		if int(b.AddTask(t.Name, t.Cycles, t.Registers...)) != i {
+			return nil, fmt.Errorf("taskgraph: decoding graph JSON: task %d misnumbered", i)
+		}
 	}
 	for _, e := range jg.Edges {
+		if e.From < 0 || e.From >= len(jg.Tasks) || e.To < 0 || e.To >= len(jg.Tasks) {
+			return nil, fmt.Errorf("taskgraph: decoding graph JSON: edge %d->%d references a task outside [0,%d)",
+				e.From, e.To, len(jg.Tasks))
+		}
 		b.AddEdge(TaskID(e.From), TaskID(e.To), e.Cycles)
 	}
-	return b.Build()
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("taskgraph: decoding graph JSON: %w", err)
+	}
+	return g, nil
+}
+
+// UnmarshalJSON lets a Graph deserialize in place (json.Unmarshal into
+// *Graph), so wire structs can embed graphs directly. It is FromJSON with
+// pointer-receiver plumbing.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	gg, err := FromJSON(data)
+	if err != nil {
+		return err
+	}
+	*g = *gg
+	return nil
 }

@@ -73,9 +73,11 @@ func RandomDeadline(n int) float64 { return float64(n) / 2.0 }
 //
 // Construction: tasks are laid out in pipeline layers of 1..MaxWidth tasks;
 // every non-first-layer task depends on one or two tasks of the previous
-// layer (guaranteeing a connected DAG with bounded parallelism), and each
-// task additionally draws an exponential number of extra dependents among
-// the tasks of the next few layers, truncated to N/2 (the paper's
+// layer (bounding parallelism and anchoring every later task to the first
+// layer — though a first-layer task that no one draws as a predecessor can
+// still end up isolated, so weak connectivity is likely but not guaranteed),
+// and each task additionally draws an exponential number of extra dependents
+// among the tasks of the next few layers, truncated to N/2 (the paper's
 // distribution). Each task has a private register; each edge additionally
 // creates a buffer register shared by its two endpoint tasks — the same
 // duplication mechanism the profiled MPEG-2 inventory exhibits.

@@ -1,0 +1,117 @@
+package seadopt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"seadopt/internal/ingest"
+)
+
+// GraphFormat names a task-graph interchange format accepted by ParseGraph:
+// "json" (the canonical encoding Graph.MarshalJSON produces), "tgff"
+// (Task Graphs For Free generator output) and "dot" (Graphviz digraphs,
+// including the ones Graph.DOT renders). The empty string or "auto" sniffs
+// the format from the document's leading bytes.
+type GraphFormat = string
+
+// ParseGraph reads one externally-authored task graph from r and returns it
+// validated: structural defects (cycles, duplicate task or register IDs,
+// dangling edges) and disconnected graphs are rejected with errors naming
+// the offending element. Formats that carry no WCET or register data are
+// completed with the deterministic defaulting rules documented in
+// internal/ingest, so identical input bytes always produce identical
+// graphs. This is the ingestion surface the seadoptd service exposes over
+// HTTP; embedding callers get the same importers here.
+func ParseGraph(format GraphFormat, r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("seadopt: reading task graph: %w", err)
+	}
+	var f ingest.Format
+	if format == "" || format == "auto" {
+		if f, err = ingest.Detect(data); err != nil {
+			return nil, err
+		}
+	} else if f, err = ingest.ParseFormat(format); err != nil {
+		return nil, err
+	}
+	return ingest.ParseBytes(f, data)
+}
+
+// wireDesign is the stable JSON encoding of a Design. Field order and
+// content are part of the service contract: two runs of the same problem
+// must marshal byte-identically, which holds because the engine's result is
+// deterministic and every field below is value-typed.
+type wireDesign struct {
+	Graph   string     `json:"graph"`
+	Scaling []int      `json:"scaling"`
+	Mapping []int      `json:"mapping"`
+	Eval    wireEval   `json:"eval"`
+	Cores   []wireCore `json:"cores"`
+}
+
+type wireEval struct {
+	PowerW        float64 `json:"power_w"`
+	TotalRegBits  int64   `json:"total_reg_bits"`
+	MakespanSec   float64 `json:"makespan_sec"`
+	TMSeconds     float64 `json:"tm_sec"`
+	Gamma         float64 `json:"gamma"`
+	MeetsDeadline bool    `json:"meets_deadline"`
+	DeadlineSec   float64 `json:"deadline_sec"`
+}
+
+type wireCore struct {
+	Core        int      `json:"core"`
+	Scaling     int      `json:"s"`
+	RegBits     int64    `json:"reg_bits"`
+	BusySec     float64  `json:"busy_sec"`
+	Utilization float64  `json:"utilization"`
+	Gamma       float64  `json:"gamma"`
+	Tasks       []string `json:"tasks"`
+}
+
+// MarshalJSON encodes the design point for the wire: the scaling vector, the
+// task→core mapping (indexed by TaskID), the eq. 3/5/7/8 evaluation, and a
+// per-core breakdown with task names. The encoding is deterministic — equal
+// designs marshal to equal bytes — so service results can be cached and
+// compared content-addressed. This is the same encoding `seadopt -json`
+// prints and `POST /v1/jobs` returns.
+func (d *Design) MarshalJSON() ([]byte, error) {
+	if d == nil || d.Eval == nil || d.Eval.Schedule == nil {
+		return nil, fmt.Errorf("seadopt: cannot marshal an unevaluated design")
+	}
+	g := d.Eval.Schedule.Graph
+	w := wireDesign{
+		Graph:   g.Name(),
+		Scaling: append([]int{}, d.Scaling...),
+		Mapping: append([]int{}, d.Mapping...),
+		Eval: wireEval{
+			PowerW:        d.Eval.PowerW,
+			TotalRegBits:  d.Eval.TotalRegBits,
+			MakespanSec:   d.Eval.MakespanSec,
+			TMSeconds:     d.Eval.TMSeconds,
+			Gamma:         d.Eval.Gamma,
+			MeetsDeadline: d.Eval.MeetsDeadline,
+			DeadlineSec:   d.Eval.DeadlineSec,
+		},
+		Cores: make([]wireCore, 0, len(d.Scaling)),
+	}
+	coreTasks := d.Mapping.CoreTasks(len(d.Scaling))
+	for c, cm := range d.Eval.PerCore {
+		names := make([]string, 0, len(coreTasks[c]))
+		for _, t := range coreTasks[c] {
+			names = append(names, g.Task(t).Name)
+		}
+		w.Cores = append(w.Cores, wireCore{
+			Core:        cm.Core,
+			Scaling:     d.Scaling[c],
+			RegBits:     cm.RegBits,
+			BusySec:     cm.BusySec,
+			Utilization: cm.Utilization,
+			Gamma:       cm.Gamma,
+			Tasks:       names,
+		})
+	}
+	return json.Marshal(w)
+}

@@ -1,0 +1,124 @@
+package seadopt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseGraphFormats(t *testing.T) {
+	want := MPEG2()
+	jdoc, err := want.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]struct {
+		format string
+		doc    string
+	}{
+		"json explicit": {"json", string(jdoc)},
+		"json sniffed":  {"", string(jdoc)},
+		"dot explicit":  {"dot", want.DOT()},
+		"dot sniffed":   {"auto", want.DOT()},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			g, err := ParseGraph(tc.format, strings.NewReader(tc.doc))
+			if err != nil {
+				t.Fatalf("ParseGraph: %v", err)
+			}
+			if g.N() != want.N() {
+				t.Fatalf("got %d tasks, want %d", g.N(), want.N())
+			}
+		})
+	}
+
+	const tgff = "@TASK_GRAPH 0 {\nTASK a TYPE 0\nTASK b TYPE 0\nARC e FROM a TO b TYPE 0\n}\n"
+	g, err := ParseGraph("tgff", strings.NewReader(tgff))
+	if err != nil {
+		t.Fatalf("ParseGraph(tgff): %v", err)
+	}
+	if g.N() != 2 {
+		t.Fatalf("tgff graph has %d tasks, want 2", g.N())
+	}
+
+	if _, err := ParseGraph("xml", strings.NewReader("<g/>")); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+	if _, err := ParseGraph("", strings.NewReader("not a graph")); err == nil {
+		t.Fatal("sniffed garbage")
+	}
+}
+
+// TestDesignMarshalJSONDeterministic: the wire encoding is the service's
+// cache payload, so equal designs must produce equal bytes.
+func TestDesignMarshalJSONDeterministic(t *testing.T) {
+	sys, err := NewARM7System(MPEG2(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := OptimizeOptions{
+		DeadlineSec:      MPEG2Deadline,
+		StreamIterations: MPEG2Frames,
+		Seed:             2010,
+	}
+	d1, err := sys.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	d2, err := sys.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same problem, different wire bytes:\n%s\nvs\n%s", j1, j2)
+	}
+
+	// The encoding is complete enough to rebuild the design point: scaling,
+	// mapping, and the headline metrics.
+	var w struct {
+		Graph   string `json:"graph"`
+		Scaling []int  `json:"scaling"`
+		Mapping []int  `json:"mapping"`
+		Eval    struct {
+			PowerW        float64 `json:"power_w"`
+			Gamma         float64 `json:"gamma"`
+			MeetsDeadline bool    `json:"meets_deadline"`
+		} `json:"eval"`
+		Cores []struct {
+			Tasks []string `json:"tasks"`
+		} `json:"cores"`
+	}
+	if err := json.Unmarshal(j1, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph == "" || len(w.Scaling) != 4 || len(w.Mapping) != MPEG2().N() {
+		t.Fatalf("incomplete wire design: %+v", w)
+	}
+	if w.Eval.PowerW != d1.Eval.PowerW || w.Eval.Gamma != d1.Eval.Gamma {
+		t.Fatal("wire eval drifted from in-memory eval")
+	}
+	var mapped int
+	for _, c := range w.Cores {
+		mapped += len(c.Tasks)
+	}
+	if mapped != MPEG2().N() {
+		t.Fatalf("per-core task lists cover %d tasks, want %d", mapped, MPEG2().N())
+	}
+
+	// Marshaling an unevaluated design is an error, not a panic.
+	if _, err := json.Marshal(&Design{}); err == nil {
+		t.Fatal("marshaled an unevaluated design")
+	}
+}
