@@ -108,10 +108,40 @@ func NewSystem(g *Graph, p *Platform) (*System, error) {
 	return &System{Graph: g, Platform: p}, nil
 }
 
-// ExploreProgress reports one completed scaling combination of an
+// ExploreProgress reports one resolved scaling combination of an
 // optimization's design-space exploration; callbacks arrive in enumeration
-// order regardless of parallelism.
+// order regardless of parallelism. Under the branch-and-bound strategy,
+// events with Pruned or Skipped set mark combinations proven irrelevant
+// without running the mapper (their Design is nil).
 type ExploreProgress = mapping.Progress
+
+// ExploreStrategy selects how the design loop walks the voltage-scaling
+// enumeration; see the strategy constants.
+type ExploreStrategy = mapping.Strategy
+
+// Exploration strategies.
+const (
+	// StrategyBranchAndBound (the default) streams the full enumeration
+	// but proves most combinations irrelevant without mapping them:
+	// scalings whose admissible best-case makespan misses the deadline are
+	// pruned, scalings dominated on nominal power by a resolved feasible
+	// incumbent are skipped (including cancelling in-flight work). The
+	// chosen Design is byte-identical to StrategyExhaustive.
+	StrategyBranchAndBound = mapping.StrategyBranchAndBound
+	// StrategyExhaustive maps every combination — the reference behavior
+	// the paper tables are regenerated under.
+	StrategyExhaustive = mapping.StrategyExhaustive
+	// StrategySampled maps only a seed-deterministic random portfolio of
+	// OptimizeOptions.SampleBudget combinations. Explicitly approximate:
+	// the result is the best design within the sample.
+	StrategySampled = mapping.StrategySampled
+)
+
+// ParseExploreStrategy resolves a strategy name from a flag or job option
+// ("", "bnb", "exhaustive", "sampled", ...).
+func ParseExploreStrategy(name string) (ExploreStrategy, error) {
+	return mapping.ParseStrategy(name)
+}
 
 // OptimizeOptions tunes the design optimization.
 type OptimizeOptions struct {
@@ -133,10 +163,18 @@ type OptimizeOptions struct {
 	// Parallelism bounds the worker pool exploring scaling combinations:
 	// 0 selects GOMAXPROCS, 1 runs sequentially.
 	Parallelism int
-	// Progress, when non-nil, is called once per explored scaling
+	// Progress, when non-nil, is called once per resolved scaling
 	// combination, in enumeration order. It runs on the optimizing
 	// goroutine; keep it fast.
 	Progress func(ExploreProgress)
+	// Strategy selects the exploration walk: "" or StrategyBranchAndBound
+	// (default; provably the same design as exhaustive, much faster on
+	// large platforms), StrategyExhaustive, or StrategySampled
+	// (approximate).
+	Strategy ExploreStrategy
+	// SampleBudget bounds StrategySampled's portfolio size (0 selects the
+	// engine default). Ignored by the exact strategies.
+	SampleBudget int
 }
 
 func (o OptimizeOptions) mappingConfig() mapping.Config {
@@ -155,6 +193,11 @@ func (o OptimizeOptions) mappingConfig() mapping.Config {
 		Seed:        o.Seed,
 		Parallelism: o.Parallelism,
 		Progress:    o.Progress,
+		Strategy:    o.Strategy,
+		// The facade returns only the chosen design; don't retain one
+		// Design per combination on large platforms.
+		SampleBudget:      o.SampleBudget,
+		DiscardPerScaling: true,
 	}
 }
 
@@ -190,7 +233,10 @@ func (d *Design) Gantt(width int) string { return d.Eval.Schedule.Gantt(width) }
 // enumeration with the proposed soft error-aware task mapper, returning the
 // deadline-meeting design with minimum power, tie-broken by minimum Γ.
 // Scaling combinations are explored concurrently under
-// OptimizeOptions.Parallelism; the result is identical at any setting.
+// OptimizeOptions.Parallelism, streamed (never materialized) and — under
+// the default branch-and-bound strategy — pruned wherever an admissible
+// bound proves a combination irrelevant; the result is identical at any
+// parallelism and, for the exact strategies, at any strategy.
 func (s *System) Optimize(opts OptimizeOptions) (*Design, error) {
 	return s.OptimizeContext(context.Background(), opts)
 }

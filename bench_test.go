@@ -267,6 +267,63 @@ func BenchmarkOptimizeMPEG2(b *testing.B) {
 	}
 }
 
+// benchStrategy runs the full design loop under one exploration strategy —
+// the exhaustive-vs-branch-and-bound pairs below are the BENCH_prune.json
+// measurement (see that file for the recorded numbers).
+func benchStrategy(b *testing.B, g *Graph, cores int, deadline float64, iters int, strategy ExploreStrategy) {
+	b.Helper()
+	sys, err := NewARM7System(g, cores, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := OptimizeOptions{
+		DeadlineSec:      deadline,
+		StreamIterations: iters,
+		SearchMoves:      200,
+		Seed:             1,
+		Strategy:         strategy,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Optimize(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreMPEG2Exhaustive / ...BnB compare the strategies on the
+// paper platform (4 cores × 3 levels, 15 combinations).
+func BenchmarkExploreMPEG2Exhaustive(b *testing.B) {
+	benchStrategy(b, MPEG2(), 4, MPEG2Deadline, MPEG2Frames, StrategyExhaustive)
+}
+
+func BenchmarkExploreMPEG2BnB(b *testing.B) {
+	benchStrategy(b, MPEG2(), 4, MPEG2Deadline, MPEG2Frames, StrategyBranchAndBound)
+}
+
+// bench16Graph is the large-platform workload: a §V random graph on
+// 16 cores × 3 levels — C(18,16) = 153 combinations, >10× the MPEG-2
+// space. The deadline sits at 50% of the paper's default so the slowest
+// scalings are bound-pruned, the first feasible design lands a fifth of
+// the way in, and everything pricier is dominance-skipped.
+func bench16Graph(b *testing.B) (*Graph, float64) {
+	g, err := RandomGraph(DefaultRandomGraphConfig(40), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, RandomGraphDeadline(40) * 0.5
+}
+
+func BenchmarkExplore16CoreExhaustive(b *testing.B) {
+	g, dl := bench16Graph(b)
+	benchStrategy(b, g, 16, dl, 1, StrategyExhaustive)
+}
+
+func BenchmarkExplore16CoreBnB(b *testing.B) {
+	g, dl := bench16Graph(b)
+	benchStrategy(b, g, 16, dl, 1, StrategyBranchAndBound)
+}
+
 // BenchmarkAblations runs the three design-choice ablation studies
 // (exposure model, greedy seeding, scaling enumeration).
 func BenchmarkAblations(b *testing.B) {

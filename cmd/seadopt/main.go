@@ -42,7 +42,9 @@ func main() {
 		ser       = flag.Float64("ser", seadopt.DefaultSER, "soft error rate, SEU/bit/cycle (0 or negative = no soft errors)")
 		moves     = flag.Int("moves", 0, "per-scaling search budget (0 = default)")
 		parallel  = flag.Int("parallel", 0, "scaling-combination workers (0 = all cores, 1 = sequential; same result either way)")
-		progress  = flag.Bool("progress", false, "print one line per explored scaling combination")
+		strategy  = flag.String("strategy", "", "exploration strategy: bnb (default; same answer as exhaustive, prunes provably irrelevant scalings), exhaustive, or sampled (approximate)")
+		budget    = flag.Int("sample-budget", 0, "combinations the sampled strategy maps (0 = default)")
+		progress  = flag.Bool("progress", false, "print one line per resolved scaling combination")
 		seed      = flag.Int64("seed", 2010, "random seed")
 		baseline  = flag.String("baseline", "", "run a soft error-unaware baseline instead: reg, makespan or regtime")
 		gantt     = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
@@ -84,6 +86,10 @@ func main() {
 	if serOpt <= 0 {
 		serOpt = -1
 	}
+	strat, err := seadopt.ParseExploreStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
 	opts := seadopt.OptimizeOptions{
 		SER:              serOpt,
 		DeadlineSec:      dl,
@@ -91,17 +97,28 @@ func main() {
 		SearchMoves:      *moves,
 		Seed:             *seed,
 		Parallelism:      *parallel,
+		Strategy:         strat,
+		SampleBudget:     *budget,
 	}
 	if *progress {
 		progressOut := narrationOut(*jsonOut)
 		opts.Progress = func(p seadopt.ExploreProgress) {
-			met := "infeasible"
-			if p.Design.Eval.MeetsDeadline {
-				met = "feasible"
+			switch {
+			case p.Pruned:
+				fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  pruned (best-case makespan misses deadline)\n",
+					p.Index+1, p.Total, p.Scaling)
+			case p.Skipped:
+				fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  skipped (dominated by incumbent)\n",
+					p.Index+1, p.Total, p.Scaling)
+			default:
+				met := "infeasible"
+				if p.Design.Eval.MeetsDeadline {
+					met = "feasible"
+				}
+				fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g  %s\n",
+					p.Index+1, p.Total, p.Scaling,
+					p.Design.Eval.PowerW*1e3, p.Design.Eval.Gamma, met)
 			}
-			fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g  %s\n",
-				p.Index+1, p.Total, p.Scaling,
-				p.Design.Eval.PowerW*1e3, p.Design.Eval.Gamma, met)
 		}
 	}
 

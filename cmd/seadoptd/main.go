@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"seadopt"
 	"seadopt/internal/service"
 )
 
@@ -57,9 +58,13 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		queueDepth   = fs.Int("queue-depth", 1024, "maximum queued jobs before submissions get 429")
 		parallel     = fs.Int("engine-parallel", 0, "per-job exploration parallelism (0 = all cores)")
 		retention    = fs.Int("job-retention", 4096, "finished job records kept queryable (negative = unlimited)")
+		strategy     = fs.String("strategy", "", "default exploration strategy for jobs that don't set one: bnb (default), exhaustive, or sampled")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := seadopt.ParseExploreStrategy(*strategy); err != nil {
 		return err
 	}
 
@@ -69,6 +74,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		QueueDepth:        *queueDepth,
 		EngineParallelism: *parallel,
 		JobRetention:      *retention,
+		DefaultStrategy:   *strategy,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -55,6 +55,7 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 			Seed:        cfg.Seed + int64(cores),
 			Parallelism: cfg.Parallelism,
 			Probe:       mapping.NewProbeCache(),
+			Strategy:    mapping.StrategyExhaustive, // paper tables stay exhaustive
 		}
 		best4, _, err := mapping.Explore(g, p, mapping.SEAMapper(mcfg), mcfg)
 		if err != nil {
@@ -143,6 +144,7 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 			SearchMoves: cfg.SearchMoves,
 			Seed:        cfg.Seed + int64(nLevels)*1000,
 			Parallelism: cfg.Parallelism,
+			Strategy:    mapping.StrategyExhaustive, // paper tables stay exhaustive
 		}
 		best, _, err := mapping.Explore(g, p, mapping.SEAMapper(mcfg), mcfg)
 		if err != nil {

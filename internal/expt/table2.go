@@ -64,7 +64,10 @@ func expMappers(cfg Config, mcfg mapping.Config) []struct {
 	}
 }
 
-// mpeg2MappingConfig returns the Table II optimization configuration.
+// mpeg2MappingConfig returns the Table II optimization configuration. All
+// paper tables run under the exhaustive strategy: branch-and-bound would
+// return the same designs, but the tables report (and regress against)
+// every per-scaling data point.
 func mpeg2MappingConfig(cfg Config) mapping.Config {
 	return mapping.Config{
 		SER:         cfg.serModel(),
@@ -73,6 +76,7 @@ func mpeg2MappingConfig(cfg Config) mapping.Config {
 		SearchMoves: cfg.SearchMoves,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,
+		Strategy:    mapping.StrategyExhaustive,
 	}
 }
 

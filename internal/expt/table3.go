@@ -89,6 +89,7 @@ func TableIII(cfg Config) (*TableIIIResult, error) {
 				SearchMoves: cfg.SearchMoves,
 				Seed:        cfg.Seed + int64(a)*101 + int64(cores),
 				Parallelism: cfg.Parallelism,
+				Strategy:    mapping.StrategyExhaustive, // paper tables stay exhaustive
 			}
 			best, _, err := mapping.Explore(wl.graph, p, mapping.SEAMapper(mcfg), mcfg)
 			if err != nil {

@@ -139,10 +139,10 @@ func TestRejectionsAreActionable(t *testing.T) {
 			a -> b;
 			a -> b;
 		}`, "duplicate edge"},
-		"dot undirected": {FormatDOT, `graph g { a -- b; }`, "'->'"},
+		"dot undirected":        {FormatDOT, `graph g { a -- b; }`, "'->'"},
 		"dot undirected header": {FormatDOT, `graph g { a; }`, "digraph"},
-		"dot subgraph": {FormatDOT, `digraph g { subgraph s { a -> b; } }`, "subgraph"},
-		"dot self edge": {FormatDOT, `digraph g { a -> a; }`, "self edge"},
+		"dot subgraph":          {FormatDOT, `digraph g { subgraph s { a -> b; } }`, "subgraph"},
+		"dot self edge":         {FormatDOT, `digraph g { a -> a; }`, "self edge"},
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 
 	"seadopt/internal/arch"
 	"seadopt/internal/faults"
+	"seadopt/internal/mapping"
 	"seadopt/internal/taskgraph"
 )
 
@@ -31,6 +32,14 @@ type Options struct {
 	// Baseline selects a soft error-unaware mapper instead of the paper's:
 	// "" (proposed), "reg", "makespan" or "regtime".
 	Baseline string `json:"baseline"`
+	// Strategy selects the exploration walk: "" (server default), "bnb",
+	// "exhaustive" or "sampled". It participates in problem identity so
+	// cached results never cross strategies — in particular an approximate
+	// "sampled" result can never be served for an exact request.
+	Strategy string `json:"strategy"`
+	// SampleBudget bounds the "sampled" strategy's portfolio (0 = engine
+	// default). Normalized away for the exact strategies, which ignore it.
+	SampleBudget int `json:"sample_budget"`
 }
 
 // Validate rejects option values the engine cannot run.
@@ -39,6 +48,12 @@ func (o Options) Validate() error {
 	case "", "reg", "makespan", "regtime":
 	default:
 		return fmt.Errorf("ingest: unknown baseline %q (want \"\", reg, makespan or regtime)", o.Baseline)
+	}
+	if _, err := mapping.ParseStrategy(o.Strategy); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if o.SampleBudget < 0 {
+		return fmt.Errorf("ingest: negative sample budget %d", o.SampleBudget)
 	}
 	if o.DeadlineSec < 0 {
 		return fmt.Errorf("ingest: negative deadline %v", o.DeadlineSec)
@@ -54,7 +69,13 @@ func (o Options) Validate() error {
 
 // normalize resolves the sentinel encodings so that equivalent option sets
 // hash identically: SER 0 and the explicit paper rate are the same problem,
-// as are every negative "no soft errors" value, and StreamIterations 0 and 1.
+// as are every negative "no soft errors" value, and StreamIterations 0 and
+// 1. Strategy aliases collapse to their canonical names but distinct
+// strategies hash apart — branch-and-bound provably returns the exhaustive
+// design, yet cached results still never cross strategies, so a cached
+// entry always records exactly which walk produced it (and an approximate
+// sampled result, keyed further by its budget, can never be served for an
+// exact request).
 func (o Options) normalize() Options {
 	switch {
 	case o.SER == 0:
@@ -64,6 +85,19 @@ func (o Options) normalize() Options {
 	}
 	if o.StreamIterations < 1 {
 		o.StreamIterations = 1
+	}
+	s, err := mapping.ParseStrategy(o.Strategy)
+	if err != nil {
+		// Validate rejects unknown strategies before hashing; keep the
+		// raw string so a bug cannot alias distinct problems.
+		o.Strategy = "invalid:" + o.Strategy
+		return o
+	}
+	o.Strategy = string(s)
+	if s != mapping.StrategySampled {
+		o.SampleBudget = 0
+	} else if o.SampleBudget == 0 {
+		o.SampleBudget = mapping.DefaultSampleBudget
 	}
 	return o
 }
@@ -78,7 +112,8 @@ type Problem struct {
 
 // problemKeyVersion is bumped whenever the canonical encoding or the
 // engine's result semantics change, invalidating previously cached keys.
-const problemKeyVersion = 1
+// v2: exploration strategy + sample budget joined the canonical options.
+const problemKeyVersion = 2
 
 // canonicalProblem is the stable wire form the ProblemKey hashes. Field
 // order is fixed; every field is value-typed or deterministically ordered

@@ -1,0 +1,58 @@
+package ingest
+
+import "testing"
+
+// TestProblemKeyStrategy: strategies participate in problem identity —
+// aliases collapse, distinct strategies (and sampled budgets) hash apart,
+// and exact strategies never alias the approximate one.
+func TestProblemKeyStrategy(t *testing.T) {
+	key := func(strategy string, budget int) string {
+		t.Helper()
+		p := testProblem(t)
+		p.Options.Strategy = strategy
+		p.Options.SampleBudget = budget
+		k, err := p.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	def := key("", 0)
+	if key("bnb", 0) != def {
+		t.Error("empty strategy and bnb hash differently")
+	}
+	if key("branch-and-bound", 0) != def {
+		t.Error("strategy alias branch-and-bound hashes apart from bnb")
+	}
+	exh := key("exhaustive", 0)
+	if exh == def {
+		t.Error("exhaustive shares the branch-and-bound key; cached results must not cross strategies")
+	}
+	smp := key("sampled", 0)
+	if smp == def || smp == exh {
+		t.Error("sampled shares an exact strategy's key")
+	}
+	// Sampled budget 0 normalizes to the engine default budget; the exact
+	// strategies discard the budget entirely.
+	if key("sampled", 256) != smp {
+		t.Error("sampled budget 0 does not normalize to the default budget")
+	}
+	if key("sampled", 64) == smp {
+		t.Error("distinct sampled budgets share a key")
+	}
+	if key("bnb", 64) != def {
+		t.Error("sample budget leaked into an exact strategy's key")
+	}
+
+	p := testProblem(t)
+	p.Options.Strategy = "greedy"
+	if _, err := p.Key(); err == nil {
+		t.Error("unknown strategy hashed instead of failing validation")
+	}
+	p = testProblem(t)
+	p.Options.SampleBudget = -1
+	if _, err := p.Key(); err == nil {
+		t.Error("negative sample budget hashed instead of failing validation")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"seadopt/internal/sched"
 	"seadopt/internal/search"
 	"seadopt/internal/taskgraph"
+	"seadopt/internal/vscale"
 )
 
 // Design is one optimized design point: the scaling vector chosen by the
@@ -24,17 +25,37 @@ type Design struct {
 	Eval    *metrics.Evaluation
 }
 
-// Progress reports one completed scaling combination of an exploration.
-// Callbacks arrive in enumeration order (combination i is reported only
-// after 0..i-1), regardless of the worker parallelism.
+// Progress reports one resolved scaling combination of an exploration.
+// Callbacks arrive in visit order (combination at position i is reported
+// only after 0..i-1), regardless of the worker parallelism, and every
+// field of the event stream is deterministic for a given (Config, graph,
+// platform) at any Parallelism.
 type Progress struct {
-	// Index is the 0-based combination index; Total the enumeration size.
+	// Index is the 0-based visit position; Total the number of
+	// combinations this exploration visits. Under StrategyExhaustive and
+	// StrategyBranchAndBound every enumeration entry is visited, so Index
+	// equals Combination; under StrategySampled, Index counts within the
+	// sample.
 	Index, Total int
+	// Combination is the combination's stable Fig. 5 enumeration index,
+	// whatever order or subset the strategy visits.
+	Combination int
 	// Scaling is the combination's per-core vector. Shared; do not mutate.
 	Scaling []int
-	// Design is the combination's optimized design.
+	// Pruned reports that the combination's admissible makespan lower
+	// bound already misses the deadline: it is provably infeasible and the
+	// mapper never ran. Design is nil for pruned combinations.
+	Pruned bool
+	// Skipped reports that the combination's nominal power is dominated by
+	// a feasible incumbent resolved at an earlier position: it provably
+	// cannot be chosen and the mapper was skipped or cancelled. Design is
+	// nil for skipped combinations.
+	Skipped bool
+	// Design is the combination's optimized design; nil when Pruned or
+	// Skipped.
 	Design *Design
-	// Best is the incumbent best design after folding this combination in.
+	// Best is the incumbent best design after folding this combination in;
+	// nil until the first combination is actually evaluated.
 	Best *Design
 }
 
@@ -44,22 +65,34 @@ func Explore(g *taskgraph.Graph, p *arch.Platform, mapper MapperFunc, cfg Config
 	return ExploreContext(context.Background(), g, p, mapper, cfg)
 }
 
-// ExploreContext runs the outer design loop of Fig. 4: every voltage-scaling
-// combination from the Fig. 5 enumeration is offered to the mapper
+// ExploreContext runs the outer design loop of Fig. 4: voltage-scaling
+// combinations from the Fig. 5 enumeration are streamed to the mapper
 // (step 2); step 3's assessment keeps the deadline-meeting design whose
 // *scaling* has minimum nominal power — power minimization happens at the
 // voltage-scaling level (step 1 of the flow), before mapping — tie-broken
 // by minimum Γ and then by minimum measured (utilization-weighted) power.
-// perScaling lists one Design per combination in enumeration order, for
-// the experiment harness.
+//
+// Config.Strategy picks the walk: StrategyExhaustive maps every
+// combination; StrategyBranchAndBound (the default) prunes combinations an
+// admissible bound proves infeasible and skips combinations dominated by a
+// resolved feasible incumbent, cancelling dominated in-flight work — and
+// returns a byte-identical best Design; StrategySampled maps a budgeted
+// random portfolio. The enumeration is never materialized: combinations
+// stream through a bounded reorder window, so memory is O(workers), not
+// O(combinations).
+//
+// perScaling lists one Design per visited combination in visit order, for
+// the experiment harness; entries are nil for pruned/skipped combinations,
+// and the whole list is omitted under Config.DiscardPerScaling. (The paper
+// tables use StrategyExhaustive, where every entry is populated.)
 //
 // Combinations are independent, so they fan out over a bounded worker pool
 // (Config.Parallelism workers; 0 selects GOMAXPROCS). Each worker owns one
 // reusable metrics.Evaluator rebound per combination, and each combination
-// derives its own seed from (Config.Seed, index), so the chosen best design,
-// the perScaling order and every Progress callback are identical at any
-// parallelism. Cancelling ctx stops the workers promptly and returns
-// ctx.Err().
+// derives its own seed from (Config.Seed, enumeration index), so the chosen
+// best design, the perScaling order and every Progress callback are
+// identical at any parallelism. Cancelling ctx stops the workers promptly
+// and returns ctx.Err().
 func ExploreContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	mapper MapperFunc, cfg Config) (best *Design, perScaling []*Design, err error) {
 	cfg = cfg.withDefaults()
@@ -69,143 +102,433 @@ func ExploreContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	combos, err := allScalings(p)
+	if cfg.Probe == nil {
+		// Materialize the per-call probe cache here rather than inside the
+		// stream, so the all-infeasible fallback pass below reuses every
+		// probe verdict the first pass computed.
+		cfg.Probe = NewProbeCache()
+	}
+	strategy := cfg.Strategy.withDefault()
+	best, perScaling, pruned, err := exploreStream(ctx, g, p, mapper, cfg, strategy != StrategyExhaustive)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(combos) == 0 {
-		return nil, nil, fmt.Errorf("mapping: no scaling combinations to explore")
+	if pruned > 0 && (best == nil || !best.Eval.MeetsDeadline) {
+		// Degenerate case: nothing feasible was found and bound-pruned
+		// combinations were never mapped, so the exhaustive "least
+		// infeasible" verdict (minimum nominal power among the designs the
+		// mapper actually produced) may live inside the pruned set. Re-run
+		// the same visit sequence without pruning — deterministically — so
+		// the returned Design matches StrategyExhaustive byte for byte.
+		// Progress was already emitted by the first pass and is not
+		// replayed.
+		silent := cfg
+		silent.Progress = nil
+		best, perScaling, _, err = exploreStream(ctx, g, p, mapper, silent, false)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
+	return best, perScaling, nil
+}
+
+// errDominated is the cancellation cause of in-flight mapper work made
+// irrelevant by a resolved feasible incumbent with lower nominal power.
+var errDominated = errors.New("mapping: combination dominated by resolved incumbent")
+
+// outcome is one resolved combination flowing from the dispatcher/workers
+// into the ordered reduction.
+type outcome struct {
+	pos      int   // visit position (fold order)
+	idx      int   // stable Fig. 5 enumeration index
+	scaling  []int // owned
+	nominal  float64
+	pruned   bool // bound-proved infeasible; mapper never ran
+	skipCand bool // mapper skipped/cancelled as dominated (fold confirms)
+	design   *Design
+	probed   bool
+	err      error
+}
+
+// incumbentBoard publishes the reduction's monotone dominance threshold to
+// the dispatcher and workers, and tracks in-flight work so newly dominated
+// combinations are cancelled promptly. The board holds the *minimum*
+// nominal power of any probed-feasible design the fold has accepted —
+// strictly monotone non-increasing, even when the fold's current incumbent
+// drifts within the nominal-power tolerance band to a numerically higher
+// value on a Γ tie-break. That monotonicity is what makes every
+// opportunistic dispatch-time skip reproducible by the authoritative
+// fold-time rule: a combination dominated against an older (larger-or-
+// equal) threshold is dominated against every later one.
+type incumbentBoard struct {
+	mu       sync.Mutex
+	probed   bool
+	nominal  float64
+	inflight map[int]inflightEntry
+}
+
+type inflightEntry struct {
+	nominal float64
+	cancel  context.CancelCauseFunc
+}
+
+func newIncumbentBoard() *incumbentBoard {
+	return &incumbentBoard{inflight: make(map[int]inflightEntry)}
+}
+
+// dominatedNominal mirrors betterDesign's nominal-power tolerance: true when
+// nominal is strictly worse than bestNominal beyond the relative band, i.e.
+// the combination can lose on power but never tie into the Γ tie-break.
+func dominatedNominal(nominal, bestNominal float64) bool {
+	const rel = 1e-9
+	return nominal-bestNominal > rel*(nominal+bestNominal)
+}
+
+// shouldSkip reports whether a combination with this nominal power is
+// already provably dominated.
+func (b *incumbentBoard) shouldSkip(nominal float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.probed && dominatedNominal(nominal, b.nominal)
+}
+
+// publish lowers the dominance threshold after the fold accepts a
+// probed-feasible design and cancels newly dominated in-flight work (the
+// early exit: outstanding higher-position combinations that can no longer
+// win stop burning mapper budget). A nominal above the current threshold
+// (a within-tolerance Γ tie-break winner) leaves the threshold untouched.
+func (b *incumbentBoard) publish(nominal float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probed && nominal >= b.nominal {
+		return
+	}
+	b.probed = true
+	b.nominal = nominal
+	for pos, e := range b.inflight {
+		if dominatedNominal(e.nominal, nominal) {
+			e.cancel(errDominated)
+			delete(b.inflight, pos)
+		}
+	}
+}
+
+// registerUnlessSkipped atomically consults the incumbent and, when the
+// combination is not already dominated, registers it as cancellable
+// in-flight work. It reports false when the combination should be skipped
+// without running the mapper.
+func (b *incumbentBoard) registerUnlessSkipped(pos int, nominal float64, cancel context.CancelCauseFunc) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probed && dominatedNominal(nominal, b.nominal) {
+		return false
+	}
+	b.inflight[pos] = inflightEntry{nominal: nominal, cancel: cancel}
+	return true
+}
+
+func (b *incumbentBoard) unregister(pos int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.inflight, pos)
+}
+
+// newFrontier builds the strategy's combination stream.
+func newFrontier(p *arch.Platform, cfg Config, strategy Strategy) (*vscale.Frontier, error) {
+	if strategy == StrategySampled {
+		budget := cfg.SampleBudget
+		if budget == 0 {
+			budget = DefaultSampleBudget
+		}
+		return vscale.NewSampledFrontier(p.Cores(), p.NumLevels(), budget, cfg.Seed)
+	}
+	return vscale.NewFrontier(p.Cores(), p.NumLevels())
+}
+
+// exploreStream is the streaming work loop shared by every strategy: a
+// dispatcher walks the frontier under a bounded reorder window, workers map
+// combinations concurrently, and the calling goroutine folds outcomes in
+// visit order (the deterministic ordered reduction). With prune set, the
+// dispatcher applies the branch-and-bound rules ahead of the mapper and the
+// reduction applies them authoritatively at fold time, so the pruned and
+// skipped markers — like everything else in the event stream — are a pure
+// function of the configuration. It returns the number of bound-pruned
+// combinations so the caller can decide whether the all-infeasible
+// fallback is needed.
+func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
+	mapper MapperFunc, cfg Config, prune bool) (best *Design, perScaling []*Design, prunedCount int, err error) {
+	strategy := cfg.Strategy.withDefault()
+	frontier, err := newFrontier(p, cfg, strategy)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	total := frontier.Size()
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(combos) {
-		workers = len(combos)
+	if workers > total {
+		workers = total
+	}
+	window := 4 * workers
+	if window < 16 {
+		window = 16
+	}
+	if window > total {
+		window = total
 	}
 	probe := cfg.Probe
 	if probe == nil {
 		probe = NewProbeCache()
 	}
-
-	type outcome struct {
-		idx     int
-		design  *Design
-		nominal float64
-		probed  bool
-		err     error
+	var bounds *metrics.Bounds
+	if prune && cfg.DeadlineSec > 0 {
+		bounds = metrics.NewBounds(g, p, cfg.Iterations)
 	}
+	board := newIncumbentBoard()
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	jobs := make(chan int)
+	jobs := make(chan outcome) // combinations headed for a worker
+	// The results buffer is deliberately smaller than the reorder window:
+	// once a worker runs more than one mapper ahead of the fold it blocks
+	// here, yielding to the reducer — otherwise on a single CPU the
+	// dispatcher/worker ping-pong can starve the fold for the whole run
+	// and the incumbent is never published in time to skip anything.
 	results := make(chan outcome, workers)
-	var wg sync.WaitGroup
+	tokens := make(chan struct{}, window) // reorder-window backpressure
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	var producers sync.WaitGroup
+
+	// Workers: map one combination at a time on a private evaluator, under
+	// a per-combination cancellable context so dominated work can be
+	// abandoned mid-search.
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		producers.Add(1)
 		go func() {
-			defer wg.Done()
-			eval, err := metrics.NewEvaluator(g, p, cfg.SER,
+			defer producers.Done()
+			eval, evErr := metrics.NewEvaluator(g, p, cfg.SER,
 				metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
-			for i := range jobs {
-				if err != nil {
-					results <- outcome{idx: i, err: err}
+			for o := range jobs {
+				if evErr != nil {
+					o.err = evErr
+					results <- o
 					continue
 				}
-				o := outcome{idx: i}
-				o.design, o.nominal, o.probed, o.err = exploreCombo(wctx, eval, mapper, combos[i], i, cfg, probe)
+				jctx, jcancel := context.WithCancelCause(wctx)
+				if prune && !board.registerUnlessSkipped(o.pos, o.nominal, jcancel) {
+					// Atomic check-and-register: no window between
+					// consulting the incumbent and becoming cancellable.
+					jcancel(nil)
+					o.skipCand = true
+					results <- o
+					continue
+				}
+				o.design, o.probed, o.err = exploreCombo(jctx, eval, mapper, o.scaling, o.idx, cfg, probe)
+				if prune {
+					board.unregister(o.pos)
+				}
+				if o.err != nil && context.Cause(jctx) == errDominated {
+					// The incumbent made this combination irrelevant while
+					// it was being mapped; the fold confirms the skip.
+					o.err, o.design = nil, nil
+					o.skipCand = true
+				}
+				jcancel(nil)
 				results <- o
 			}
 		}()
 	}
+
+	// Dispatcher: streams the frontier in visit order, resolving the cheap
+	// outcomes (bound-pruned, already-dominated) inline and handing the
+	// rest to the workers. The token channel caps dispatched-but-unfolded
+	// combinations at the window size, so the reduction's reorder buffer —
+	// and with it the whole exploration — needs O(workers) memory however
+	// large the enumeration is.
+	producers.Add(1)
 	go func() {
+		defer producers.Done()
 		defer close(jobs)
-		for i := range combos {
+		for pos := 0; ; pos++ {
+			combo, ok := frontier.Next()
+			if !ok {
+				return
+			}
 			select {
-			case jobs <- i:
+			case <-tokens:
+			case <-wctx.Done():
+				return
+			}
+			o := outcome{pos: pos, idx: combo.Index, scaling: combo.Scaling}
+			o.nominal, o.err = p.DynamicPower(combo.Scaling, nil)
+			if o.err != nil {
+				results <- o
+				continue
+			}
+			if bounds != nil {
+				lb, lbErr := bounds.TMLowerBound(combo.Scaling)
+				if lbErr != nil {
+					o.err = lbErr
+					results <- o
+					continue
+				}
+				// Prune only beyond a safety band: the bound is exact
+				// mathematics but inexact floats.
+				if lb > cfg.DeadlineSec*(1+1e-9) {
+					o.pruned = true
+					results <- o
+					continue
+				}
+			}
+			if prune && board.shouldSkip(o.nominal) {
+				o.skipCand = true
+				results <- o
+				continue
+			}
+			select {
+			case jobs <- o:
 			case <-wctx.Done():
 				return
 			}
 		}
 	}()
 	go func() {
-		wg.Wait()
+		producers.Wait()
 		close(results)
 	}()
 
-	// Deterministic ordered reduction: outcomes are folded in enumeration
-	// order as soon as their prefix is complete, so the acceptance walk and
-	// the Progress stream never depend on worker timing.
-	done := make([]*outcome, len(combos))
+	// Deterministic ordered reduction: outcomes are folded in visit order
+	// as soon as their prefix is complete, so the acceptance walk, the
+	// pruned/skipped verdicts and the Progress stream never depend on
+	// worker timing. pending is a reorder ring of at most window entries.
+	pending := make([]*outcome, window)
 	next := 0
 	var firstErr error
-	firstErrIdx := len(combos)
-	var bestNominal float64
+	firstErrPos := total
+	var bestNominal float64 // the incumbent's own nominal (acceptance rule)
+	var domNominal float64  // min nominal of any accepted probed design (dominance rule)
 	bestProbed := false
+	if !cfg.DiscardPerScaling {
+		perScaling = make([]*Design, 0, total)
+	}
 	for o := range results {
 		o := o
 		if o.err != nil {
-			// Jobs aborted by the internal cancel report the context error;
-			// keep the lowest-indexed real failure as the verdict.
-			if !errors.Is(o.err, context.Canceled) && o.idx < firstErrIdx {
-				firstErr, firstErrIdx = o.err, o.idx
-				cancel()
+			// Keep the lowest-positioned real failure as the verdict
+			// (jobs aborted by the internal cancel report the context
+			// error), then cancel either way: an errored position can
+			// never fold, so without cancellation the dispatcher would
+			// wait on its window token forever.
+			if !errors.Is(o.err, context.Canceled) && o.pos < firstErrPos {
+				firstErr, firstErrPos = o.err, o.pos
 			}
+			cancel()
 			continue
 		}
-		done[o.idx] = &o
-		for next < len(combos) && done[next] != nil {
-			d := done[next]
-			perScaling = append(perScaling, d.design)
-			better := false
+		pending[o.pos%window] = &o
+		for next < total && pending[next%window] != nil && pending[next%window].pos == next {
+			d := pending[next%window]
+			pending[next%window] = nil
+
+			// Authoritative branch-and-bound verdict, decided on the
+			// deterministic fold state alone. The dominance threshold is
+			// domNominal — monotone non-increasing, exactly mirroring the
+			// board — not the incumbent's own nominal, which can drift
+			// upward within the tolerance band on Γ tie-breaks.
+			skipped := false
+			if prune && !d.pruned && bestProbed && dominatedNominal(d.nominal, domNominal) {
+				skipped = true
+			}
+			if d.skipCand && !skipped && !d.pruned {
+				// A dispatch-time skip the fold cannot reproduce would
+				// break determinism; by the board's monotonicity this is
+				// unreachable, so fail loudly rather than silently diverge.
+				if firstErr == nil || next < firstErrPos {
+					firstErr = fmt.Errorf("mapping: internal error: combination %d skipped against a weaker incumbent", d.idx)
+					firstErrPos = next
+					cancel()
+				}
+				break
+			}
+
 			switch {
-			case best == nil:
-				better = true
-			case d.probed != bestProbed:
-				better = d.probed
+			case d.pruned:
+				prunedCount++
+				if !cfg.DiscardPerScaling {
+					perScaling = append(perScaling, nil)
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(Progress{Index: next, Total: total, Combination: d.idx,
+						Scaling: d.scaling, Pruned: true, Best: best})
+				}
+			case skipped:
+				if !cfg.DiscardPerScaling {
+					perScaling = append(perScaling, nil)
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(Progress{Index: next, Total: total, Combination: d.idx,
+						Scaling: d.scaling, Skipped: true, Best: best})
+				}
 			default:
-				better = betterDesign(d.design.Eval, d.nominal, best.Eval, bestNominal)
-			}
-			if better {
-				best = d.design
-				bestNominal = d.nominal
-				bestProbed = d.probed
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(Progress{
-					Index:   next,
-					Total:   len(combos),
-					Scaling: d.design.Scaling,
-					Design:  d.design,
-					Best:    best,
-				})
+				if !cfg.DiscardPerScaling {
+					perScaling = append(perScaling, d.design)
+				}
+				better := false
+				switch {
+				case best == nil:
+					better = true
+				case d.probed != bestProbed:
+					better = d.probed
+				default:
+					better = betterDesign(d.design.Eval, d.nominal, best.Eval, bestNominal)
+				}
+				if better {
+					best = d.design
+					bestNominal = d.nominal
+					if d.probed && (!bestProbed || d.nominal < domNominal) {
+						domNominal = d.nominal
+					}
+					bestProbed = d.probed
+					if prune && bestProbed {
+						board.publish(domNominal)
+					}
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(Progress{Index: next, Total: total, Combination: d.idx,
+						Scaling: d.design.Scaling, Design: d.design, Best: best})
+				}
 			}
 			next++
+			tokens <- struct{}{}
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if firstErr != nil {
-		return nil, nil, firstErr
+		return nil, nil, 0, firstErr
 	}
-	if next != len(combos) {
+	if next != total {
 		// Only reachable if a worker swallowed a cancellation without a
 		// parent-context error; treat it as cancellation.
-		return nil, nil, context.Canceled
+		return nil, nil, 0, context.Canceled
 	}
-	return best, perScaling, nil
+	return best, perScaling, prunedCount, nil
 }
 
 // exploreCombo runs one scaling combination on a worker's evaluator: the
-// mapper, the nominal-power assessment and the shared feasibility probe.
+// mapper, the deadline assessment and the shared feasibility probe.
 func exploreCombo(ctx context.Context, eval *metrics.Evaluator, mapper MapperFunc,
-	scaling []int, idx int, cfg Config, probe *ProbeCache) (*Design, float64, bool, error) {
+	scaling []int, idx int, cfg Config, probe *ProbeCache) (*Design, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, 0, false, err
+		return nil, false, err
 	}
 	if err := eval.Bind(scaling); err != nil {
-		return nil, 0, false, err
+		return nil, false, err
 	}
 	mc := &MapContext{
 		Ctx:      ctx,
@@ -217,11 +540,7 @@ func exploreCombo(ctx context.Context, eval *metrics.Evaluator, mapper MapperFun
 	}
 	m, ev, err := mapper(mc)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
-	}
-	nominal, err := mc.Platform.DynamicPower(scaling, nil)
-	if err != nil {
-		return nil, 0, false, err
+		return nil, false, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
 	}
 	// Step 1's feasibility decision is mapper-independent: a common
 	// deadline probe decides which scalings are candidates, so every
@@ -231,7 +550,7 @@ func exploreCombo(ctx context.Context, eval *metrics.Evaluator, mapper MapperFun
 	// the probe's mapping is the design at this scaling.
 	probeEv, probed, err := probe.feasibleAtScaling(mc, cfg)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, false, err
 	}
 	if probed && !ev.MeetsDeadline {
 		// Clone: the cache owns probeEv, and Explore calls sharing the
@@ -241,12 +560,14 @@ func exploreCombo(ctx context.Context, eval *metrics.Evaluator, mapper MapperFun
 	}
 	probed = probed && ev.MeetsDeadline
 	d := &Design{Scaling: append([]int(nil), scaling...), Mapping: m, Eval: ev}
-	return d, nominal, probed, nil
+	return d, probed, nil
 }
 
 // comboSeed derives the stream seed of combination i from the master seed
 // (splitmix64 finalizer), decorrelating the combinations while keeping each
-// one's stream a pure function of (seed, i).
+// one's stream a pure function of (seed, i). i is the combination's stable
+// Fig. 5 enumeration index, so every strategy maps a given combination with
+// the same stream.
 func comboSeed(seed int64, i int) int64 {
 	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
 	z ^= z >> 30
@@ -387,9 +708,4 @@ func probeFeasible(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error
 		}
 	}
 	return nil, false, nil
-}
-
-// allScalings returns the Fig. 5 enumeration for the platform.
-func allScalings(p *arch.Platform) ([][]int, error) {
-	return enumerate(p.Cores(), p.NumLevels())
 }

@@ -14,8 +14,12 @@ import (
 )
 
 // designFingerprint renders everything that identifies a design byte-for-
-// byte: scaling, mapping and the Γ/power/T_M of its evaluation.
+// byte: scaling, mapping and the Γ/power/T_M of its evaluation. Pruned and
+// skipped perScaling entries are nil and fingerprint as such.
 func designFingerprint(d *Design) string {
+	if d == nil {
+		return "nil"
+	}
 	return fmt.Sprintf("s=%v m=%v gamma=%x power=%x tm=%x",
 		d.Scaling, d.Mapping, d.Eval.Gamma, d.Eval.PowerW, d.Eval.TMSeconds)
 }
@@ -105,8 +109,15 @@ func TestExploreProgressOrdered(t *testing.T) {
 			if pr.Total != 15 {
 				t.Errorf("Total = %d, want 15", pr.Total)
 			}
-			if pr.Design == nil || pr.Best == nil {
-				t.Error("nil design in progress event")
+			if pr.Combination != pr.Index {
+				t.Errorf("Combination = %d at index %d; full enumerations visit in order", pr.Combination, pr.Index)
+			}
+			if pr.Pruned || pr.Skipped {
+				if pr.Design != nil {
+					t.Error("pruned/skipped event carries a design")
+				}
+			} else if pr.Design == nil || pr.Best == nil {
+				t.Error("nil design in evaluated progress event")
 			}
 		}
 		if _, _, err := Explore(g, p, SEAMapper(c), c); err != nil {
@@ -198,6 +209,7 @@ func TestProbeCacheShared(t *testing.T) {
 	p := plat(4)
 	c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
 	c.SearchMoves = 60
+	c.Strategy = StrategyExhaustive // probe must run at every scaling
 	c.Probe = NewProbeCache()
 	best1, _, err := Explore(g, p, SEAMapper(c), c)
 	if err != nil {

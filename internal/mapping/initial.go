@@ -47,14 +47,26 @@ type Config struct {
 	// selects GOMAXPROCS; 1 runs sequentially. Results are identical at
 	// any setting.
 	Parallelism int
-	// Progress, when non-nil, receives one callback per completed scaling
-	// combination, in enumeration order. Callbacks run on the exploring
+	// Progress, when non-nil, receives one callback per resolved scaling
+	// combination, in visit order. Callbacks run on the exploring
 	// goroutine; keep them fast.
 	Progress func(Progress)
 	// Probe optionally shares a feasibility-probe cache across Explore
 	// calls over the same workload (see ProbeCache). Nil gives each call
 	// a private cache.
 	Probe *ProbeCache
+	// Strategy selects how Explore walks the scaling enumeration: "" or
+	// StrategyBranchAndBound (default, provably the same answer as
+	// exhaustive), StrategyExhaustive (map every combination), or
+	// StrategySampled (budgeted random portfolio, approximate).
+	Strategy Strategy
+	// SampleBudget bounds StrategySampled's portfolio size; 0 selects
+	// DefaultSampleBudget. Ignored by the other strategies.
+	SampleBudget int
+	// DiscardPerScaling suppresses the perScaling return of Explore so
+	// huge enumerations don't retain one Design per combination; callers
+	// that only need the best design (the facade, the service) set it.
+	DiscardPerScaling bool
 }
 
 // DefaultSearchMoves is the per-scaling neighborhood budget when
@@ -84,6 +96,12 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("mapping: negative parallelism %d", c.Parallelism)
+	}
+	if err := c.Strategy.Valid(); err != nil {
+		return err
+	}
+	if c.SampleBudget < 0 {
+		return fmt.Errorf("mapping: negative sample budget %d", c.SampleBudget)
 	}
 	return nil
 }

@@ -253,6 +253,7 @@ func TestExploreMPEG2(t *testing.T) {
 	p := plat(4)
 	c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
 	c.SearchMoves = 400
+	c.Strategy = StrategyExhaustive // the test inspects every per-scaling design
 	best, per, err := Explore(g, p, SEAMapper(c), c)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+// Bounds computes admissible per-scaling lower bounds for the exploration
+// engine's branch-and-bound pruning — what the best conceivable mapping
+// could achieve at a scaling vector, without running the mapper.
+//
+// The graph-dependent quantities (critical-path cycles, total work, largest
+// task) are precomputed once in O(V+E); each per-scaling query is then O(C).
+// Two relaxations make the makespan bound admissible:
+//
+//   - infinite-core relaxation: every task runs at the fastest frequency of
+//     the scaling vector with zero communication (colocating an entire
+//     path on one fastest core eliminates its cross-core edges), so the
+//     critical path in cycles over that frequency lower-bounds any
+//     schedule's makespan;
+//   - work conservation: total task cycles cannot drain faster than the
+//     aggregate frequency Σ_c f_c, and some core hosts the largest task.
+//
+// For pipelined workloads (Iterations > 1) the same two relaxations bound
+// the bottleneck-core busy time, and the pipelined makespan identity
+// T_M = (1-1/F)·bottleneck + makespan/F combines them.
+type Bounds struct {
+	p          *arch.Platform
+	iterations int
+
+	cpCycles    int64 // longest path of task cycles (no communication)
+	totalCycles int64 // Σ task cycles
+	maxCycles   int64 // largest single task
+}
+
+// NewBounds precomputes the bound context for g on p. iterations follows
+// Options.Iterations semantics (< 1 means 1).
+func NewBounds(g *taskgraph.Graph, p *arch.Platform, iterations int) *Bounds {
+	if iterations < 1 {
+		iterations = 1
+	}
+	b := &Bounds{p: p, iterations: iterations}
+	n := g.N()
+	// Longest task-cycle path in (reverse) topological order, O(V+E).
+	down := make([]int64, n)
+	topo := g.TopoOrder()
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		c := g.Task(t).Cycles
+		if c > b.maxCycles {
+			b.maxCycles = c
+		}
+		b.totalCycles += c
+		var tail int64
+		for _, e := range g.Succs(t) {
+			if down[e.To] > tail {
+				tail = down[e.To]
+			}
+		}
+		down[t] = c + tail
+		if down[t] > b.cpCycles {
+			b.cpCycles = down[t]
+		}
+	}
+	return b
+}
+
+// TMLowerBound returns an admissible lower bound on the T_M of every
+// mapping at the given scaling vector: no schedule — and therefore no
+// feasibility probe or mapper search — can beat it. A scaling whose bound
+// exceeds the deadline is provably infeasible.
+func (b *Bounds) TMLowerBound(scaling []int) (float64, error) {
+	if err := b.p.ValidScaling(scaling); err != nil {
+		return 0, err
+	}
+	fastest := 0.0
+	var sumHz float64
+	for _, s := range scaling {
+		f := b.p.MustLevel(s).FreqHz()
+		sumHz += f
+		if f > fastest {
+			fastest = f
+		}
+	}
+	work := float64(b.totalCycles) / sumHz
+	makespanLB := float64(b.cpCycles) / fastest
+	if work > makespanLB {
+		makespanLB = work
+	}
+	if b.iterations <= 1 {
+		return makespanLB, nil
+	}
+	bottleneckLB := float64(b.maxCycles) / fastest
+	if work > bottleneckLB {
+		bottleneckLB = work
+	}
+	f := float64(b.iterations)
+	return (1-1/f)*bottleneckLB + makespanLB/f, nil
+}
+
+// NominalPower returns the scaling vector's full-utilization dynamic power
+// (eq. 5 with α ≡ 1) — the exact quantity the step-3 acceptance rule ranks
+// feasible scalings by, available without scheduling anything.
+func (b *Bounds) NominalPower(scaling []int) (float64, error) {
+	return b.p.DynamicPower(scaling, nil)
+}

@@ -180,6 +180,7 @@ func decodeSubmit(r *http.Request, body []byte) (*submitRequest, error) {
 		"levels":            &req.Platform.Levels,
 		"stream_iterations": &req.Options.StreamIterations,
 		"search_moves":      &req.Options.SearchMoves,
+		"sample_budget":     &req.Options.SampleBudget,
 		"priority":          &req.Priority,
 	} {
 		if err := intq(name, dst); err != nil {
@@ -206,6 +207,7 @@ func decodeSubmit(r *http.Request, body []byte) (*submitRequest, error) {
 		}
 	}
 	req.Options.Baseline = q.Get("baseline")
+	req.Options.Strategy = q.Get("strategy")
 	return req, nil
 }
 

@@ -34,6 +34,8 @@ func renderMetrics(w io.Writer, m Metrics) {
 	counter("seadoptd_coalesced_total", "Jobs coalesced onto an in-flight identical problem.", m.Coalesced)
 	counter("seadoptd_engine_executions_total", "Underlying optimizer executions.", m.EngineExecutions)
 	counter("seadoptd_jobs_submitted_total", "Jobs accepted for processing.", m.Submitted)
+	counter("seadoptd_combinations_explored_total", "Scaling combinations the mapper evaluated.", m.CombinationsExplored)
+	counter("seadoptd_combinations_pruned_total", "Scaling combinations skipped by branch-and-bound pruning.", m.CombinationsPruned)
 
 	fmt.Fprintf(w, "# HELP seadoptd_jobs Jobs per lifecycle state.\n# TYPE seadoptd_jobs gauge\n")
 	for _, st := range allStates {

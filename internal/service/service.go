@@ -95,6 +95,11 @@ type Config struct {
 	// stays bounded. 0 selects 4096, negative retains everything. Results
 	// outlive their job records in the LRU cache.
 	JobRetention int
+	// DefaultStrategy is applied to submissions that leave the strategy
+	// job option empty, before the problem is hashed — so a daemon booted
+	// with -strategy exhaustive caches those results under the exhaustive
+	// key. "" selects the engine default (branch-and-bound).
+	DefaultStrategy string
 }
 
 func (c Config) withDefaults() Config {
@@ -119,19 +124,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ProgressEvent is one completed scaling combination of a job's design-space
+// ProgressEvent is one resolved scaling combination of a job's design-space
 // exploration, mirrored from the engine's in-order Progress callbacks: Index
-// is the 0-based combination index within Total, and events always arrive in
-// enumeration order.
+// is the 0-based visit index within Total, and events always arrive in
+// enumeration order. Under the branch-and-bound strategy, combinations the
+// engine proved irrelevant without mapping them carry Pruned or Skipped
+// (their design fields are zero), and every event carries the cumulative
+// pruned-or-skipped count so SSE clients can watch the bound work.
 type ProgressEvent struct {
-	Index      int     `json:"index"`
-	Total      int     `json:"total"`
-	Scaling    []int   `json:"scaling"`
-	PowerW     float64 `json:"power_w"`
-	Gamma      float64 `json:"gamma"`
-	Feasible   bool    `json:"feasible"`
-	BestPowerW float64 `json:"best_power_w"`
-	BestGamma  float64 `json:"best_gamma"`
+	Index       int     `json:"index"`
+	Total       int     `json:"total"`
+	Combination int     `json:"combination"`
+	Scaling     []int   `json:"scaling"`
+	Pruned      bool    `json:"pruned,omitempty"`
+	Skipped     bool    `json:"skipped,omitempty"`
+	PrunedTotal int     `json:"pruned_total"`
+	PowerW      float64 `json:"power_w"`
+	Gamma       float64 `json:"gamma"`
+	Feasible    bool    `json:"feasible"`
+	BestPowerW  float64 `json:"best_power_w"`
+	BestGamma   float64 `json:"best_gamma"`
 }
 
 // Job is the server-side record of one submission. All fields are guarded
@@ -276,6 +288,8 @@ type Server struct {
 	coalesced   atomic.Int64
 	engineExecs atomic.Int64
 	submitted   atomic.Int64
+	explored    atomic.Int64 // combinations the mapper actually evaluated
+	pruned      atomic.Int64 // combinations pruned or skipped by the bound
 }
 
 // New starts a Server with cfg's worker pool running.
@@ -300,8 +314,18 @@ func New(cfg Config) *Server {
 
 // Submit enqueues an optimization problem and returns the job's initial
 // status: done immediately on a cache hit, queued/running when coalesced
-// onto an in-flight computation, queued otherwise.
+// onto an in-flight computation, queued otherwise. Submissions that leave
+// the strategy option empty inherit the server's default strategy before
+// hashing, so their cache identity records the walk that will run.
 func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
+	if p.Options.Strategy == "" && s.cfg.DefaultStrategy != "" {
+		// Work on a copy: the caller's Problem keeps its empty-strategy
+		// marker, so resubmitting it elsewhere still means "that server's
+		// default" rather than this server's.
+		defaulted := *p
+		defaulted.Options.Strategy = s.cfg.DefaultStrategy
+		p = &defaulted
+	}
 	// Hash outside the lock; the graph encoding dominates the cost.
 	key, err := p.Key()
 	if err != nil {
@@ -577,24 +601,44 @@ func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
 		return nil, "", err
 	}
 	o := f.problem.Options
+	strategy, err := seadopt.ParseExploreStrategy(o.Strategy)
+	if err != nil {
+		return nil, "", err
+	}
+	prunedSoFar := 0 // engine Progress callbacks are serialized in order
 	opts := seadopt.OptimizeOptions{
 		SER:              o.SER,
 		DeadlineSec:      o.DeadlineSec,
 		StreamIterations: o.StreamIterations,
 		SearchMoves:      o.SearchMoves,
 		Seed:             o.Seed,
+		Strategy:         strategy,
+		SampleBudget:     o.SampleBudget,
 		Parallelism:      s.cfg.EngineParallelism,
 		Progress: func(p seadopt.ExploreProgress) {
-			f.append(ProgressEvent{
-				Index:      p.Index,
-				Total:      p.Total,
-				Scaling:    append([]int{}, p.Scaling...),
-				PowerW:     p.Design.Eval.PowerW,
-				Gamma:      p.Design.Eval.Gamma,
-				Feasible:   p.Design.Eval.MeetsDeadline,
-				BestPowerW: p.Best.Eval.PowerW,
-				BestGamma:  p.Best.Eval.Gamma,
-			})
+			ev := ProgressEvent{
+				Index:       p.Index,
+				Total:       p.Total,
+				Combination: p.Combination,
+				Scaling:     append([]int{}, p.Scaling...),
+				Pruned:      p.Pruned,
+				Skipped:     p.Skipped,
+			}
+			if p.Pruned || p.Skipped {
+				prunedSoFar++
+				s.pruned.Add(1)
+			} else {
+				s.explored.Add(1)
+				ev.PowerW = p.Design.Eval.PowerW
+				ev.Gamma = p.Design.Eval.Gamma
+				ev.Feasible = p.Design.Eval.MeetsDeadline
+			}
+			ev.PrunedTotal = prunedSoFar
+			if p.Best != nil {
+				ev.BestPowerW = p.Best.Eval.PowerW
+				ev.BestGamma = p.Best.Eval.Gamma
+			}
+			f.append(ev)
 		},
 	}
 	s.engineExecs.Add(1)
@@ -680,17 +724,19 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 
 // Metrics is a point-in-time snapshot of the server's operational counters.
 type Metrics struct {
-	QueueDepth       int             `json:"queue_depth"`
-	Workers          int             `json:"workers"`
-	Draining         bool            `json:"draining"`
-	CacheEntries     int             `json:"cache_entries"`
-	CacheCapacity    int             `json:"cache_capacity"`
-	CacheHits        int64           `json:"cache_hits"`
-	CacheMisses      int64           `json:"cache_misses"`
-	Coalesced        int64           `json:"coalesced"`
-	EngineExecutions int64           `json:"engine_executions"`
-	Submitted        int64           `json:"submitted"`
-	Jobs             map[State]int64 `json:"jobs"`
+	QueueDepth           int             `json:"queue_depth"`
+	Workers              int             `json:"workers"`
+	Draining             bool            `json:"draining"`
+	CacheEntries         int             `json:"cache_entries"`
+	CacheCapacity        int             `json:"cache_capacity"`
+	CacheHits            int64           `json:"cache_hits"`
+	CacheMisses          int64           `json:"cache_misses"`
+	Coalesced            int64           `json:"coalesced"`
+	EngineExecutions     int64           `json:"engine_executions"`
+	Submitted            int64           `json:"submitted"`
+	CombinationsExplored int64           `json:"combinations_explored"`
+	CombinationsPruned   int64           `json:"combinations_pruned"`
+	Jobs                 map[State]int64 `json:"jobs"`
 }
 
 // Metrics snapshots the server counters, including jobs-per-state gauges.
@@ -698,17 +744,19 @@ func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		QueueDepth:       len(s.queue),
-		Workers:          s.cfg.Workers,
-		Draining:         s.draining,
-		CacheEntries:     s.cache.Len(),
-		CacheCapacity:    s.cfg.CacheEntries,
-		CacheHits:        s.cacheHits.Load(),
-		CacheMisses:      s.cacheMisses.Load(),
-		Coalesced:        s.coalesced.Load(),
-		EngineExecutions: s.engineExecs.Load(),
-		Submitted:        s.submitted.Load(),
-		Jobs:             make(map[State]int64),
+		QueueDepth:           len(s.queue),
+		Workers:              s.cfg.Workers,
+		Draining:             s.draining,
+		CacheEntries:         s.cache.Len(),
+		CacheCapacity:        s.cfg.CacheEntries,
+		CacheHits:            s.cacheHits.Load(),
+		CacheMisses:          s.cacheMisses.Load(),
+		Coalesced:            s.coalesced.Load(),
+		EngineExecutions:     s.engineExecs.Load(),
+		Submitted:            s.submitted.Load(),
+		CombinationsExplored: s.explored.Load(),
+		CombinationsPruned:   s.pruned.Load(),
+		Jobs:                 make(map[State]int64),
 	}
 	for _, j := range s.jobs {
 		m.Jobs[j.state]++

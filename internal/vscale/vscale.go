@@ -16,17 +16,41 @@
 package vscale
 
 import (
+	"container/heap"
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"seadopt/internal/arch"
 )
 
+// Valid reports whether s is a well-formed Fig. 5 scaling vector: non-empty,
+// non-increasing, with every entry ≥ 1.
+func Valid(s []int) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i, v := range s {
+		if v < 1 {
+			return false
+		}
+		if i > 0 && v > s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // NextScaling computes the successor of prev in the Fig. 5 enumeration
 // order. It returns ok=false when prev is the final all-nominal vector
-// (s=1 everywhere). prev must be non-increasing with entries ≥ 1; the
-// result is a fresh slice.
+// (s=1 everywhere) — or when prev is malformed (empty, non-monotone, or
+// with entries < 1), which the transition rule would otherwise walk into
+// garbage. prev must be non-increasing with entries ≥ 1; the result is a
+// fresh slice.
 func NextScaling(prev []int) (next []int, ok bool) {
+	if !Valid(prev) {
+		return nil, false
+	}
 	next = append([]int(nil), prev...)
 	j := -1
 	for i := len(next) - 1; i >= 0; i-- {
@@ -195,4 +219,243 @@ func AllByPower(p *arch.Platform) ([][]int, error) {
 		out[i] = combos[j]
 	}
 	return out, nil
+}
+
+// Unrank returns the rank-th vector of the Fig. 5 enumeration (0-based)
+// without walking the sequence: the enumeration is exactly descending
+// lexicographic order over non-increasing vectors, so each position is
+// resolved by peeling off the block sizes Count(remaining, v) of the
+// candidate values v from the current maximum downward. This is the random
+// access that gives every combination a stable index — the Sampled
+// exploration strategy draws indices and unranks them, and a combination's
+// mapper seed is derived from this index whatever order it is visited in.
+func Unrank(cores, levels, rank int) ([]int, error) {
+	if cores < 1 || levels < 1 {
+		return nil, fmt.Errorf("vscale: need cores ≥ 1 and levels ≥ 1, got %d, %d", cores, levels)
+	}
+	if total := Count(cores, levels); rank < 0 || rank >= total {
+		return nil, fmt.Errorf("vscale: rank %d outside [0,%d)", rank, total)
+	}
+	out := make([]int, cores)
+	max := levels
+	for i := 0; i < cores; i++ {
+		for v := max; v >= 1; v-- {
+			block := Count(cores-i-1, v)
+			if rank < block {
+				out[i] = v
+				max = v
+				break
+			}
+			rank -= block
+		}
+	}
+	return out, nil
+}
+
+// Combo is one design-space point of a Frontier stream: the per-core
+// scaling vector and its stable Fig. 5 enumeration index. The index is the
+// combination's identity across iteration orders — deterministic per-index
+// mapper seeds and the enumeration-order reduction both key on it.
+type Combo struct {
+	// Index is the 0-based position in the Fig. 5 enumeration, independent
+	// of the order this frontier visits combinations in.
+	Index int
+	// Scaling is the non-increasing per-core vector. Owned by the receiver.
+	Scaling []int
+}
+
+// Frontier streams scaling combinations one at a time — the lazily-streamed
+// replacement for materializing the full [][]int enumeration. Memory is
+// O(cores) for the enumeration order and O(budget) for the sampled order;
+// the ranked order holds a generation heap (worst case O(visited)).
+type Frontier struct {
+	next func() (Combo, bool)
+	size int
+}
+
+// Next returns the next combination, or ok=false when the stream is done.
+func (f *Frontier) Next() (Combo, bool) { return f.next() }
+
+// Size returns the number of combinations the frontier will yield.
+func (f *Frontier) Size() int { return f.size }
+
+// NewFrontier streams the full Fig. 5 enumeration in enumeration order
+// (all-slowest first), with Combo.Index equal to the stream position.
+func NewFrontier(cores, levels int) (*Frontier, error) {
+	e, err := NewEnumerator(cores, levels)
+	if err != nil {
+		return nil, err
+	}
+	i := -1
+	return &Frontier{
+		size: Count(cores, levels),
+		next: func() (Combo, bool) {
+			s, ok := e.Next()
+			if !ok {
+				return Combo{}, false
+			}
+			i++
+			return Combo{Index: i, Scaling: s}, true
+		},
+	}, nil
+}
+
+// NewSampledFrontier streams a seed-deterministic uniform sample of `budget`
+// distinct combinations in ascending enumeration-index order, unranking each
+// on demand — random access into spaces too large to enumerate. A budget of
+// zero or beyond the space size yields the whole enumeration.
+func NewSampledFrontier(cores, levels, budget int, seed int64) (*Frontier, error) {
+	total := Count(cores, levels)
+	if cores < 1 || levels < 1 {
+		return nil, fmt.Errorf("vscale: need cores ≥ 1 and levels ≥ 1, got %d, %d", cores, levels)
+	}
+	if budget <= 0 || budget >= total {
+		return NewFrontier(cores, levels)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5A3D1EF0))
+	picked := make(map[int]struct{}, budget)
+	idxs := make([]int, 0, budget)
+	for len(idxs) < budget {
+		r := rng.Intn(total)
+		if _, dup := picked[r]; dup {
+			continue
+		}
+		picked[r] = struct{}{}
+		idxs = append(idxs, r)
+	}
+	sort.Ints(idxs)
+	pos := 0
+	return &Frontier{
+		size: budget,
+		next: func() (Combo, bool) {
+			if pos >= len(idxs) {
+				return Combo{}, false
+			}
+			s, err := Unrank(cores, levels, idxs[pos])
+			if err != nil {
+				return Combo{}, false // unreachable: idxs ∈ [0,total)
+			}
+			c := Combo{Index: idxs[pos], Scaling: s}
+			pos++
+			return c, true
+		},
+	}, nil
+}
+
+// rankedNode is one frontier entry of the ranked generation heap.
+type rankedNode struct {
+	scaling []int
+	weight  float64
+}
+
+type rankedHeap []rankedNode
+
+func (h rankedHeap) Len() int           { return len(h) }
+func (h rankedHeap) Less(i, j int) bool { return h[i].weight < h[j].weight }
+func (h rankedHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *rankedHeap) Push(x any)        { *h = append(*h, x.(rankedNode)) }
+func (h *rankedHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// NewRankedFrontier streams the enumeration in ascending total weight,
+// where a vector's weight is Σ_c levelWeight[s_c-1] (pass per-level dynamic
+// power for cheapest-first order). Generation is lazy best-first search over
+// the speed-up lattice from the all-slowest vector: no up-front
+// materialization or sort, at the cost of a heap plus a visited set that
+// grow with the number of combinations actually consumed. Ties are emitted
+// in ascending enumeration-index order. levelWeight must be ascending with
+// level coefficient... i.e. levelWeight[0] (s=1, fastest) is the largest.
+func NewRankedFrontier(cores int, levelWeight []float64) (*Frontier, error) {
+	levels := len(levelWeight)
+	if cores < 1 || levels < 1 {
+		return nil, fmt.Errorf("vscale: need cores ≥ 1 and levels ≥ 1, got %d, %d", cores, levels)
+	}
+	for i := 1; i < levels; i++ {
+		if levelWeight[i-1] < levelWeight[i] {
+			return nil, fmt.Errorf("vscale: level weights must be non-increasing in s (fastest level heaviest)")
+		}
+	}
+	weightOf := func(s []int) float64 {
+		var w float64
+		for _, v := range s {
+			w += levelWeight[v-1]
+		}
+		return w
+	}
+	start := make([]int, cores)
+	for i := range start {
+		start[i] = levels
+	}
+	h := &rankedHeap{{scaling: start, weight: weightOf(start)}}
+	seen := map[string]struct{}{fmt.Sprint(start): {}}
+	return &Frontier{
+		size: Count(cores, levels),
+		next: func() (Combo, bool) {
+			if h.Len() == 0 {
+				return Combo{}, false
+			}
+			// Pop every node of the minimal weight and order the tie class
+			// by enumeration index so the stream is fully deterministic.
+			batch := []rankedNode{heap.Pop(h).(rankedNode)}
+			for h.Len() > 0 && (*h)[0].weight <= batch[0].weight {
+				batch = append(batch, heap.Pop(h).(rankedNode))
+			}
+			sort.Slice(batch, func(a, b int) bool {
+				ra, _ := Rank(batch[a].scaling, levels)
+				rb, _ := Rank(batch[b].scaling, levels)
+				return ra < rb
+			})
+			cur := batch[0]
+			for _, n := range batch[1:] {
+				heap.Push(h, n)
+			}
+			// Successors: speed one core up a level, keeping the vector
+			// non-increasing (canonical), deduplicated via the visited set.
+			for i := 0; i < cores; i++ {
+				if cur.scaling[i] <= 1 {
+					continue
+				}
+				if i < cores-1 && cur.scaling[i]-1 < cur.scaling[i+1] {
+					continue // would break non-increasing form
+				}
+				succ := append([]int(nil), cur.scaling...)
+				succ[i]--
+				key := fmt.Sprint(succ)
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				// Recompute from scratch so equal multisets reached along
+				// different speed-up paths carry bit-identical weights and
+				// the tie ordering by enumeration index stays exact.
+				heap.Push(h, rankedNode{scaling: succ, weight: weightOf(succ)})
+			}
+			idx, err := Rank(cur.scaling, levels)
+			if err != nil {
+				return Combo{}, false // unreachable: generated vectors are canonical
+			}
+			return Combo{Index: idx, Scaling: cur.scaling}, true
+		},
+	}, nil
+}
+
+// Rank is the inverse of Unrank: the 0-based index of a canonical
+// (non-increasing, entries ≥ 1) scaling vector within the Fig. 5
+// enumeration for a platform with the given number of DVS levels.
+func Rank(s []int, levels int) (int, error) {
+	if !Valid(s) {
+		return 0, fmt.Errorf("vscale: %v is not a canonical scaling vector", s)
+	}
+	if s[0] > levels {
+		return 0, fmt.Errorf("vscale: %v exceeds the %d-level table", s, levels)
+	}
+	cores := len(s)
+	rank := 0
+	hi := levels
+	for i, v := range s {
+		for u := hi; u > v; u-- {
+			rank += Count(cores-i-1, u)
+		}
+		hi = v
+	}
+	return rank, nil
 }

@@ -13,7 +13,8 @@ func vscaleAll(p *arch.Platform) ([][]int, error) {
 
 // NextScaling computes the successor of a scaling vector in the Fig. 5(a)
 // enumeration order (all-slowest first, all-nominal last); ok is false at
-// the end of the sequence.
+// the end of the sequence, and for malformed input (empty, non-monotone,
+// or entries below 1) rather than walking garbage.
 func NextScaling(prev []int) (next []int, ok bool) {
 	return vscale.NextScaling(prev)
 }
