@@ -10,6 +10,7 @@ import (
 	"seadopt/internal/faults"
 	"seadopt/internal/mapping"
 	"seadopt/internal/metrics"
+	"seadopt/internal/pareto"
 	"seadopt/internal/registers"
 	"seadopt/internal/sched"
 	"seadopt/internal/sim"
@@ -143,6 +144,31 @@ func ParseExploreStrategy(name string) (ExploreStrategy, error) {
 	return mapping.ParseStrategy(name)
 }
 
+// ParetoObjectives selects which objective components participate in the
+// multi-objective exploration's dominance tests; see the Objective
+// constants. The zero value selects all three.
+type ParetoObjectives = pareto.Objectives
+
+// The Pareto objective components, all minimized.
+const (
+	// ObjectivePower is the scaling vector's full-utilization dynamic power
+	// (eq. 5 with α ≡ 1) — the quantity the scalar loop minimizes.
+	ObjectivePower = pareto.ObjPower
+	// ObjectiveMakespan is T_M, the multiprocessor execution time;
+	// minimizing it maximizes slack against the deadline.
+	ObjectiveMakespan = pareto.ObjMakespan
+	// ObjectiveGamma is Γ, the expected number of SEUs experienced (eq. 3)
+	// — the paper's soft-error reliability metric.
+	ObjectiveGamma = pareto.ObjGamma
+)
+
+// ParseParetoObjectives resolves a comma-separated objective list from a
+// flag or job option ("power,gamma", "makespan", ...); the empty string
+// selects all three objectives.
+func ParseParetoObjectives(s string) (ParetoObjectives, error) {
+	return pareto.ParseObjectives(s)
+}
+
 // OptimizeOptions tunes the design optimization.
 type OptimizeOptions struct {
 	// SER is the soft error rate per bit per cycle. 0 selects DefaultSER
@@ -175,6 +201,10 @@ type OptimizeOptions struct {
 	// SampleBudget bounds StrategySampled's portfolio size (0 selects the
 	// engine default). Ignored by the exact strategies.
 	SampleBudget int
+	// Objectives selects the objective components of the Pareto
+	// exploration's dominance tests (OptimizePareto); 0 selects all three
+	// (power, makespan, Γ). Ignored by the scalar optimizations.
+	Objectives ParetoObjectives
 }
 
 func (o OptimizeOptions) mappingConfig() mapping.Config {
@@ -197,6 +227,7 @@ func (o OptimizeOptions) mappingConfig() mapping.Config {
 		// The facade returns only the chosen design; don't retain one
 		// Design per combination on large platforms.
 		SampleBudget:      o.SampleBudget,
+		Objectives:        o.Objectives,
 		DiscardPerScaling: true,
 	}
 }
@@ -250,6 +281,40 @@ func (s *System) OptimizeContext(ctx context.Context, opts OptimizeOptions) (*De
 		return nil, err
 	}
 	return &Design{Scaling: best.Scaling, Mapping: best.Mapping, Eval: best.Eval}, nil
+}
+
+// OptimizePareto runs the multi-objective design loop: instead of
+// collapsing the exploration to the single minimum-power design, it keeps
+// the whole trade-off surface the paper's figures plot — the Pareto
+// frontier of deadline-feasible designs over OptimizeOptions.Objectives
+// (nominal power, T_M and Γ by default). The frontier is returned ordered
+// ascending by the active objectives in canonical order — power, then T_M,
+// then Γ, skipping excluded components — tie-broken by enumeration index
+// (so with the default objectives, frontier[0] is the minimum-power
+// member), and is byte-identical at any Parallelism and across the exact
+// strategies:
+// branch-and-bound prunes combinations the admissible makespan bound proves
+// infeasible and skips combinations whose objective lower bound is
+// dominated by a frontier member, and provably returns the exhaustive
+// frontier. When no design meets the deadline, the frontier degenerates to
+// the scalar loop's single "least infeasible" design.
+func (s *System) OptimizePareto(opts OptimizeOptions) ([]*Design, error) {
+	return s.OptimizeParetoContext(context.Background(), opts)
+}
+
+// OptimizeParetoContext is OptimizePareto with cancellation: when ctx is
+// cancelled the exploration stops promptly and returns ctx.Err().
+func (s *System) OptimizeParetoContext(ctx context.Context, opts OptimizeOptions) ([]*Design, error) {
+	cfg := opts.mappingConfig()
+	frontier, err := mapping.ExploreParetoContext(ctx, s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Design, len(frontier))
+	for i, d := range frontier {
+		out[i] = &Design{Scaling: d.Scaling, Mapping: d.Mapping, Eval: d.Eval}
+	}
+	return out, nil
 }
 
 // BaselineObjective selects a soft error-unaware optimization objective.

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoBaselines resolves the committed baseline files at the repository
+// root relative to this package.
+func repoBaselines(t *testing.T) []string {
+	t.Helper()
+	paths := []string{
+		filepath.Join("..", "..", "BENCH_explore.json"),
+		filepath.Join("..", "..", "BENCH_prune.json"),
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("committed baseline missing: %v", err)
+		}
+	}
+	return paths
+}
+
+// healthyBench renders bench output matching the committed baselines (with
+// -count=3 repetition noise that the min-of-count logic must absorb).
+func healthyBench() string {
+	var sb strings.Builder
+	lines := []struct {
+		name   string
+		ns     float64
+		allocs int
+	}{
+		{"BenchmarkOptimizeMPEG2", 3617032, 5793},
+		{"BenchmarkEvaluate", 39974, 40},
+		{"BenchmarkEvaluatorReuse", 6945, 1},
+		{"BenchmarkExploreMPEG2Exhaustive", 3755157, 5820},
+		{"BenchmarkExploreMPEG2BnB", 699711, 1237},
+		{"BenchmarkExplore16CoreExhaustive", 436971690, 190877},
+		{"BenchmarkExplore16CoreBnB", 91985161, 40871},
+	}
+	for _, l := range lines {
+		for rep := 0; rep < 3; rep++ {
+			// Later repetitions are slightly slower; min-of-count keeps the best.
+			ns := l.ns * (1 + 0.08*float64(rep))
+			fmt.Fprintf(&sb, "%s-8  \t     100\t  %.0f ns/op\t  123 B/op\t  %d allocs/op\n", l.name, ns, l.allocs)
+		}
+	}
+	sb.WriteString("PASS\nok  \tseadopt\t42.0s\n")
+	return sb.String()
+}
+
+// runGate writes the bench output to a temp file and runs the gate against
+// the committed baselines, returning exit code and combined output.
+func runGate(t *testing.T, bench string, extraArgs ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(path, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := append([]string{"-bench", path}, extraArgs...)
+	args = append(args, repoBaselines(t)...)
+	code := run(args, &out, &out)
+	return code, out.String()
+}
+
+func TestGatePassesOnHealthyRun(t *testing.T) {
+	code, out := runGate(t, healthyBench())
+	if code != 0 {
+		t.Fatalf("healthy run failed (exit %d):\n%s", code, out)
+	}
+	for _, want := range []string{
+		"PASS  OptimizeMPEG2",
+		"PASS  ExploreMPEG2 speedup",
+		"PASS  Explore16Core speedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("healthy run reported failures:\n%s", out)
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the acceptance criterion: a 2×
+// wall-clock slowdown of the branch-and-bound benchmarks halves the
+// measured speedup ratios, which a ±20% tolerance must reject.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	slowed := healthyBench()
+	// Double every BnB ns/op figure: the pruning win collapses 2×.
+	var sb strings.Builder
+	for _, line := range strings.Split(slowed, "\n") {
+		if strings.Contains(line, "BnB") {
+			fields := strings.Fields(line)
+			var ns float64
+			fmt.Sscanf(fields[2], "%f", &ns)
+			fmt.Fprintf(&sb, "%s  \t%s\t  %.0f ns/op\t  %s B/op\t  %s allocs/op\n",
+				fields[0], fields[1], ns*2, fields[4], fields[6])
+			continue
+		}
+		sb.WriteString(line + "\n")
+	}
+	code, out := runGate(t, sb.String())
+	if code == 0 {
+		t.Fatalf("2x BnB slowdown passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL  ExploreMPEG2 speedup") || !strings.Contains(out, "FAIL  Explore16Core speedup") {
+		t.Errorf("slowdown not attributed to the speedup checks:\n%s", out)
+	}
+}
+
+// TestGateFailsOnAllocRegression: a doubled allocs/op count on a baselined
+// benchmark fails the allocation gate.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	regressed := strings.ReplaceAll(healthyBench(), "5793 allocs/op", "11586 allocs/op")
+	code, out := runGate(t, regressed)
+	if code == 0 {
+		t.Fatalf("2x alloc regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL  OptimizeMPEG2") {
+		t.Errorf("regression not attributed to OptimizeMPEG2:\n%s", out)
+	}
+}
+
+// TestGateWithinTolerancePasses: a 15% alloc increase and a 15% ratio dip
+// stay inside the ±20% band.
+func TestGateWithinTolerancePasses(t *testing.T) {
+	bench := healthyBench()
+	bench = strings.ReplaceAll(bench, "5793 allocs/op", "6662 allocs/op") // +15%
+	var sb strings.Builder
+	for _, line := range strings.Split(bench, "\n") {
+		if strings.Contains(line, "BnB") {
+			fields := strings.Fields(line)
+			var ns float64
+			fmt.Sscanf(fields[2], "%f", &ns)
+			fmt.Fprintf(&sb, "%s  \t%s\t  %.0f ns/op\t  %s B/op\t  %s allocs/op\n",
+				fields[0], fields[1], ns*1.15, fields[4], fields[6])
+			continue
+		}
+		sb.WriteString(line + "\n")
+	}
+	if code, out := runGate(t, sb.String()); code != 0 {
+		t.Fatalf("within-tolerance drift failed the gate:\n%s", out)
+	}
+}
+
+// TestGateRefusesToCheckNothing: output with no baselined benchmark fails
+// rather than vacuously passing.
+func TestGateRefusesToCheckNothing(t *testing.T) {
+	code, out := runGate(t, "BenchmarkUnrelated-8  100  5 ns/op  0 B/op  0 allocs/op\n")
+	if code == 0 {
+		t.Fatalf("empty-check run passed:\n%s", out)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if code := run(nil, &out, &out); code != 1 && code != 2 {
+		t.Errorf("no-args run exited %d, want error", code)
+	}
+	if code := run([]string{"-tol", "5", "x.json"}, &out, &out); code != 2 {
+		t.Errorf("bad tolerance exited %d, want 2", code)
+	}
+	if code := run([]string{"-unknown"}, &out, &out); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+}

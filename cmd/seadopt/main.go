@@ -44,6 +44,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "scaling-combination workers (0 = all cores, 1 = sequential; same result either way)")
 		strategy  = flag.String("strategy", "", "exploration strategy: bnb (default; same answer as exhaustive, prunes provably irrelevant scalings), exhaustive, or sampled (approximate)")
 		budget    = flag.Int("sample-budget", 0, "combinations the sampled strategy maps (0 = default)")
+		paretoRun = flag.Bool("pareto", false, "return the Pareto frontier of feasible designs instead of the single minimum-power one")
+		objs      = flag.String("objectives", "", "pareto objectives, comma-separated subset of power,makespan,gamma (default all three)")
 		progress  = flag.Bool("progress", false, "print one line per resolved scaling combination")
 		seed      = flag.Int64("seed", 2010, "random seed")
 		baseline  = flag.String("baseline", "", "run a soft error-unaware baseline instead: reg, makespan or regtime")
@@ -90,6 +92,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	objectives, err := seadopt.ParseParetoObjectives(*objs)
+	if err != nil {
+		fatal(err)
+	}
+	if *objs != "" && !*paretoRun {
+		fatal(fmt.Errorf("-objectives needs -pareto"))
+	}
 	opts := seadopt.OptimizeOptions{
 		SER:              serOpt,
 		DeadlineSec:      dl,
@@ -99,6 +108,7 @@ func main() {
 		Parallelism:      *parallel,
 		Strategy:         strat,
 		SampleBudget:     *budget,
+		Objectives:       objectives,
 	}
 	if *progress {
 		progressOut := narrationOut(*jsonOut)
@@ -120,6 +130,37 @@ func main() {
 					p.Design.Eval.PowerW*1e3, p.Design.Eval.Gamma, met)
 			}
 		}
+	}
+
+	if *paretoRun {
+		if *baseline != "" {
+			fatal(fmt.Errorf("-pareto supports only the proposed mapper, not -baseline %s", *baseline))
+		}
+		if !*jsonOut {
+			fmt.Printf("exploring the (%s) Pareto frontier of %s on %d cores / %d DVS levels (deadline %.3fs)...\n",
+				objectives, g.Name(), *cores, *levels, dl)
+		}
+		frontier, err := sys.OptimizePareto(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			data, err := json.Marshal(frontier)
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(append(data, '\n'))
+		} else {
+			fmt.Printf("frontier: %d design(s)\n", len(frontier))
+			for i, d := range frontier {
+				fmt.Printf("[%d] %s", i, d.Summary())
+			}
+		}
+		if !frontier[0].Eval.MeetsDeadline {
+			fmt.Fprintln(os.Stderr, "warning: no deadline-meeting design exists for this configuration")
+			os.Exit(2)
+		}
+		return
 	}
 
 	var design *seadopt.Design

@@ -59,6 +59,8 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		parallel     = fs.Int("engine-parallel", 0, "per-job exploration parallelism (0 = all cores)")
 		retention    = fs.Int("job-retention", 4096, "finished job records kept queryable (negative = unlimited)")
 		strategy     = fs.String("strategy", "", "default exploration strategy for jobs that don't set one: bnb (default), exhaustive, or sampled")
+		paretoMode   = fs.Bool("pareto", false, "default jobs that don't set a mode to pareto (serve frontiers instead of single designs)")
+		objectives   = fs.String("objectives", "", "default pareto objectives for jobs that don't set them: comma-separated subset of power,makespan,gamma")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +68,16 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	}
 	if _, err := seadopt.ParseExploreStrategy(*strategy); err != nil {
 		return err
+	}
+	if _, err := seadopt.ParseParetoObjectives(*objectives); err != nil {
+		return err
+	}
+	if *objectives != "" && !*paretoMode {
+		return fmt.Errorf("-objectives needs -pareto")
+	}
+	defaultMode := ""
+	if *paretoMode {
+		defaultMode = "pareto"
 	}
 
 	svc := service.New(service.Config{
@@ -75,6 +87,8 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		EngineParallelism: *parallel,
 		JobRetention:      *retention,
 		DefaultStrategy:   *strategy,
+		DefaultMode:       defaultMode,
+		DefaultObjectives: *objectives,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -76,6 +76,32 @@
 // regenerating paper results. Pruned/skipped combinations surface in
 // ExploreProgress with their Pruned/Skipped flags set and a nil Design.
 //
+// # Objectives and Pareto exploration
+//
+// OptimizePareto replaces the scalar step-3 reduction with a multi-
+// objective non-dominated fold: every deadline-feasible scaling
+// combination contributes an objective vector — nominal dynamic power
+// (eq. 5 at full utilization), multiprocessor execution time T_M, and the
+// expected SEUs experienced Γ (eq. 3) — and the ordered Pareto frontier of
+// those vectors is returned as a []*Design, sorted ascending by the active
+// objectives in canonical order (power, then T_M, then Γ; excluded
+// components are skipped) with the enumeration index as the final
+// tie-break. OptimizeOptions.Objectives restricts
+// dominance to a subset of the three components (ObjectivePower,
+// ObjectiveMakespan, ObjectiveGamma; ParseParetoObjectives resolves
+// "power,gamma"-style lists); the zero value selects all three.
+//
+// The frontier inherits the engine's determinism guarantees: byte-identical
+// at any Parallelism and across StrategyBranchAndBound and
+// StrategyExhaustive — under branch and bound, a combination is skipped
+// only when its admissible lower-bound vector (exact nominal power, the
+// metrics.Bounds makespan bound, zero Γ) is strictly dominated by a
+// frontier member, which proves its realized vector could never join the
+// frontier. Exact objective ties keep the lowest-enumeration-index design.
+// When no design meets the deadline the frontier collapses to the scalar
+// loop's deterministic "least infeasible" design. ExploreProgress carries
+// the per-point view (FrontierSize, Admitted) for live consumers.
+//
 // # SER sentinel
 //
 // OptimizeOptions.SER = 0 selects DefaultSER (the paper's 1e-9); a negative

@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"testing"
+
+	"seadopt/internal/taskgraph"
+)
+
+// The ingest fuzz targets assert the parser contract on arbitrary input:
+// never panic, and either fail with an error or return a graph that passes
+// the same structural validation every accepted submission passes — so a
+// fuzz-found parser bug is a crash or a validation violation, not a silent
+// bad graph reaching the engine. CI runs each target briefly
+// (-fuzztime a few seconds) as a smoke screen; run them longer locally with
+//
+//	go test -fuzz FuzzParseTGFF -fuzztime 5m ./internal/ingest
+//
+// (one target per -fuzz invocation).
+
+// checkParsed validates a graph the parser accepted.
+func checkParsed(t *testing.T, g *taskgraph.Graph) {
+	t.Helper()
+	if g == nil {
+		t.Fatal("parser returned nil graph with nil error")
+	}
+	if err := ValidateGraph(g); err != nil {
+		t.Fatalf("parser accepted a graph its own validator rejects: %v", err)
+	}
+	// The canonical encoding must round-trip whatever we accepted.
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatalf("accepted graph does not marshal: %v", err)
+	}
+	if _, err := ParseBytes(FormatJSON, data); err != nil {
+		t.Fatalf("accepted graph's canonical encoding does not re-parse: %v", err)
+	}
+}
+
+func FuzzParseTGFF(f *testing.F) {
+	f.Add(sampleTGFF)
+	f.Add("@TASK_GRAPH 0 {\n\tTASK a TYPE 0\n\tTASK b TYPE 1\n\tARC x FROM a TO b TYPE 0\n}\n")
+	f.Add("@WCET 0 {\n\t0 100\n}\n")
+	f.Add("# comment only\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := ParseBytes(FormatTGFF, []byte(doc))
+		if err == nil {
+			checkParsed(t, g)
+		}
+	})
+}
+
+func FuzzParseDOT(f *testing.F) {
+	f.Add("strict digraph \"pipe line\" {\n\ta [cycles=1000, regbits=512];\n\ta -> b -> c [cycles=\"77\"];\n\tb -> d [label=\"42\"];\n\tc -> d;\n}\n")
+	f.Add("digraph g { a -> b; }")
+	f.Add("digraph g { a -> b [cycles=3]; b -> c; }")
+	f.Add("digraph g  a -> b; }")
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := ParseBytes(FormatDOT, []byte(doc))
+		if err == nil {
+			checkParsed(t, g)
+		}
+	})
+}
+
+func FuzzParseJSON(f *testing.F) {
+	mpeg2, err := taskgraph.MPEG2().MarshalJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(mpeg2))
+	fig8, err := taskgraph.Fig8().MarshalJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(fig8))
+	f.Add(`{"name":"x","tasks":[]}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := ParseBytes(FormatJSON, []byte(doc))
+		if err == nil {
+			checkParsed(t, g)
+		}
+	})
+}
+
+// FuzzDetect: format sniffing must never panic and must hand every sniffed
+// document to a parser that upholds the same contract.
+func FuzzDetect(f *testing.F) {
+	f.Add(sampleTGFF)
+	f.Add("digraph g { a -> b; }")
+	f.Add(`{"name":"x"}`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		format, err := Detect([]byte(doc))
+		if err != nil {
+			return
+		}
+		g, err := ParseBytes(format, []byte(doc))
+		if err == nil {
+			checkParsed(t, g)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package ingest
+
+import (
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+func modeProblem(t *testing.T, opt Options) *Problem {
+	t.Helper()
+	p, err := arch.NewPlatform(4, arch.ARM7Levels3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{Graph: taskgraph.MPEG2(), Platform: p, Options: opt}
+}
+
+func mustKey(t *testing.T, opt Options) string {
+	t.Helper()
+	k, err := modeProblem(t, opt).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestParseMode(t *testing.T) {
+	for name, want := range map[string]string{
+		"": ModeScalar, "scalar": ModeScalar, "single": ModeScalar,
+		"pareto": ModePareto, "frontier": ModePareto, "multi": ModePareto,
+	} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %q, %v; want %q", name, got, err, want)
+		}
+	}
+	if _, err := ParseMode("tri-objective"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestModeProblemIdentity: the mode and the Pareto objectives are part of
+// the problem key — a frontier is never served for a scalar request and
+// distinct objective selections never share cache entries — while aliases
+// and canonical-rendering differences collapse onto one key.
+func TestModeProblemIdentity(t *testing.T) {
+	base := Options{DeadlineSec: taskgraph.MPEG2Deadline, StreamIterations: taskgraph.MPEG2Frames, Seed: 1}
+
+	scalar := mustKey(t, base)
+	explicitScalar := base
+	explicitScalar.Mode = ModeScalar
+	if got := mustKey(t, explicitScalar); got != scalar {
+		t.Error("empty mode and explicit scalar hash apart")
+	}
+
+	paretoOpt := base
+	paretoOpt.Mode = ModePareto
+	paretoKey := mustKey(t, paretoOpt)
+	if paretoKey == scalar {
+		t.Error("scalar and pareto problems share a key")
+	}
+
+	explicitAll := paretoOpt
+	explicitAll.Objectives = "gamma, makespan,power"
+	if got := mustKey(t, explicitAll); got != paretoKey {
+		t.Error("default objectives and their explicit spelling hash apart")
+	}
+
+	subset := paretoOpt
+	subset.Objectives = "power,gamma"
+	subsetKey := mustKey(t, subset)
+	if subsetKey == paretoKey {
+		t.Error("objective subset shares the full-objective key")
+	}
+	reordered := paretoOpt
+	reordered.Objectives = "gamma,power"
+	if got := mustKey(t, reordered); got != subsetKey {
+		t.Error("objective order split the key")
+	}
+
+	// Scalar submissions ignore objectives — none can be set (Validate
+	// rejects them), so the field cannot split scalar keys.
+	aliasMode := base
+	aliasMode.Mode = "single"
+	if got := mustKey(t, aliasMode); got != scalar {
+		t.Error("mode alias split the scalar key")
+	}
+}
+
+func TestModeValidation(t *testing.T) {
+	bad := Options{Mode: "tri"}
+	if bad.Validate() == nil {
+		t.Error("unknown mode validated")
+	}
+	bad = Options{Mode: ModePareto, Baseline: "reg"}
+	if bad.Validate() == nil {
+		t.Error("pareto mode with a baseline mapper validated")
+	}
+	bad = Options{Objectives: "power"}
+	if bad.Validate() == nil {
+		t.Error("objectives without pareto mode validated")
+	}
+	bad = Options{Mode: ModePareto, Objectives: "power,latency"}
+	if bad.Validate() == nil {
+		t.Error("unknown objective validated")
+	}
+	good := Options{Mode: ModePareto, Objectives: "power, gamma"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid pareto options rejected: %v", err)
+	}
+}

@@ -9,8 +9,31 @@ import (
 	"seadopt/internal/arch"
 	"seadopt/internal/faults"
 	"seadopt/internal/mapping"
+	"seadopt/internal/pareto"
 	"seadopt/internal/taskgraph"
 )
+
+// The optimization modes a problem can request.
+const (
+	// ModeScalar is the classic single-design optimization: the
+	// deadline-meeting design with minimum power, tie-broken by Γ.
+	ModeScalar = "scalar"
+	// ModePareto returns the ordered Pareto frontier of deadline-feasible
+	// designs over the problem's objectives instead of one scalar optimum.
+	ModePareto = "pareto"
+)
+
+// ParseMode resolves a user-facing mode name (CLI flag, job option); the
+// empty string selects the scalar mode.
+func ParseMode(name string) (string, error) {
+	switch name {
+	case "", ModeScalar, "single":
+		return ModeScalar, nil
+	case ModePareto, "frontier", "multi":
+		return ModePareto, nil
+	}
+	return "", fmt.Errorf("ingest: unknown mode %q (want scalar or pareto)", name)
+}
 
 // Options are the result-affecting knobs of an optimization problem. They
 // mirror the root OptimizeOptions minus the execution-only fields
@@ -40,6 +63,16 @@ type Options struct {
 	// SampleBudget bounds the "sampled" strategy's portfolio (0 = engine
 	// default). Normalized away for the exact strategies, which ignore it.
 	SampleBudget int `json:"sample_budget"`
+	// Mode selects the optimization output: "" or "scalar" (the single
+	// minimum-power design), or "pareto" (the ordered non-dominated
+	// frontier). It participates in problem identity: a scalar design and a
+	// frontier are different results and never share a cache entry.
+	Mode string `json:"mode"`
+	// Objectives is the pareto mode's comma-separated objective selection
+	// ("power,makespan,gamma" subsets; "" = all three). Normalized to the
+	// canonical rendering, and zeroed for the scalar mode, which ignores
+	// it.
+	Objectives string `json:"objectives"`
 }
 
 // Validate rejects option values the engine cannot run.
@@ -51,6 +84,19 @@ func (o Options) Validate() error {
 	}
 	if _, err := mapping.ParseStrategy(o.Strategy); err != nil {
 		return fmt.Errorf("ingest: %w", err)
+	}
+	mode, err := ParseMode(o.Mode)
+	if err != nil {
+		return err
+	}
+	if mode == ModePareto && o.Baseline != "" {
+		return fmt.Errorf("ingest: pareto mode supports only the proposed mapper (baseline %q given)", o.Baseline)
+	}
+	if _, err := pareto.ParseObjectives(o.Objectives); err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	if mode != ModePareto && o.Objectives != "" {
+		return fmt.Errorf("ingest: objectives %q need mode=pareto", o.Objectives)
 	}
 	if o.SampleBudget < 0 {
 		return fmt.Errorf("ingest: negative sample budget %d", o.SampleBudget)
@@ -99,6 +145,25 @@ func (o Options) normalize() Options {
 	} else if o.SampleBudget == 0 {
 		o.SampleBudget = mapping.DefaultSampleBudget
 	}
+	mode, err := ParseMode(o.Mode)
+	if err != nil {
+		o.Mode = "invalid:" + o.Mode
+		return o
+	}
+	o.Mode = mode
+	if mode == ModePareto {
+		// Canonical objective rendering: "gamma, power" and "power,gamma"
+		// are the same problem; the default and its explicit spelling too.
+		obj, err := pareto.ParseObjectives(o.Objectives)
+		if err != nil {
+			o.Objectives = "invalid:" + o.Objectives
+			return o
+		}
+		o.Objectives = obj.String()
+	} else {
+		// The scalar mode ignores objectives; don't let them split keys.
+		o.Objectives = ""
+	}
 	return o
 }
 
@@ -113,7 +178,8 @@ type Problem struct {
 // problemKeyVersion is bumped whenever the canonical encoding or the
 // engine's result semantics change, invalidating previously cached keys.
 // v2: exploration strategy + sample budget joined the canonical options.
-const problemKeyVersion = 2
+// v3: optimization mode + Pareto objectives joined the canonical options.
+const problemKeyVersion = 3
 
 // canonicalProblem is the stable wire form the ProblemKey hashes. Field
 // order is fixed; every field is value-typed or deterministically ordered

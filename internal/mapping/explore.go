@@ -11,6 +11,7 @@ import (
 
 	"seadopt/internal/arch"
 	"seadopt/internal/metrics"
+	"seadopt/internal/pareto"
 	"seadopt/internal/sched"
 	"seadopt/internal/search"
 	"seadopt/internal/taskgraph"
@@ -46,17 +47,27 @@ type Progress struct {
 	// bound already misses the deadline: it is provably infeasible and the
 	// mapper never ran. Design is nil for pruned combinations.
 	Pruned bool
-	// Skipped reports that the combination's nominal power is dominated by
-	// a feasible incumbent resolved at an earlier position: it provably
-	// cannot be chosen and the mapper was skipped or cancelled. Design is
-	// nil for skipped combinations.
+	// Skipped reports that the combination is provably irrelevant to the
+	// fold's result — dominated on nominal power by a feasible incumbent
+	// (scalar fold) or bound-dominated by the frontier (Pareto fold) — so
+	// the mapper was skipped or cancelled. Design is nil for skipped
+	// combinations.
 	Skipped bool
 	// Design is the combination's optimized design; nil when Pruned or
 	// Skipped.
 	Design *Design
-	// Best is the incumbent best design after folding this combination in;
-	// nil until the first combination is actually evaluated.
+	// Best is the incumbent best design after folding this combination in
+	// (under the Pareto fold: the frontier member minimal in the canonical
+	// active-objective order, i.e. minimum power when power is an active
+	// objective); nil until the first combination is actually evaluated.
 	Best *Design
+	// FrontierSize is the number of non-dominated designs after folding
+	// this combination in. Zero under the scalar fold.
+	FrontierSize int
+	// Admitted reports that this combination's design joined the Pareto
+	// frontier (possibly evicting dominated members). Always false under
+	// the scalar fold.
+	Admitted bool
 }
 
 // Explore runs the outer design loop of Fig. 4 with background context; see
@@ -132,6 +143,90 @@ func ExploreContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	return best, perScaling, nil
 }
 
+// ExplorePareto runs the multi-objective design loop with background
+// context; see ExploreParetoContext.
+func ExplorePareto(g *taskgraph.Graph, p *arch.Platform, mapper MapperFunc, cfg Config) ([]*Design, error) {
+	return ExploreParetoContext(context.Background(), g, p, mapper, cfg)
+}
+
+// ExploreParetoContext runs the same streamed design loop as ExploreContext
+// but replaces the scalar step-3 reduction with a multi-objective
+// non-dominated fold: every deadline-feasible resolved combination's
+// objective vector — nominal power, T_M and Γ, restricted to
+// Config.Objectives — is offered to a streaming Pareto frontier, and the
+// ordered frontier (ascending by the active objectives in canonical order
+// — power, then T_M, then Γ — then by enumeration index) is returned as a
+// list of Designs.
+//
+// Under StrategyBranchAndBound the dominance pruning switches from the
+// scalar incumbent to frontier-dominance: a combination is skipped only when
+// its admissible objective lower bound — exact nominal power, the
+// metrics.Bounds T_M lower bound, zero Γ — is strictly dominated by a
+// frontier member, which proves its realized vector cannot join the
+// frontier. Deadline-bound pruning applies unchanged. The frontier is
+// byte-identical to StrategyExhaustive's at any Parallelism.
+//
+// When no deadline-feasible design exists the frontier would be empty;
+// instead the scalar engine's degenerate verdict — the deterministic "least
+// infeasible" design of an exhaustive pass — is returned as a single-entry
+// frontier, so callers always receive at least one design.
+func ExploreParetoContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
+	mapper MapperFunc, cfg Config) ([]*Design, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Objectives == 0 {
+		cfg.Objectives = pareto.DefaultObjectives
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Probe == nil {
+		cfg.Probe = NewProbeCache()
+	}
+	// The frontier owns per-combination Designs; never retain the full
+	// per-combination list on top of it.
+	cfg.DiscardPerScaling = true
+
+	fold, err := newParetoFold(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prune := cfg.Strategy.withDefault() != StrategyExhaustive
+	// T_M lower bounds feed both deadline pruning and the frontier's
+	// bound-dominance test, so the Pareto core computes them under every
+	// strategy (the exhaustive reference ignores them).
+	_, prunedCount, err := exploreCore(ctx, g, p, mapper, cfg, fold, coreOptions{
+		computeBounds: true,
+		prune:         prune,
+	})
+	if err != nil {
+		return nil, err
+	}
+	frontier := fold.frontier()
+	if len(frontier) == 0 {
+		// No deadline-feasible design exists (bound-pruned combinations are
+		// provably infeasible, so they cannot change that); degenerate to
+		// the scalar "least infeasible" verdict. When every combination was
+		// resolved — no skip can fire against an empty frontier — the
+		// embedded scalar fold already walked the identical acceptance
+		// sequence; only a pass with bound-pruned gaps must be re-run.
+		if prunedCount == 0 {
+			return []*Design{fold.scalar.best}, nil
+		}
+		silent := cfg
+		silent.Progress = nil
+		silent.DiscardPerScaling = true
+		best, _, _, err := exploreStream(ctx, g, p, mapper, silent, false)
+		if err != nil {
+			return nil, err
+		}
+		return []*Design{best}, nil
+	}
+	return frontier, nil
+}
+
 // errDominated is the cancellation cause of in-flight mapper work made
 // irrelevant by a resolved feasible incumbent with lower nominal power.
 var errDominated = errors.New("mapping: combination dominated by resolved incumbent")
@@ -143,6 +238,8 @@ type outcome struct {
 	idx      int   // stable Fig. 5 enumeration index
 	scaling  []int // owned
 	nominal  float64
+	tmLB     float64 // admissible T_M lower bound (valid when hasLB)
+	hasLB    bool
 	pruned   bool // bound-proved infeasible; mapper never ran
 	skipCand bool // mapper skipped/cancelled as dominated (fold confirms)
 	design   *Design
@@ -150,13 +247,39 @@ type outcome struct {
 	err      error
 }
 
-// incumbentBoard publishes the reduction's monotone dominance threshold to
-// the dispatcher and workers, and tracks in-flight work so newly dominated
-// combinations are cancelled promptly. The board holds the *minimum*
-// nominal power of any probed-feasible design the fold has accepted —
-// strictly monotone non-increasing, even when the fold's current incumbent
-// drifts within the nominal-power tolerance band to a numerically higher
-// value on a Γ tie-break. That monotonicity is what makes every
+// streamFold is the step-3 reduction plugged into the shared streaming core.
+// The scalar single-best fold and the Pareto non-dominated fold both
+// implement it. dispatchSkip, register and unregister may be called from the
+// dispatcher and worker goroutines concurrently; confirmSkip, fold and
+// annotate run only on the fold goroutine, in visit order.
+type streamFold interface {
+	// dispatchSkip is the opportunistic pre-mapper dominance test. It must
+	// be monotone with respect to the fold's published state: once true for
+	// an outcome, confirmSkip must reproduce the verdict at fold time.
+	dispatchSkip(o *outcome) bool
+	// register atomically re-checks dispatchSkip and, where the fold
+	// supports dominance cancellation, makes the combination's in-flight
+	// mapper work cancellable. It reports false when the combination should
+	// be skipped without running the mapper.
+	register(o *outcome, cancel context.CancelCauseFunc) bool
+	// unregister retires a combination's cancellation handle.
+	unregister(pos int)
+	// confirmSkip is the authoritative fold-time dominance verdict.
+	confirmSkip(o *outcome) bool
+	// fold consumes one resolved (neither pruned nor skipped) design.
+	fold(o *outcome)
+	// annotate fills the fold-specific Progress fields (Best, FrontierSize,
+	// Admitted) after the outcome's verdict has been applied.
+	annotate(ev *Progress)
+}
+
+// incumbentBoard publishes the scalar reduction's monotone dominance
+// threshold to the dispatcher and workers, and tracks in-flight work so
+// newly dominated combinations are cancelled promptly. The board holds the
+// *minimum* nominal power of any probed-feasible design the fold has
+// accepted — strictly monotone non-increasing, even when the fold's current
+// incumbent drifts within the nominal-power tolerance band to a numerically
+// higher value on a Γ tie-break. That monotonicity is what makes every
 // opportunistic dispatch-time skip reproducible by the authoritative
 // fold-time rule: a combination dominated against an older (larger-or-
 // equal) threshold is dominated against every later one.
@@ -233,6 +356,173 @@ func (b *incumbentBoard) unregister(pos int) {
 	delete(b.inflight, pos)
 }
 
+// scalarFold is the classic step-3 acceptance walk: keep the single
+// deadline-meeting design with minimum nominal power, tie-broken by Γ and
+// measured power, with the incumbent board driving branch-and-bound
+// dominance skips and in-flight cancellation.
+type scalarFold struct {
+	prune bool
+	board *incumbentBoard
+
+	best        *Design
+	bestNominal float64 // the incumbent's own nominal (acceptance rule)
+	domNominal  float64 // min nominal of any accepted probed design (dominance rule)
+	bestProbed  bool
+}
+
+func newScalarFold(prune bool) *scalarFold {
+	return &scalarFold{prune: prune, board: newIncumbentBoard()}
+}
+
+func (s *scalarFold) dispatchSkip(o *outcome) bool {
+	return s.prune && s.board.shouldSkip(o.nominal)
+}
+
+func (s *scalarFold) register(o *outcome, cancel context.CancelCauseFunc) bool {
+	if !s.prune {
+		return true
+	}
+	return s.board.registerUnlessSkipped(o.pos, o.nominal, cancel)
+}
+
+func (s *scalarFold) unregister(pos int) {
+	if s.prune {
+		s.board.unregister(pos)
+	}
+}
+
+// confirmSkip applies the authoritative branch-and-bound verdict on the
+// deterministic fold state alone. The dominance threshold is domNominal —
+// monotone non-increasing, exactly mirroring the board — not the
+// incumbent's own nominal, which can drift upward within the tolerance band
+// on Γ tie-breaks.
+func (s *scalarFold) confirmSkip(o *outcome) bool {
+	return s.prune && s.bestProbed && dominatedNominal(o.nominal, s.domNominal)
+}
+
+func (s *scalarFold) fold(o *outcome) {
+	better := false
+	switch {
+	case s.best == nil:
+		better = true
+	case o.probed != s.bestProbed:
+		better = o.probed
+	default:
+		better = betterDesign(o.design.Eval, o.nominal, s.best.Eval, s.bestNominal)
+	}
+	if better {
+		s.best = o.design
+		s.bestNominal = o.nominal
+		if o.probed && (!s.bestProbed || o.nominal < s.domNominal) {
+			s.domNominal = o.nominal
+		}
+		s.bestProbed = o.probed
+		if s.prune && s.bestProbed {
+			s.board.publish(s.domNominal)
+		}
+	}
+}
+
+func (s *scalarFold) annotate(ev *Progress) { ev.Best = s.best }
+
+// paretoFold folds feasible resolved combinations into a streaming
+// non-dominated frontier over the configured objectives. Dominance skipping
+// tests a combination's admissible objective lower bound — exact nominal
+// power, the metrics.Bounds T_M lower bound, zero Γ — against the frontier:
+// a strictly dominated bound proves the realized vector is dominated too,
+// and pareto.Fold's eviction discipline keeps the verdict monotone, so
+// dispatch-time skips are always reproducible at fold time. The mutex makes
+// the dispatcher's opportunistic reads safe against fold-goroutine writes.
+type paretoFold struct {
+	objectives  pareto.Objectives
+	deadlineSec float64
+
+	// scalar mirrors the step-3 acceptance walk over every resolved
+	// design, so the all-infeasible degenerate verdict is available
+	// without a second pass whenever no combination was bound-pruned.
+	scalar *scalarFold
+
+	mu       sync.RWMutex
+	fold_    *pareto.Fold[*Design]
+	admitted bool // whether annotate's outcome joined the frontier
+}
+
+func newParetoFold(cfg Config) (*paretoFold, error) {
+	f, err := pareto.NewFold[*Design](cfg.Objectives)
+	if err != nil {
+		return nil, err
+	}
+	return &paretoFold{
+		objectives:  cfg.Objectives,
+		deadlineSec: cfg.DeadlineSec,
+		scalar:      newScalarFold(false),
+		fold_:       f,
+	}, nil
+}
+
+// bound is the combination's admissible objective lower bound: no mapping at
+// this scaling can realize a vector below it in any component.
+func (p *paretoFold) bound(o *outcome) pareto.Vector {
+	lb := pareto.Vector{Power: o.nominal}
+	if o.hasLB {
+		lb.Makespan = o.tmLB
+	}
+	return lb // Γ lower bound is zero
+}
+
+func (p *paretoFold) dispatchSkip(o *outcome) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.fold_.DominatedBound(p.bound(o))
+}
+
+// register: the Pareto fold has no in-flight cancellation — a frontier
+// admission rarely dominates outstanding work outright (its Γ lower bound
+// is zero) — so registration is just a last-moment skip check.
+func (p *paretoFold) register(o *outcome, _ context.CancelCauseFunc) bool {
+	return !p.dispatchSkip(o)
+}
+
+func (p *paretoFold) unregister(int) {}
+
+func (p *paretoFold) confirmSkip(o *outcome) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.fold_.DominatedBound(p.bound(o))
+}
+
+func (p *paretoFold) fold(o *outcome) {
+	p.scalar.fold(o)
+	ev := o.design.Eval
+	if p.deadlineSec > 0 && !ev.MeetsDeadline {
+		p.admitted = false
+		return // only deadline-feasible designs trade off on the frontier
+	}
+	v := pareto.Vector{Power: o.nominal, Makespan: ev.TMSeconds, Gamma: ev.Gamma}
+	p.mu.Lock()
+	p.admitted = p.fold_.Offer(v, o.idx, o.design)
+	p.mu.Unlock()
+}
+
+func (p *paretoFold) annotate(ev *Progress) {
+	ev.FrontierSize = p.fold_.Size()
+	ev.Admitted = p.admitted
+	p.admitted = false
+	if min, ok := p.fold_.Min(); ok {
+		ev.Best = min.Value // the frontier's canonical-order minimum
+	}
+}
+
+// frontier returns the fold's ordered result.
+func (p *paretoFold) frontier() []*Design {
+	entries := p.fold_.Entries()
+	out := make([]*Design, len(entries))
+	for i, e := range entries {
+		out[i] = e.Value
+	}
+	return out
+}
+
 // newFrontier builds the strategy's combination stream.
 func newFrontier(p *arch.Platform, cfg Config, strategy Strategy) (*vscale.Frontier, error) {
 	if strategy == StrategySampled {
@@ -245,22 +535,48 @@ func newFrontier(p *arch.Platform, cfg Config, strategy Strategy) (*vscale.Front
 	return vscale.NewFrontier(p.Cores(), p.NumLevels())
 }
 
-// exploreStream is the streaming work loop shared by every strategy: a
-// dispatcher walks the frontier under a bounded reorder window, workers map
-// combinations concurrently, and the calling goroutine folds outcomes in
-// visit order (the deterministic ordered reduction). With prune set, the
-// dispatcher applies the branch-and-bound rules ahead of the mapper and the
-// reduction applies them authoritatively at fold time, so the pruned and
-// skipped markers — like everything else in the event stream — are a pure
-// function of the configuration. It returns the number of bound-pruned
-// combinations so the caller can decide whether the all-infeasible
-// fallback is needed.
+// exploreStream is the scalar entry to the streaming work loop: it plugs the
+// single-best fold into the shared core and returns the chosen design plus
+// the number of bound-pruned combinations so the caller can decide whether
+// the all-infeasible fallback is needed.
 func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	mapper MapperFunc, cfg Config, prune bool) (best *Design, perScaling []*Design, prunedCount int, err error) {
+	fold := newScalarFold(prune)
+	perScaling, prunedCount, err = exploreCore(ctx, g, p, mapper, cfg, fold, coreOptions{
+		computeBounds: prune && cfg.DeadlineSec > 0,
+		prune:         prune,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return fold.best, perScaling, prunedCount, nil
+}
+
+// coreOptions tunes the shared streaming core.
+type coreOptions struct {
+	// computeBounds precomputes metrics.Bounds and attaches an admissible
+	// T_M lower bound to every outcome (the Pareto fold consumes it even
+	// when pruning is off).
+	computeBounds bool
+	// prune enables the branch-and-bound verdicts: deadline-bound pruning
+	// (when a deadline is set) and fold-dominance skipping.
+	prune bool
+}
+
+// exploreCore is the streaming work loop shared by every strategy and fold:
+// a dispatcher walks the frontier under a bounded reorder window, workers
+// map combinations concurrently, and the calling goroutine folds outcomes in
+// visit order (the deterministic ordered reduction). With opts.prune set,
+// the dispatcher applies the branch-and-bound rules ahead of the mapper and
+// the reduction applies them authoritatively at fold time, so the pruned and
+// skipped markers — like everything else in the event stream — are a pure
+// function of the configuration.
+func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
+	mapper MapperFunc, cfg Config, fold streamFold, opts coreOptions) (perScaling []*Design, prunedCount int, err error) {
 	strategy := cfg.Strategy.withDefault()
 	frontier, err := newFrontier(p, cfg, strategy)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, 0, err
 	}
 	total := frontier.Size()
 	workers := cfg.Parallelism
@@ -282,10 +598,9 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		probe = NewProbeCache()
 	}
 	var bounds *metrics.Bounds
-	if prune && cfg.DeadlineSec > 0 {
+	if opts.computeBounds {
 		bounds = metrics.NewBounds(g, p, cfg.Iterations)
 	}
-	board := newIncumbentBoard()
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -319,17 +634,17 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					continue
 				}
 				jctx, jcancel := context.WithCancelCause(wctx)
-				if prune && !board.registerUnlessSkipped(o.pos, o.nominal, jcancel) {
+				if opts.prune && !fold.register(&o, jcancel) {
 					// Atomic check-and-register: no window between
-					// consulting the incumbent and becoming cancellable.
+					// consulting the fold state and becoming cancellable.
 					jcancel(nil)
 					o.skipCand = true
 					results <- o
 					continue
 				}
 				o.design, o.probed, o.err = exploreCombo(jctx, eval, mapper, o.scaling, o.idx, cfg, probe)
-				if prune {
-					board.unregister(o.pos)
+				if opts.prune {
+					fold.unregister(o.pos)
 				}
 				if o.err != nil && context.Cause(jctx) == errDominated {
 					// The incumbent made this combination irrelevant while
@@ -370,21 +685,21 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 				continue
 			}
 			if bounds != nil {
-				lb, lbErr := bounds.TMLowerBound(combo.Scaling)
-				if lbErr != nil {
-					o.err = lbErr
+				o.tmLB, o.err = bounds.TMLowerBound(combo.Scaling)
+				if o.err != nil {
 					results <- o
 					continue
 				}
+				o.hasLB = true
 				// Prune only beyond a safety band: the bound is exact
 				// mathematics but inexact floats.
-				if lb > cfg.DeadlineSec*(1+1e-9) {
+				if opts.prune && cfg.DeadlineSec > 0 && o.tmLB > cfg.DeadlineSec*(1+1e-9) {
 					o.pruned = true
 					results <- o
 					continue
 				}
 			}
-			if prune && board.shouldSkip(o.nominal) {
+			if opts.prune && fold.dispatchSkip(&o) {
 				o.skipCand = true
 				results <- o
 				continue
@@ -409,9 +724,6 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	next := 0
 	var firstErr error
 	firstErrPos := total
-	var bestNominal float64 // the incumbent's own nominal (acceptance rule)
-	var domNominal float64  // min nominal of any accepted probed design (dominance rule)
-	bestProbed := false
 	if !cfg.DiscardPerScaling {
 		perScaling = make([]*Design, 0, total)
 	}
@@ -435,17 +747,14 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 			pending[next%window] = nil
 
 			// Authoritative branch-and-bound verdict, decided on the
-			// deterministic fold state alone. The dominance threshold is
-			// domNominal — monotone non-increasing, exactly mirroring the
-			// board — not the incumbent's own nominal, which can drift
-			// upward within the tolerance band on Γ tie-breaks.
+			// deterministic fold state alone.
 			skipped := false
-			if prune && !d.pruned && bestProbed && dominatedNominal(d.nominal, domNominal) {
+			if opts.prune && !d.pruned && fold.confirmSkip(d) {
 				skipped = true
 			}
 			if d.skipCand && !skipped && !d.pruned {
 				// A dispatch-time skip the fold cannot reproduce would
-				// break determinism; by the board's monotonicity this is
+				// break determinism; by the fold's monotonicity this is
 				// unreachable, so fail loudly rather than silently diverge.
 				if firstErr == nil || next < firstErrPos {
 					firstErr = fmt.Errorf("mapping: internal error: combination %d skipped against a weaker incumbent", d.idx)
@@ -462,44 +771,31 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					perScaling = append(perScaling, nil)
 				}
 				if cfg.Progress != nil {
-					cfg.Progress(Progress{Index: next, Total: total, Combination: d.idx,
-						Scaling: d.scaling, Pruned: true, Best: best})
+					ev := Progress{Index: next, Total: total, Combination: d.idx,
+						Scaling: d.scaling, Pruned: true}
+					fold.annotate(&ev)
+					cfg.Progress(ev)
 				}
 			case skipped:
 				if !cfg.DiscardPerScaling {
 					perScaling = append(perScaling, nil)
 				}
 				if cfg.Progress != nil {
-					cfg.Progress(Progress{Index: next, Total: total, Combination: d.idx,
-						Scaling: d.scaling, Skipped: true, Best: best})
+					ev := Progress{Index: next, Total: total, Combination: d.idx,
+						Scaling: d.scaling, Skipped: true}
+					fold.annotate(&ev)
+					cfg.Progress(ev)
 				}
 			default:
 				if !cfg.DiscardPerScaling {
 					perScaling = append(perScaling, d.design)
 				}
-				better := false
-				switch {
-				case best == nil:
-					better = true
-				case d.probed != bestProbed:
-					better = d.probed
-				default:
-					better = betterDesign(d.design.Eval, d.nominal, best.Eval, bestNominal)
-				}
-				if better {
-					best = d.design
-					bestNominal = d.nominal
-					if d.probed && (!bestProbed || d.nominal < domNominal) {
-						domNominal = d.nominal
-					}
-					bestProbed = d.probed
-					if prune && bestProbed {
-						board.publish(domNominal)
-					}
-				}
+				fold.fold(d)
 				if cfg.Progress != nil {
-					cfg.Progress(Progress{Index: next, Total: total, Combination: d.idx,
-						Scaling: d.design.Scaling, Design: d.design, Best: best})
+					ev := Progress{Index: next, Total: total, Combination: d.idx,
+						Scaling: d.design.Scaling, Design: d.design}
+					fold.annotate(&ev)
+					cfg.Progress(ev)
 				}
 			}
 			next++
@@ -507,17 +803,17 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, 0, err
+		return nil, 0, err
 	}
 	if firstErr != nil {
-		return nil, nil, 0, firstErr
+		return nil, 0, firstErr
 	}
 	if next != total {
 		// Only reachable if a worker swallowed a cancellation without a
 		// parent-context error; treat it as cancellation.
-		return nil, nil, 0, context.Canceled
+		return nil, 0, context.Canceled
 	}
-	return best, perScaling, prunedCount, nil
+	return perScaling, prunedCount, nil
 }
 
 // exploreCombo runs one scaling combination on a worker's evaluator: the

@@ -22,6 +22,7 @@ import (
 
 	"seadopt/internal/arch"
 	"seadopt/internal/faults"
+	"seadopt/internal/pareto"
 	"seadopt/internal/registers"
 	"seadopt/internal/sched"
 	"seadopt/internal/taskgraph"
@@ -63,6 +64,10 @@ type Config struct {
 	// SampleBudget bounds StrategySampled's portfolio size; 0 selects
 	// DefaultSampleBudget. Ignored by the other strategies.
 	SampleBudget int
+	// Objectives selects the objective components of the Pareto fold
+	// (ExploreParetoContext); 0 selects pareto.DefaultObjectives (power,
+	// makespan and Γ). Ignored by the scalar fold.
+	Objectives pareto.Objectives
 	// DiscardPerScaling suppresses the perScaling return of Explore so
 	// huge enumerations don't retain one Design per combination; callers
 	// that only need the best design (the facade, the service) set it.
@@ -102,6 +107,11 @@ func (c Config) Validate() error {
 	}
 	if c.SampleBudget < 0 {
 		return fmt.Errorf("mapping: negative sample budget %d", c.SampleBudget)
+	}
+	if c.Objectives != 0 {
+		if err := c.Objectives.Valid(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

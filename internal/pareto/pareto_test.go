@@ -1,0 +1,241 @@
+package pareto
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestParseObjectives(t *testing.T) {
+	cases := map[string]Objectives{
+		"":                     DefaultObjectives,
+		"  ":                   DefaultObjectives,
+		"power":                ObjPower,
+		"gamma":                ObjGamma,
+		"makespan":             ObjMakespan,
+		"power,gamma":          ObjPower | ObjGamma,
+		"gamma, power":         ObjPower | ObjGamma,
+		"POWER,Makespan,gamma": DefaultObjectives,
+		"power,power":          ObjPower,
+	}
+	for in, want := range cases {
+		got, err := ParseObjectives(in)
+		if err != nil || got != want {
+			t.Errorf("ParseObjectives(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseObjectives("power,latency"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if err := Objectives(0).Valid(); err == nil {
+		t.Error("empty objective set validated")
+	}
+	if err := Objectives(0x80).Valid(); err == nil {
+		t.Error("unknown objective bit validated")
+	}
+	// String is canonical: parse(String(o)) == o for every non-empty subset.
+	for o := Objectives(1); o <= DefaultObjectives; o++ {
+		if err := o.Valid(); err != nil {
+			continue
+		}
+		back, err := ParseObjectives(o.String())
+		if err != nil || back != o {
+			t.Errorf("ParseObjectives(%q) = %v, %v; want %v", o.String(), back, err, o)
+		}
+	}
+}
+
+func TestDominance(t *testing.T) {
+	a := Vector{Power: 1, Makespan: 2, Gamma: 3}
+	b := Vector{Power: 1, Makespan: 2, Gamma: 4}
+	if !a.Dominates(b, DefaultObjectives) {
+		t.Error("a should dominate b (better Γ, equal elsewhere)")
+	}
+	if b.Dominates(a, DefaultObjectives) {
+		t.Error("b cannot dominate a")
+	}
+	if a.Dominates(a, DefaultObjectives) {
+		t.Error("dominance must be irreflexive")
+	}
+	if !a.Equal(a, DefaultObjectives) || a.Equal(b, DefaultObjectives) {
+		t.Error("Equal misjudged")
+	}
+	// With Γ inactive, a and b tie.
+	if a.Dominates(b, ObjPower|ObjMakespan) || !a.Equal(b, ObjPower|ObjMakespan) {
+		t.Error("inactive objective leaked into dominance")
+	}
+	// Incomparable pair.
+	c := Vector{Power: 0.5, Makespan: 9, Gamma: 9}
+	if a.Dominates(c, DefaultObjectives) || c.Dominates(a, DefaultObjectives) {
+		t.Error("incomparable vectors reported comparable")
+	}
+}
+
+// randomPoints draws n objective vectors from a small value grid so exact
+// ties and dominance chains actually occur.
+func randomPoints(rng *rand.Rand, n int) []Vector {
+	pts := make([]Vector, n)
+	for i := range pts {
+		pts[i] = Vector{
+			Power:    float64(rng.Intn(6)) * 0.25,
+			Makespan: float64(rng.Intn(6)) * 0.125,
+			Gamma:    float64(rng.Intn(6)) * 0.5,
+		}
+	}
+	return pts
+}
+
+// foldAll offers pts in the given visit order (order[i] is the position of
+// the point with enumeration index order[i]).
+func foldAll(t *testing.T, o Objectives, pts []Vector, order []int) *Fold[int] {
+	t.Helper()
+	f, err := NewFold[int](o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range order {
+		f.Offer(pts[idx], idx, idx)
+	}
+	return f
+}
+
+func fingerprint(f *Fold[int]) string {
+	s := ""
+	for _, e := range f.Entries() {
+		s += fmt.Sprintf("(%v,%v,%v)#%d=%d;", e.Vector.Power, e.Vector.Makespan, e.Vector.Gamma, e.Index, e.Value)
+	}
+	return s
+}
+
+// TestFoldProperties is the package's core property suite over random point
+// clouds and every objective subset:
+//
+//  1. no frontier member dominates (or exactly ties) another;
+//  2. every offered point is weakly dominated by some member;
+//  3. the frontier — vectors, indices and payloads — is invariant under
+//     permutation of the offer order;
+//  4. exact tie classes resolve to the lowest enumeration index.
+func TestFoldProperties(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randomPoints(rng, 3+rng.Intn(40))
+		for _, obj := range []Objectives{
+			DefaultObjectives, ObjPower, ObjGamma,
+			ObjPower | ObjGamma, ObjPower | ObjMakespan, ObjMakespan | ObjGamma,
+		} {
+			inOrder := make([]int, len(pts))
+			for i := range inOrder {
+				inOrder[i] = i
+			}
+			f := foldAll(t, obj, pts, inOrder)
+			ref := fingerprint(f)
+			entries := f.Entries()
+
+			for i, a := range entries {
+				for j, b := range entries {
+					if i == j {
+						continue
+					}
+					if a.Vector.Dominates(b.Vector, obj) {
+						t.Fatalf("seed %d obj %v: member %d dominates member %d", seed, obj, a.Index, b.Index)
+					}
+					if a.Vector.Equal(b.Vector, obj) {
+						t.Fatalf("seed %d obj %v: members %d and %d tie exactly", seed, obj, a.Index, b.Index)
+					}
+				}
+			}
+			for idx, p := range pts {
+				covered := false
+				for _, e := range entries {
+					if e.Vector.Dominates(p, obj) || e.Vector.Equal(p, obj) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("seed %d obj %v: offered point %d not weakly dominated by the frontier", seed, obj, idx)
+				}
+				// Lowest-index tie representative.
+				for _, e := range entries {
+					if e.Vector.Equal(p, obj) && idx < e.Index {
+						t.Fatalf("seed %d obj %v: tie class kept index %d over lower %d", seed, obj, e.Index, idx)
+					}
+				}
+			}
+
+			for shuffle := 0; shuffle < 5; shuffle++ {
+				perm := rng.Perm(len(pts))
+				if got := fingerprint(foldAll(t, obj, pts, perm)); got != ref {
+					t.Fatalf("seed %d obj %v shuffle %d: frontier depends on offer order:\n  ref: %s\n  got: %s",
+						seed, obj, shuffle, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDominatedBoundMonotone: once a lower-bound vector is reported
+// dominated, it stays dominated however the frontier evolves — the property
+// the exploration engine's dispatch-time skip rests on.
+func TestDominatedBoundMonotone(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0xB0BB))
+		pts := randomPoints(rng, 30)
+		bounds := randomPoints(rng, 10)
+		f, err := NewFold[int](DefaultObjectives)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dominated := make([]bool, len(bounds))
+		for i, p := range pts {
+			f.Offer(p, i, i)
+			for bi, lb := range bounds {
+				now := f.DominatedBound(lb)
+				if dominated[bi] && !now {
+					t.Fatalf("seed %d: bound %d flipped back to not-dominated after offer %d", seed, bi, i)
+				}
+				dominated[bi] = now
+			}
+		}
+		// And the verdict is sound: a dominated bound's every realization
+		// (component-wise ≥ the bound) is dominated by some member.
+		for bi, lb := range bounds {
+			if !dominated[bi] {
+				continue
+			}
+			realized := Vector{Power: lb.Power, Makespan: lb.Makespan + 0.01, Gamma: lb.Gamma + 1}
+			covered := false
+			for _, e := range f.Entries() {
+				if e.Vector.Dominates(realized, DefaultObjectives) || e.Vector.Equal(realized, DefaultObjectives) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("seed %d: bound %d dominated but realization escapes the frontier", seed, bi)
+			}
+		}
+	}
+}
+
+// TestEntriesOrdering: Entries is sorted by the active objectives in
+// canonical order with the enumeration index as the final tie-break.
+func TestEntriesOrdering(t *testing.T) {
+	f, err := NewFold[string](ObjPower | ObjGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Offer(Vector{Power: 2, Makespan: 1, Gamma: 1}, 5, "b")
+	f.Offer(Vector{Power: 1, Makespan: 9, Gamma: 3}, 9, "a")
+	f.Offer(Vector{Power: 3, Makespan: 0, Gamma: 0.5}, 1, "c")
+	got := f.Entries()
+	want := []string{"a", "b", "c"} // ascending power
+	if len(got) != len(want) {
+		t.Fatalf("frontier size %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Value != want[i] {
+			t.Errorf("Entries[%d] = %q, want %q", i, got[i].Value, want[i])
+		}
+	}
+}

@@ -208,6 +208,8 @@ func decodeSubmit(r *http.Request, body []byte) (*submitRequest, error) {
 	}
 	req.Options.Baseline = q.Get("baseline")
 	req.Options.Strategy = q.Get("strategy")
+	req.Options.Mode = q.Get("mode")
+	req.Options.Objectives = q.Get("objectives")
 	return req, nil
 }
 

@@ -36,6 +36,8 @@ func renderMetrics(w io.Writer, m Metrics) {
 	counter("seadoptd_jobs_submitted_total", "Jobs accepted for processing.", m.Submitted)
 	counter("seadoptd_combinations_explored_total", "Scaling combinations the mapper evaluated.", m.CombinationsExplored)
 	counter("seadoptd_combinations_pruned_total", "Scaling combinations skipped by branch-and-bound pruning.", m.CombinationsPruned)
+	counter("seadoptd_pareto_executions_total", "Pareto-mode engine executions.", m.ParetoExecutions)
+	gauge("seadoptd_pareto_frontier_size", "Frontier size of the most recently finished pareto execution.", m.ParetoFrontierSize)
 
 	fmt.Fprintf(w, "# HELP seadoptd_jobs Jobs per lifecycle state.\n# TYPE seadoptd_jobs gauge\n")
 	for _, st := range allStates {

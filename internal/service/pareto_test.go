@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"seadopt/internal/ingest"
+	"seadopt/internal/taskgraph"
+)
+
+// paretoProblem is the MPEG-2 problem in pareto mode.
+func paretoProblem(t *testing.T, seed int64) *ingest.Problem {
+	t.Helper()
+	p := mpeg2Problem(t, seed)
+	p.Options.Mode = ingest.ModePareto
+	return p
+}
+
+// frontierResult is the wire shape of a pareto job result.
+type frontierResult struct {
+	Mode       string            `json:"mode"`
+	Objectives string            `json:"objectives"`
+	Size       int               `json:"size"`
+	Frontier   []json.RawMessage `json:"frontier"`
+}
+
+func decodeFrontier(t *testing.T, raw json.RawMessage) frontierResult {
+	t.Helper()
+	var fr frontierResult
+	if err := json.Unmarshal(raw, &fr); err != nil {
+		t.Fatalf("decoding frontier result: %v\n%s", err, raw)
+	}
+	if fr.Mode != ingest.ModePareto {
+		t.Fatalf("result mode %q, want pareto", fr.Mode)
+	}
+	if fr.Size != len(fr.Frontier) || fr.Size == 0 {
+		t.Fatalf("frontier size %d, members %d", fr.Size, len(fr.Frontier))
+	}
+	return fr
+}
+
+// TestParetoJobEndToEnd: a pareto-mode job runs to done with a frontier
+// result, caches under its own key (scalar and pareto never cross), and a
+// resubmission is a cache hit with byte-identical bytes.
+func TestParetoJobEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	st, err := s.Submit(paretoProblem(t, 2010), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, st.ID, StateDone)
+	fr := decodeFrontier(t, done.Result)
+	if fr.Objectives != "power,makespan,gamma" {
+		t.Errorf("default objectives rendered %q", fr.Objectives)
+	}
+
+	scalar, err := s.Submit(mpeg2Problem(t, 2010), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Key == done.Key {
+		t.Error("scalar submission shares the pareto problem key")
+	}
+	waitState(t, s, scalar.ID, StateDone)
+
+	again, err := s.Submit(paretoProblem(t, 2010), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("identical pareto resubmission missed the cache")
+	}
+	if string(again.Result) != string(done.Result) {
+		t.Error("cached frontier bytes differ from the original")
+	}
+	if got := s.Metrics().EngineExecutions; got != 2 {
+		t.Errorf("engine executions = %d, want 2 (one pareto, one scalar)", got)
+	}
+	if got := s.Metrics().ParetoExecutions; got != 1 {
+		t.Errorf("pareto executions = %d, want 1", got)
+	}
+	if got := s.Metrics().ParetoFrontierSize; got != int64(fr.Size) {
+		t.Errorf("pareto frontier size metric = %d, want %d", got, fr.Size)
+	}
+}
+
+// TestParetoDefaultMode: a daemon configured with a default pareto mode
+// (and default objectives) applies them before hashing, so plain
+// submissions get frontiers and cache under the pareto key.
+func TestParetoDefaultMode(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, DefaultMode: ingest.ModePareto, DefaultObjectives: "power,gamma"})
+	st, err := s.Submit(mpeg2Problem(t, 2010), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, s, st.ID, StateDone)
+	fr := decodeFrontier(t, done.Result)
+	if fr.Objectives != "power,gamma" {
+		t.Errorf("default objectives %q not applied (got %q)", "power,gamma", fr.Objectives)
+	}
+
+	// An explicit mode wins over the server default.
+	explicit := mpeg2Problem(t, 2010)
+	explicit.Options.Mode = ingest.ModeScalar
+	st2, err := s.Submit(explicit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Key == done.Key {
+		t.Error("explicit scalar submission inherited the pareto default key")
+	}
+}
+
+// TestParetoHTTPEndToEnd: the full wire path — envelope submission with
+// mode=pareto, per-point SSE progress carrying frontier sizes, the frontier
+// result on GET, and the /metrics scrape exposing the frontier gauge plus
+// the jobs-per-state series.
+func TestParetoHTTPEndToEnd(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1})
+	gj, err := taskgraph.MPEG2().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := json.Marshal(map[string]any{
+		"format":   "json",
+		"graph":    json.RawMessage(gj),
+		"platform": map[string]int{"cores": 4, "levels": 3},
+		"options": map[string]any{
+			"deadline_sec":      taskgraph.MPEG2Deadline,
+			"stream_iterations": taskgraph.MPEG2Frames,
+			"seed":              2010,
+			"mode":              "pareto",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := postJob(t, ts.URL, env)
+	done := waitJobHTTP(t, ts.URL, st.ID, StateDone)
+	fr := decodeFrontier(t, done.Result)
+
+	events, _ := readSSE(t, ts.URL, st.ID)
+	if len(events) == 0 {
+		t.Fatal("no SSE progress events")
+	}
+	admitted := 0
+	lastFront := 0
+	for _, ev := range events {
+		if ev.Admitted {
+			admitted++
+		}
+		if ev.FrontierSize > 0 {
+			lastFront = ev.FrontierSize
+		}
+	}
+	if admitted == 0 {
+		t.Error("no SSE event marked a frontier admission")
+	}
+	if lastFront != fr.Size {
+		t.Errorf("final SSE frontier size %d, result size %d", lastFront, fr.Size)
+	}
+
+	if got := metricValue(t, ts.URL, "seadoptd_pareto_frontier_size"); got != int64(fr.Size) {
+		t.Errorf("seadoptd_pareto_frontier_size = %d, want %d", got, fr.Size)
+	}
+	if got := metricValue(t, ts.URL, "seadoptd_pareto_executions_total"); got != 1 {
+		t.Errorf("seadoptd_pareto_executions_total = %d, want 1", got)
+	}
+	// Explicit jobs-per-state scrape: exactly one done job, every other
+	// state's series present and zero.
+	if got := metricValue(t, ts.URL, `seadoptd_jobs{state="done"}`); got != 1 {
+		t.Errorf(`seadoptd_jobs{state="done"} = %d, want 1`, got)
+	}
+	for _, state := range []string{"queued", "running", "failed", "canceled"} {
+		if got := metricValue(t, ts.URL, `seadoptd_jobs{state="`+state+`"}`); got != 0 {
+			t.Errorf(`seadoptd_jobs{state=%q} = %d, want 0`, state, got)
+		}
+	}
+
+	// Raw-body submissions reach pareto mode through query params.
+	resp, err := http.Post(ts.URL+"/v1/jobs?format=json&mode=pareto&objectives=power,latency&deadline_sec=0.1", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad objectives submission returned %d, want 400", resp.StatusCode)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,6 +101,14 @@ type Config struct {
 	// with -strategy exhaustive caches those results under the exhaustive
 	// key. "" selects the engine default (branch-and-bound).
 	DefaultStrategy string
+	// DefaultMode is applied to submissions that leave the mode job option
+	// empty, before the problem is hashed — a daemon booted with -pareto
+	// serves frontiers for plain submissions. "" selects scalar mode.
+	DefaultMode string
+	// DefaultObjectives is applied to pareto-mode submissions that leave
+	// the objectives job option empty, before the problem is hashed.
+	// "" selects all three objectives.
+	DefaultObjectives string
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +153,11 @@ type ProgressEvent struct {
 	Feasible    bool    `json:"feasible"`
 	BestPowerW  float64 `json:"best_power_w"`
 	BestGamma   float64 `json:"best_gamma"`
+	// Pareto-mode fields: whether this combination's design joined the
+	// frontier, and the frontier size after folding it in — the per-point
+	// stream an SSE client plots the growing trade-off surface from.
+	Admitted     bool `json:"admitted,omitempty"`
+	FrontierSize int  `json:"frontier_size,omitempty"`
 }
 
 // Job is the server-side record of one submission. All fields are guarded
@@ -283,13 +297,15 @@ type Server struct {
 
 	wg sync.WaitGroup
 
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	coalesced   atomic.Int64
-	engineExecs atomic.Int64
-	submitted   atomic.Int64
-	explored    atomic.Int64 // combinations the mapper actually evaluated
-	pruned      atomic.Int64 // combinations pruned or skipped by the bound
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	coalesced    atomic.Int64
+	engineExecs  atomic.Int64
+	submitted    atomic.Int64
+	explored     atomic.Int64 // combinations the mapper actually evaluated
+	pruned       atomic.Int64 // combinations pruned or skipped by the bound
+	paretoJobs   atomic.Int64 // pareto-mode engine executions
+	frontierSize atomic.Int64 // frontier size of the latest finished pareto job
 }
 
 // New starts a Server with cfg's worker pool running.
@@ -318,13 +334,13 @@ func New(cfg Config) *Server {
 // the strategy option empty inherit the server's default strategy before
 // hashing, so their cache identity records the walk that will run.
 func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
-	if p.Options.Strategy == "" && s.cfg.DefaultStrategy != "" {
-		// Work on a copy: the caller's Problem keeps its empty-strategy
-		// marker, so resubmitting it elsewhere still means "that server's
+	if defaulted, changed := s.applyDefaults(p.Options); changed {
+		// Work on a copy: the caller's Problem keeps its empty-option
+		// markers, so resubmitting it elsewhere still means "that server's
 		// default" rather than this server's.
-		defaulted := *p
-		defaulted.Options.Strategy = s.cfg.DefaultStrategy
-		p = &defaulted
+		copied := *p
+		copied.Options = defaulted
+		p = &copied
 	}
 	// Hash outside the lock; the graph encoding dominates the cost.
 	key, err := p.Key()
@@ -407,6 +423,27 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 	heap.Push(&s.queue, f)
 	s.cond.Signal()
 	return s.statusLocked(j), nil
+}
+
+// applyDefaults fills the server-default strategy, mode and objectives into
+// options that leave them empty, before the problem is hashed — so the
+// cache identity always records the walk and fold that will actually run.
+func (s *Server) applyDefaults(o ingest.Options) (ingest.Options, bool) {
+	changed := false
+	if o.Strategy == "" && s.cfg.DefaultStrategy != "" {
+		o.Strategy = s.cfg.DefaultStrategy
+		changed = true
+	}
+	if o.Mode == "" && s.cfg.DefaultMode != "" {
+		o.Mode = s.cfg.DefaultMode
+		changed = true
+	}
+	if mode, err := ingest.ParseMode(o.Mode); err == nil && mode == ingest.ModePareto &&
+		o.Objectives == "" && s.cfg.DefaultObjectives != "" {
+		o.Objectives = s.cfg.DefaultObjectives
+		changed = true
+	}
+	return o, changed
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -605,6 +642,14 @@ func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
 	if err != nil {
 		return nil, "", err
 	}
+	mode, err := ingest.ParseMode(o.Mode)
+	if err != nil {
+		return nil, "", err
+	}
+	objectives, err := seadopt.ParseParetoObjectives(o.Objectives)
+	if err != nil {
+		return nil, "", err
+	}
 	prunedSoFar := 0 // engine Progress callbacks are serialized in order
 	opts := seadopt.OptimizeOptions{
 		SER:              o.SER,
@@ -614,15 +659,18 @@ func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
 		Seed:             o.Seed,
 		Strategy:         strategy,
 		SampleBudget:     o.SampleBudget,
+		Objectives:       objectives,
 		Parallelism:      s.cfg.EngineParallelism,
 		Progress: func(p seadopt.ExploreProgress) {
 			ev := ProgressEvent{
-				Index:       p.Index,
-				Total:       p.Total,
-				Combination: p.Combination,
-				Scaling:     append([]int{}, p.Scaling...),
-				Pruned:      p.Pruned,
-				Skipped:     p.Skipped,
+				Index:        p.Index,
+				Total:        p.Total,
+				Combination:  p.Combination,
+				Scaling:      append([]int{}, p.Scaling...),
+				Pruned:       p.Pruned,
+				Skipped:      p.Skipped,
+				Admitted:     p.Admitted,
+				FrontierSize: p.FrontierSize,
 			}
 			if p.Pruned || p.Skipped {
 				prunedSoFar++
@@ -642,6 +690,15 @@ func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
 		},
 	}
 	s.engineExecs.Add(1)
+	if mode == ingest.ModePareto {
+		s.paretoJobs.Add(1)
+		frontier, err := sys.OptimizeParetoContext(f.ctx, opts)
+		if err != nil {
+			return nil, "", err
+		}
+		s.frontierSize.Store(int64(len(frontier)))
+		return marshalFrontier(frontier, objectives)
+	}
 	var d *seadopt.Design
 	switch o.Baseline {
 	case "":
@@ -663,6 +720,30 @@ func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
 		return nil, "", err
 	}
 	return result, d.Summary(), nil
+}
+
+// marshalFrontier renders a Pareto frontier result: a wrapper object
+// carrying the objective selection, the frontier size and the ordered
+// member designs in the same wire encoding scalar results use. The encoding
+// is deterministic, so frontier results cache and coalesce like scalar
+// ones.
+func marshalFrontier(frontier []*seadopt.Design, objectives seadopt.ParetoObjectives) ([]byte, string, error) {
+	payload := struct {
+		Mode       string            `json:"mode"`
+		Objectives string            `json:"objectives"`
+		Size       int               `json:"size"`
+		Frontier   []*seadopt.Design `json:"frontier"`
+	}{Mode: ingest.ModePareto, Objectives: objectives.String(), Size: len(frontier), Frontier: frontier}
+	result, err := json.Marshal(payload)
+	if err != nil {
+		return nil, "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pareto frontier over (%s): %d design(s)\n", objectives.String(), len(frontier))
+	for i, d := range frontier {
+		fmt.Fprintf(&sb, "  [%d] scaling %v  %s\n", i, d.Scaling, d.Eval.String())
+	}
+	return result, sb.String(), nil
 }
 
 // pruneLocked evicts the oldest finished jobs beyond the retention cap;
@@ -736,6 +817,8 @@ type Metrics struct {
 	Submitted            int64           `json:"submitted"`
 	CombinationsExplored int64           `json:"combinations_explored"`
 	CombinationsPruned   int64           `json:"combinations_pruned"`
+	ParetoExecutions     int64           `json:"pareto_executions"`
+	ParetoFrontierSize   int64           `json:"pareto_frontier_size"`
 	Jobs                 map[State]int64 `json:"jobs"`
 }
 
@@ -756,6 +839,8 @@ func (s *Server) Metrics() Metrics {
 		Submitted:            s.submitted.Load(),
 		CombinationsExplored: s.explored.Load(),
 		CombinationsPruned:   s.pruned.Load(),
+		ParetoExecutions:     s.paretoJobs.Load(),
+		ParetoFrontierSize:   s.frontierSize.Load(),
 		Jobs:                 make(map[State]int64),
 	}
 	for _, j := range s.jobs {

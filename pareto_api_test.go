@@ -1,0 +1,112 @@
+package seadopt
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestOptimizeParetoDeterministicAcrossParallelism: the public frontier —
+// down to its wire JSON bytes — is identical at Parallelism 1, 4 and
+// NumCPU, and ordered by ascending power.
+func TestOptimizeParetoDeterministicAcrossParallelism(t *testing.T) {
+	sys, err := NewARM7System(MPEG2(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(par int) string {
+		frontier, err := sys.OptimizePareto(OptimizeOptions{
+			DeadlineSec:      MPEG2Deadline,
+			StreamIterations: MPEG2Frames,
+			SearchMoves:      150,
+			Seed:             2010,
+			Parallelism:      par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frontier) == 0 {
+			t.Fatal("empty frontier")
+		}
+		data, err := json.Marshal(frontier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	ref := run(1)
+	for _, par := range []int{4, runtime.NumCPU()} {
+		if got := run(par); got != ref {
+			t.Errorf("frontier wire bytes diverged at parallelism %d", par)
+		}
+	}
+}
+
+// TestOptimizeParetoObjectives: the objectives option narrows the frontier
+// and unknown names are rejected at parse time.
+func TestOptimizeParetoObjectives(t *testing.T) {
+	obj, err := ParseParetoObjectives("power,gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != ObjectivePower|ObjectiveGamma {
+		t.Fatalf("ParseParetoObjectives = %v", obj)
+	}
+	if _, err := ParseParetoObjectives("power,latency"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+
+	sys, err := NewARM7System(Fig8(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := OptimizeOptions{DeadlineSec: 0.075, SearchMoves: 120, Seed: 2010}
+	full, err := sys.OptimizePareto(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Objectives = ObjectivePower
+	powerOnly, err := sys.OptimizePareto(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(powerOnly) > len(full) {
+		t.Errorf("power-only frontier (%d) larger than full frontier (%d)", len(powerOnly), len(full))
+	}
+	// The scalar optimum's power is the frontier's minimum power.
+	best, err := sys.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if powerOnly[0].Eval.PowerW > best.Eval.PowerW {
+		t.Errorf("frontier min power %v exceeds scalar best %v", powerOnly[0].Eval.PowerW, best.Eval.PowerW)
+	}
+}
+
+// TestOptimizeParetoCancellation: a cancelled context aborts the Pareto
+// exploration promptly.
+func TestOptimizeParetoCancellation(t *testing.T) {
+	g, err := RandomGraph(DefaultRandomGraphConfig(60), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewARM7System(g, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := sys.OptimizeParetoContext(ctx, OptimizeOptions{
+		DeadlineSec: RandomGraphDeadline(60),
+		SearchMoves: 100000,
+		Seed:        1,
+	}); err == nil {
+		t.Fatal("cancelled exploration returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
