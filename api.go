@@ -27,8 +27,13 @@ type (
 	GraphBuilder = taskgraph.Builder
 	// TaskID indexes a task within its graph.
 	TaskID = taskgraph.TaskID
-	// Platform is an MPSoC configuration (cores + DVS level table).
+	// Platform is an MPSoC configuration: processor types with per-core DVS
+	// level tables. Homogeneous (the paper's C identical ARM7 cores) and
+	// heterogeneous platforms share this type.
 	Platform = arch.Platform
+	// ProcType is one processor type of a heterogeneous platform: a named
+	// DVS level table.
+	ProcType = arch.ProcType
 	// Level is one DVS operating point (scaling coefficient, f, Vdd).
 	Level = arch.Level
 	// Mapping assigns each task to a core.
@@ -107,6 +112,18 @@ func NewSystem(g *Graph, p *Platform) (*System, error) {
 		return nil, fmt.Errorf("seadopt: nil graph or platform")
 	}
 	return &System{Graph: g, Platform: p}, nil
+}
+
+// NewHeterogeneousPlatform builds a mixed MPSoC: core i is an instance of
+// types[coreTypes[i]], each type carrying its own DVS level table. The
+// exploration engine enumerates the resulting mixed-radix scaling space —
+// cores sharing a physical table are treated as interchangeable, exactly
+// like the paper's identical-core argument — and every determinism and
+// strategy-equivalence guarantee of Optimize/OptimizePareto carries over.
+// Platforms whose cores all share one table behave identically to
+// NewARM7System/NewCustomPlatform ones.
+func NewHeterogeneousPlatform(types []ProcType, coreTypes []int) (*Platform, error) {
+	return arch.NewHeterogeneousPlatform(types, coreTypes)
 }
 
 // ExploreProgress reports one resolved scaling combination of an

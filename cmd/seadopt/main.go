@@ -9,10 +9,12 @@
 //	seadopt -graph mpeg2 -cores 4
 //	seadopt -graph random -tasks 60 -cores 6 -levels 3 -seed 7
 //	seadopt -graph mpeg2 -cores 4 -baseline regtime   # the Exp:3 baseline
+//	seadopt -graph mpeg2 -platform mixed.json         # heterogeneous MPSoC
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,64 +24,99 @@ import (
 	"seadopt/internal/trace"
 )
 
-// narrationOut routes human-facing narration (progress lines, trace and
-// fault-injection notices): stderr when stdout is reserved for the
-// machine-readable -json payload.
-func narrationOut(jsonMode bool) io.Writer {
-	if jsonMode {
-		return os.Stderr
-	}
-	return os.Stdout
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
+// run is the whole CLI with its streams injected, so the golden-file tests
+// drive it in-process. It returns the process exit code: 0 on success, 1 on
+// errors, 2 when no deadline-meeting design exists.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("seadopt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphName = flag.String("graph", "mpeg2", "workload: mpeg2, fig8 or random")
-		tasks     = flag.Int("tasks", 60, "task count for -graph random")
-		cores     = flag.Int("cores", 4, "number of MPSoC processing cores")
-		levels    = flag.Int("levels", 3, "DVS levels (2, 3 or 4)")
-		deadline  = flag.Float64("deadline", -1, "real-time constraint in seconds (-1 = workload default)")
-		ser       = flag.Float64("ser", seadopt.DefaultSER, "soft error rate, SEU/bit/cycle (0 or negative = no soft errors)")
-		moves     = flag.Int("moves", 0, "per-scaling search budget (0 = default)")
-		parallel  = flag.Int("parallel", 0, "scaling-combination workers (0 = all cores, 1 = sequential; same result either way)")
-		strategy  = flag.String("strategy", "", "exploration strategy: bnb (default; same answer as exhaustive, prunes provably irrelevant scalings), exhaustive, or sampled (approximate)")
-		budget    = flag.Int("sample-budget", 0, "combinations the sampled strategy maps (0 = default)")
-		paretoRun = flag.Bool("pareto", false, "return the Pareto frontier of feasible designs instead of the single minimum-power one")
-		objs      = flag.String("objectives", "", "pareto objectives, comma-separated subset of power,makespan,gamma (default all three)")
-		progress  = flag.Bool("progress", false, "print one line per resolved scaling combination")
-		seed      = flag.Int64("seed", 2010, "random seed")
-		baseline  = flag.String("baseline", "", "run a soft error-unaware baseline instead: reg, makespan or regtime")
-		gantt     = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
-		stats     = flag.Bool("stats", false, "print structural statistics of the workload graph")
-		traceOut  = flag.String("trace", "", "write a Chrome-tracing JSON of the design's simulation to this file")
-		inject    = flag.Bool("inject", true, "run fault injection on the chosen design")
-		jsonOut   = flag.Bool("json", false, "print the chosen design as wire JSON (the encoding seadoptd serves) instead of text")
-		dumpGraph = flag.Bool("dump-graph", false, "print the workload graph as canonical JSON and exit (pipe into a seadoptd job)")
+		graphName = fs.String("graph", "mpeg2", "workload: mpeg2, fig8 or random")
+		tasks     = fs.Int("tasks", 60, "task count for -graph random")
+		cores     = fs.Int("cores", 4, "number of MPSoC processing cores")
+		levels    = fs.Int("levels", 3, "DVS levels (2, 3 or 4)")
+		platFile  = fs.String("platform", "", "JSON platform-spec file (heterogeneous MPSoCs; overrides -cores/-levels)")
+		deadline  = fs.Float64("deadline", -1, "real-time constraint in seconds (-1 = workload default)")
+		ser       = fs.Float64("ser", seadopt.DefaultSER, "soft error rate, SEU/bit/cycle (0 or negative = no soft errors)")
+		moves     = fs.Int("moves", 0, "per-scaling search budget (0 = default)")
+		parallel  = fs.Int("parallel", 0, "scaling-combination workers (0 = all cores, 1 = sequential; same result either way)")
+		strategy  = fs.String("strategy", "", "exploration strategy: bnb (default; same answer as exhaustive, prunes provably irrelevant scalings), exhaustive, or sampled (approximate)")
+		budget    = fs.Int("sample-budget", 0, "combinations the sampled strategy maps (0 = default)")
+		paretoRun = fs.Bool("pareto", false, "return the Pareto frontier of feasible designs instead of the single minimum-power one")
+		objs      = fs.String("objectives", "", "pareto objectives, comma-separated subset of power,makespan,gamma (default all three)")
+		progress  = fs.Bool("progress", false, "print one line per resolved scaling combination")
+		seed      = fs.Int64("seed", 2010, "random seed")
+		baseline  = fs.String("baseline", "", "run a soft error-unaware baseline instead: reg, makespan or regtime")
+		gantt     = fs.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		stats     = fs.Bool("stats", false, "print structural statistics of the workload graph")
+		traceOut  = fs.String("trace", "", "write a Chrome-tracing JSON of the design's simulation to this file")
+		inject    = fs.Bool("inject", true, "run fault injection on the chosen design")
+		jsonOut   = fs.Bool("json", false, "print the chosen design as wire JSON (the encoding seadoptd serves) instead of text")
+		dumpGraph = fs.Bool("dump-graph", false, "print the workload graph as canonical JSON and exit (pipe into a seadoptd job)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "seadopt:", err)
+		return 1
+	}
+	// Human-facing narration (progress lines, trace and fault-injection
+	// notices) moves to stderr when stdout is reserved for the
+	// machine-readable -json payload.
+	narration := stdout
+	if *jsonOut {
+		narration = stderr
+	}
 
 	g, dl, iters, err := loadWorkload(*graphName, *tasks, *seed)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *dumpGraph {
 		data, err := g.MarshalJSON()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		os.Stdout.Write(append(data, '\n'))
-		return
+		stdout.Write(append(data, '\n'))
+		return 0
 	}
 	if *deadline >= 0 {
 		dl = *deadline
 	}
-	sys, err := seadopt.NewARM7System(g, *cores, *levels)
-	if err != nil {
-		fatal(err)
+	var sys *seadopt.System
+	platformDesc := ""
+	if *platFile != "" {
+		f, err := os.Open(*platFile)
+		if err != nil {
+			return fail(err)
+		}
+		p, err := seadopt.ParsePlatformSpec(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if sys, err = seadopt.NewSystem(g, p); err != nil {
+			return fail(err)
+		}
+		platformDesc = fmt.Sprintf("%d cores (platform spec %s)", p.Cores(), *platFile)
+	} else {
+		if sys, err = seadopt.NewARM7System(g, *cores, *levels); err != nil {
+			return fail(err)
+		}
+		platformDesc = fmt.Sprintf("%d cores / %d DVS levels", *cores, *levels)
 	}
 	if *stats {
-		fmt.Println(sys.Stats())
-		fmt.Println()
+		// Narration, like progress: must not corrupt the -json payload.
+		fmt.Fprintln(narration, sys.Stats())
+		fmt.Fprintln(narration)
 	}
 	// The library's SER sentinel is 0-means-default; the flag's default is
 	// already DefaultSER, so 0 at the CLI is an explicit request for a
@@ -90,14 +127,14 @@ func main() {
 	}
 	strat, err := seadopt.ParseExploreStrategy(*strategy)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	objectives, err := seadopt.ParseParetoObjectives(*objs)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *objs != "" && !*paretoRun {
-		fatal(fmt.Errorf("-objectives needs -pareto"))
+		return fail(fmt.Errorf("-objectives needs -pareto"))
 	}
 	opts := seadopt.OptimizeOptions{
 		SER:              serOpt,
@@ -111,21 +148,20 @@ func main() {
 		Objectives:       objectives,
 	}
 	if *progress {
-		progressOut := narrationOut(*jsonOut)
 		opts.Progress = func(p seadopt.ExploreProgress) {
 			switch {
 			case p.Pruned:
-				fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  pruned (best-case makespan misses deadline)\n",
+				fmt.Fprintf(narration, "  [%2d/%2d] scaling %v  pruned (best-case makespan misses deadline)\n",
 					p.Index+1, p.Total, p.Scaling)
 			case p.Skipped:
-				fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  skipped (dominated by incumbent)\n",
+				fmt.Fprintf(narration, "  [%2d/%2d] scaling %v  skipped (dominated by incumbent)\n",
 					p.Index+1, p.Total, p.Scaling)
 			default:
 				met := "infeasible"
 				if p.Design.Eval.MeetsDeadline {
 					met = "feasible"
 				}
-				fmt.Fprintf(progressOut, "  [%2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g  %s\n",
+				fmt.Fprintf(narration, "  [%2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g  %s\n",
 					p.Index+1, p.Total, p.Scaling,
 					p.Design.Eval.PowerW*1e3, p.Design.Eval.Gamma, met)
 			}
@@ -134,41 +170,41 @@ func main() {
 
 	if *paretoRun {
 		if *baseline != "" {
-			fatal(fmt.Errorf("-pareto supports only the proposed mapper, not -baseline %s", *baseline))
+			return fail(fmt.Errorf("-pareto supports only the proposed mapper, not -baseline %s", *baseline))
 		}
 		if !*jsonOut {
-			fmt.Printf("exploring the (%s) Pareto frontier of %s on %d cores / %d DVS levels (deadline %.3fs)...\n",
-				objectives, g.Name(), *cores, *levels, dl)
+			fmt.Fprintf(stdout, "exploring the (%s) Pareto frontier of %s on %s (deadline %.3fs)...\n",
+				objectives, g.Name(), platformDesc, dl)
 		}
 		frontier, err := sys.OptimizePareto(opts)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if *jsonOut {
 			data, err := json.Marshal(frontier)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			os.Stdout.Write(append(data, '\n'))
+			stdout.Write(append(data, '\n'))
 		} else {
-			fmt.Printf("frontier: %d design(s)\n", len(frontier))
+			fmt.Fprintf(stdout, "frontier: %d design(s)\n", len(frontier))
 			for i, d := range frontier {
-				fmt.Printf("[%d] %s", i, d.Summary())
+				fmt.Fprintf(stdout, "[%d] %s", i, d.Summary())
 			}
 		}
 		if !frontier[0].Eval.MeetsDeadline {
-			fmt.Fprintln(os.Stderr, "warning: no deadline-meeting design exists for this configuration")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "warning: no deadline-meeting design exists for this configuration")
+			return 2
 		}
-		return
+		return 0
 	}
 
 	var design *seadopt.Design
 	switch *baseline {
 	case "":
 		if !*jsonOut {
-			fmt.Printf("optimizing %s on %d cores / %d DVS levels (proposed, deadline %.3fs)...\n",
-				g.Name(), *cores, *levels, dl)
+			fmt.Fprintf(stdout, "optimizing %s on %s (proposed, deadline %.3fs)...\n",
+				g.Name(), platformDesc, dl)
 		}
 		design, err = sys.Optimize(opts)
 	case "reg":
@@ -178,41 +214,42 @@ func main() {
 	case "regtime":
 		design, err = sys.OptimizeBaseline(seadopt.MinimizeRegTime, opts)
 	default:
-		fatal(fmt.Errorf("unknown baseline %q (want reg, makespan or regtime)", *baseline))
+		return fail(fmt.Errorf("unknown baseline %q (want reg, makespan or regtime)", *baseline))
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if *jsonOut {
 		data, err := json.Marshal(design)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		os.Stdout.Write(append(data, '\n'))
+		stdout.Write(append(data, '\n'))
 	} else {
-		fmt.Print(design.Summary())
+		fmt.Fprint(stdout, design.Summary())
 		if *gantt {
-			fmt.Print(design.Gantt(100))
+			fmt.Fprint(stdout, design.Gantt(100))
 		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, sys, design, iters); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(narrationOut(*jsonOut), "wrote simulation trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		fmt.Fprintf(narration, "wrote simulation trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 	if *inject {
 		measured, expected, err := sys.InjectFaults(design.Mapping, design.Scaling, iters, serOpt, *seed)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(narrationOut(*jsonOut), "fault injection: %d SEUs experienced (analytic expectation %.4g)\n", measured, expected)
+		fmt.Fprintf(narration, "fault injection: %d SEUs experienced (analytic expectation %.4g)\n", measured, expected)
 	}
 	if !design.Eval.MeetsDeadline {
-		fmt.Fprintln(os.Stderr, "warning: no deadline-meeting design exists for this configuration")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "warning: no deadline-meeting design exists for this configuration")
+		return 2
 	}
+	return 0
 }
 
 func loadWorkload(name string, tasks int, seed int64) (g *seadopt.Graph, deadlineSec float64, streamIters int, err error) {
@@ -245,9 +282,4 @@ func writeTrace(path string, sys *seadopt.System, d *seadopt.Design, iters int) 
 	}
 	defer f.Close()
 	return trace.WriteSimulation(f, r)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "seadopt:", err)
-	os.Exit(1)
 }

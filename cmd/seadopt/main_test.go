@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from the current output:
+//
+//	go test ./cmd/seadopt -update
+//
+// The CLI's output is a pure function of its flags — the engine is
+// deterministic at any parallelism, the fault-injection campaign is seeded,
+// and every invocation below pins its seed — so the files are stable. They
+// encode floating-point results produced on the CI architecture; regenerate
+// rather than hand-edit.
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
+// runCLI drives the command in-process and returns its stdout, stderr and
+// exit code.
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+// checkGolden diffs got against testdata/<name>.golden, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test ./cmd/seadopt -update` to create it): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverged from %s:\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// TestGoldenMPEG2Scalar is the end-to-end text invocation of the README's
+// first example: MPEG-2, scalar optimization, fault injection on the chosen
+// design.
+func TestGoldenMPEG2Scalar(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-graph", "mpeg2", "-seed", "2010", "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "mpeg2_scalar", stdout)
+}
+
+// TestGoldenMPEG2Pareto covers the frontier path end to end.
+func TestGoldenMPEG2Pareto(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-graph", "mpeg2", "-pareto", "-seed", "2010")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "mpeg2_pareto", stdout)
+}
+
+// TestGoldenMPEG2JSON covers the machine-readable path: stdout must carry
+// exactly the wire JSON (the encoding seadoptd serves), with all narration
+// on stderr.
+func TestGoldenMPEG2JSON(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-graph", "mpeg2", "-seed", "2010", "-json", "-inject=false")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal([]byte(stdout), &wire); err != nil {
+		t.Fatalf("stdout is not a single JSON document: %v\n%s", err, stdout)
+	}
+	for _, key := range []string{"graph", "scaling", "mapping", "eval", "cores"} {
+		if _, ok := wire[key]; !ok {
+			t.Errorf("wire JSON missing %q", key)
+		}
+	}
+	checkGolden(t, "mpeg2_json", stdout)
+}
+
+// TestGoldenHeterogeneousPlatform exercises the -platform spec path with a
+// progress stream over the mixed-radix enumeration.
+func TestGoldenHeterogeneousPlatform(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"-graph", "mpeg2", "-seed", "2010",
+		"-platform", filepath.Join("testdata", "mixed.json"),
+		"-progress", "-inject=false")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "mpeg2_hetero", stdout)
+}
+
+// TestGoldenDumpGraph: the canonical graph dump is the documented way to
+// pipe a workload into seadoptd; it must stay byte-stable.
+func TestGoldenDumpGraph(t *testing.T) {
+	stdout, stderr, code := runCLI(t, "-graph", "fig8", "-dump-graph")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "fig8_dump", stdout)
+}
+
+// TestCLIErrors: flag and input mistakes exit 1 with a message, without
+// touching the golden files.
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "nonsense"},
+		{"-graph", "mpeg2", "-levels", "9"},
+		{"-graph", "mpeg2", "-objectives", "power"}, // -objectives without -pareto
+		{"-graph", "mpeg2", "-baseline", "nonsense"},
+		{"-graph", "mpeg2", "-platform", "testdata/absent.json"},
+		{"-graph", "mpeg2", "-pareto", "-baseline", "reg"},
+		{"-graph", "mpeg2", "-strategy", "nonsense"},
+	}
+	for _, args := range cases {
+		stdout, stderr, code := runCLI(t, args...)
+		if code != 1 {
+			t.Errorf("args %v: exit code %d, want 1 (stdout %q)", args, code, stdout)
+		}
+		if !strings.Contains(stderr, "seadopt:") {
+			t.Errorf("args %v: stderr carries no error: %q", args, stderr)
+		}
+	}
+}
+
+// TestCLIInfeasibleExitCode: an impossible deadline exits 2 and warns.
+func TestCLIInfeasibleExitCode(t *testing.T) {
+	_, stderr, code := runCLI(t, "-graph", "fig8", "-deadline", "0.000001", "-inject=false")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no deadline-meeting design") {
+		t.Errorf("missing infeasibility warning, stderr: %q", stderr)
+	}
+}

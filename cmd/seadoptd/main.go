@@ -59,6 +59,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		parallel     = fs.Int("engine-parallel", 0, "per-job exploration parallelism (0 = all cores)")
 		retention    = fs.Int("job-retention", 4096, "finished job records kept queryable (negative = unlimited)")
 		strategy     = fs.String("strategy", "", "default exploration strategy for jobs that don't set one: bnb (default), exhaustive, or sampled")
+		platformFile = fs.String("platform", "", "JSON platform-spec file applied to jobs that don't name a platform (heterogeneous MPSoCs supported; default 4 ARM7 cores × Table I)")
 		paretoMode   = fs.Bool("pareto", false, "default jobs that don't set a mode to pareto (serve frontiers instead of single designs)")
 		objectives   = fs.String("objectives", "", "default pareto objectives for jobs that don't set them: comma-separated subset of power,makespan,gamma")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
@@ -79,6 +80,19 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if *paretoMode {
 		defaultMode = "pareto"
 	}
+	var defaultPlatform *seadopt.Platform
+	if *platformFile != "" {
+		f, err := os.Open(*platformFile)
+		if err != nil {
+			return fmt.Errorf("-platform: %w", err)
+		}
+		defaultPlatform, err = seadopt.ParsePlatformSpec(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-platform %s: %w", *platformFile, err)
+		}
+		log.Printf("seadoptd default platform: %d cores from %s", defaultPlatform.Cores(), *platformFile)
+	}
 
 	svc := service.New(service.Config{
 		Workers:           *workers,
@@ -89,6 +103,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		DefaultStrategy:   *strategy,
 		DefaultMode:       defaultMode,
 		DefaultObjectives: *objectives,
+		DefaultPlatform:   defaultPlatform,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

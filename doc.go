@@ -4,8 +4,9 @@
 //
 // The library co-optimizes the dynamic power and the soft-error reliability
 // (number of single-event upsets experienced, Γ) of an application task
-// graph mapped onto a DVS-capable homogeneous MPSoC, subject to a real-time
-// constraint:
+// graph mapped onto a DVS-capable MPSoC — the paper's homogeneous ARM7
+// platform, or a heterogeneous generalization with per-core processor types
+// — subject to a real-time constraint:
 //
 //   - per-core voltage scaling is enumerated with the paper's nextScaling
 //     algorithm (Fig. 5) from the all-slowest to the all-nominal operating
@@ -101,6 +102,22 @@
 // When no design meets the deadline the frontier collapses to the scalar
 // loop's deterministic "least infeasible" design. ExploreProgress carries
 // the per-point view (FrontierSize, Admitted) for live consumers.
+//
+// # Heterogeneous platforms
+//
+// NewHeterogeneousPlatform (and ParsePlatformSpec, which reads the JSON
+// platform-spec documents the CLI -platform flags and the seadoptd
+// "platform" job field accept) builds MPSoCs whose cores carry their own
+// DVS tables. The Fig. 5 enumeration generalizes to a mixed-radix space:
+// each core draws its coefficient from its own table, and cores with
+// physically equal tables remain interchangeable for the mapper — the
+// paper's identical-core symmetry, applied per equivalence class. On a
+// homogeneous platform the generalized walk is bit-identical to the legacy
+// Fig. 5 sequence, and every determinism and strategy-equivalence guarantee
+// above holds unchanged on mixed platforms (property-tested in
+// internal/mapping). The paper's experiments stay pinned to the
+// homogeneous Table-I platform; heterogeneous exploration is an extension,
+// not a reproduction surface.
 //
 // # SER sentinel
 //

@@ -1,7 +1,14 @@
-// Package arch models the paper's MPSoC architecture (§II-A): C identical
-// ARM7TDMI processing cores with private caches and memory, fed by a clock
-// tree generator that gives every core its own (frequency, Vdd) operating
-// point, selected from a small table of voltage-scaling levels (Table I).
+// Package arch models the paper's MPSoC architecture (§II-A): processing
+// cores with private caches and memory, fed by a clock tree generator that
+// gives every core its own (frequency, Vdd) operating point, selected from a
+// small table of voltage-scaling levels (Table I).
+//
+// The paper's platform is C identical ARM7TDMI cores sharing one Table-I
+// level table; NewPlatform builds exactly that. The model generalizes to
+// heterogeneous MPSoCs — per-core processor types, each with its own DVS
+// table — via ProcType and NewHeterogeneousPlatform. Cores that share a
+// level table are interchangeable for the task mapper, which is the symmetry
+// the vscale enumeration exploits; SymmetryClasses exposes it.
 //
 // The dynamic power of the platform is eq. (5):
 //
@@ -134,11 +141,67 @@ const DefaultCL = 47e-12 // farads
 // against Table II Γ magnitudes and held fixed (see EXPERIMENTS.md).
 const DefaultBaselineBits = ARM7DataCacheBits + ARM7InstrCacheBits + 40*1024 // 64 kbit
 
-// Platform is a concrete MPSoC configuration: core count, DVS level table,
-// and the calibration constants of the power and exposure models.
+// ProcType is one processor type of a (possibly heterogeneous) MPSoC: a
+// named DVS level table. Two cores of the same type — or of distinct types
+// with byte-identical tables — are interchangeable for the task mapper.
+type ProcType struct {
+	// Name identifies the type in specs and summaries; it does not
+	// participate in physical identity (two types with equal tables are the
+	// same hardware).
+	Name string
+	// Levels is the type's DVS table, fastest first, consecutive S from 1.
+	Levels []Level
+}
+
+// Validate checks the type's level table (non-empty, consecutive S starting
+// at 1, positive f and Vdd, strictly decreasing frequency).
+func (t ProcType) Validate() error {
+	return validateLevels(t.Levels)
+}
+
+func validateLevels(levels []Level) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("empty DVS level table")
+	}
+	for i, l := range levels {
+		if l.S != i+1 {
+			return fmt.Errorf("level %d has S=%d, want consecutive S starting at 1", i, l.S)
+		}
+		if l.FreqMHz <= 0 || l.Vdd <= 0 {
+			return fmt.Errorf("level s=%d has non-positive f or Vdd", l.S)
+		}
+		if i > 0 && levels[i-1].FreqMHz <= l.FreqMHz {
+			return fmt.Errorf("levels must be sorted fastest-first: %v MHz after %v MHz (s=%d)",
+				l.FreqMHz, levels[i-1].FreqMHz, l.S)
+		}
+	}
+	return nil
+}
+
+// sameLevels reports physical equality of two DVS tables.
+func sameLevels(a, b []Level) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Platform is a concrete MPSoC configuration: a set of processor types, a
+// per-core type assignment, and the calibration constants of the power and
+// exposure models. The paper's homogeneous C×Table-I platform is the
+// single-type special case.
 type Platform struct {
 	cores        int
-	levels       []Level
+	types        []ProcType
+	coreType     []int // per-core index into types
+	classes      []int // per-core symmetry class (equal tables ⇒ equal class)
+	numClasses   int
+	nominalHz    float64 // fastest s=1 frequency across all cores
 	cl           float64 // effective switched capacitance (F)
 	baselineBits int64   // per-core baseline SEU-exposed storage
 }
@@ -152,32 +215,74 @@ func WithCL(cl float64) Option { return func(p *Platform) { p.cl = cl } }
 // WithBaselineBits overrides the per-core baseline exposed storage.
 func WithBaselineBits(bits int64) Option { return func(p *Platform) { p.baselineBits = bits } }
 
-// NewPlatform builds a platform with the given core count and DVS table.
-// Levels must be sorted fastest-first and use consecutive S starting at 1.
+// NewPlatform builds a homogeneous platform: `cores` identical cores
+// sharing one DVS table. Levels must be sorted fastest-first and use
+// consecutive S starting at 1.
 func NewPlatform(cores int, levels []Level, opts ...Option) (*Platform, error) {
 	if cores < 1 {
 		return nil, fmt.Errorf("arch: need at least 1 core, got %d", cores)
 	}
-	if len(levels) == 0 {
-		return nil, fmt.Errorf("arch: empty DVS level table")
+	return NewHeterogeneousPlatform(
+		[]ProcType{{Name: "core", Levels: levels}}, make([]int, cores), opts...)
+}
+
+// NewHeterogeneousPlatform builds a platform from a set of processor types
+// and a per-core type assignment: core i is an instance of
+// types[coreTypes[i]]. Every type's level table is validated like
+// NewPlatform's; distinct types with identical tables are legal and treated
+// as the same symmetry class.
+func NewHeterogeneousPlatform(types []ProcType, coreTypes []int, opts ...Option) (*Platform, error) {
+	if len(types) == 0 {
+		return nil, fmt.Errorf("arch: no processor types given")
 	}
-	for i, l := range levels {
-		if l.S != i+1 {
-			return nil, fmt.Errorf("arch: level %d has S=%d, want consecutive S starting at 1", i, l.S)
+	if len(coreTypes) < 1 {
+		return nil, fmt.Errorf("arch: need at least 1 core, got %d", len(coreTypes))
+	}
+	cp := make([]ProcType, len(types))
+	for i, t := range types {
+		if err := t.Validate(); err != nil {
+			name := t.Name
+			if name == "" {
+				name = fmt.Sprintf("#%d", i)
+			}
+			return nil, fmt.Errorf("arch: processor type %s: %w", name, err)
 		}
-		if l.FreqMHz <= 0 || l.Vdd <= 0 {
-			return nil, fmt.Errorf("arch: level s=%d has non-positive f or Vdd", l.S)
-		}
-		if i > 0 && levels[i-1].FreqMHz <= l.FreqMHz {
-			return nil, fmt.Errorf("arch: levels must be sorted fastest-first (s=%d)", l.S)
-		}
+		cp[i] = ProcType{Name: t.Name, Levels: append([]Level(nil), t.Levels...)}
 	}
 	p := &Platform{
-		cores:        cores,
-		levels:       append([]Level(nil), levels...),
+		cores:        len(coreTypes),
+		types:        cp,
+		coreType:     append([]int(nil), coreTypes...),
 		cl:           DefaultCL,
 		baselineBits: DefaultBaselineBits,
 	}
+	for c, ti := range p.coreType {
+		if ti < 0 || ti >= len(cp) {
+			return nil, fmt.Errorf("arch: core %d references processor type %d, have %d types", c, ti, len(cp))
+		}
+		if f := cp[ti].Levels[0].FreqHz(); f > p.nominalHz {
+			p.nominalHz = f
+		}
+	}
+	// Symmetry classes: cores with physically equal tables share a class;
+	// class ids are assigned in first-occurrence order over the core list.
+	p.classes = make([]int, p.cores)
+	var reps []ProcType // one representative type per class
+	for c, ti := range p.coreType {
+		cls := -1
+		for k, r := range reps {
+			if sameLevels(r.Levels, cp[ti].Levels) {
+				cls = k
+				break
+			}
+		}
+		if cls < 0 {
+			cls = len(reps)
+			reps = append(reps, cp[ti])
+		}
+		p.classes[c] = cls
+	}
+	p.numClasses = len(reps)
 	for _, o := range opts {
 		o(p)
 	}
@@ -202,25 +307,103 @@ func MustNewPlatform(cores int, levels []Level, opts ...Option) *Platform {
 // Cores returns the number of processing cores.
 func (p *Platform) Cores() int { return p.cores }
 
-// NumLevels returns the number of DVS levels.
-func (p *Platform) NumLevels() int { return len(p.levels) }
+// Homogeneous reports whether every core shares one DVS table (the paper's
+// platform model).
+func (p *Platform) Homogeneous() bool { return p.numClasses == 1 }
 
-// Levels returns a copy of the DVS level table.
-func (p *Platform) Levels() []Level {
-	out := make([]Level, len(p.levels))
-	copy(out, p.levels)
+// NumLevels returns the number of DVS levels of the single shared table of a
+// homogeneous platform. It panics on a heterogeneous platform, where no such
+// single count exists; use CoreNumLevels or LevelCounts there.
+func (p *Platform) NumLevels() int {
+	if !p.Homogeneous() {
+		panic("arch: NumLevels on a heterogeneous platform; use CoreNumLevels(core)")
+	}
+	return len(p.types[p.coreType[0]].Levels)
+}
+
+// CoreNumLevels returns the number of DVS levels of core i's table.
+func (p *Platform) CoreNumLevels(i int) int {
+	return len(p.types[p.coreType[i]].Levels)
+}
+
+// LevelCounts returns the per-core DVS level counts — the mixed radix of the
+// platform's scaling-combination space.
+func (p *Platform) LevelCounts() []int {
+	out := make([]int, p.cores)
+	for i := range out {
+		out[i] = p.CoreNumLevels(i)
+	}
 	return out
 }
 
-// Level returns the operating point for scaling coefficient s (1-based).
-func (p *Platform) Level(s int) (Level, error) {
-	if s < 1 || s > len(p.levels) {
-		return Level{}, fmt.Errorf("arch: scaling coefficient %d outside [1,%d]", s, len(p.levels))
-	}
-	return p.levels[s-1], nil
+// SymmetryClasses returns the per-core symmetry class ids: two cores share a
+// class exactly when their DVS tables are physically equal, making them
+// interchangeable for the task mapper. Class ids are dense and assigned in
+// first-occurrence order over the core list, so the encoding is canonical
+// for a given core ordering.
+func (p *Platform) SymmetryClasses() []int {
+	return append([]int(nil), p.classes...)
 }
 
-// MustLevel is Level but panics on out-of-range s.
+// Types returns a copy of the platform's processor types.
+func (p *Platform) Types() []ProcType {
+	out := make([]ProcType, len(p.types))
+	for i, t := range p.types {
+		out[i] = ProcType{Name: t.Name, Levels: append([]Level(nil), t.Levels...)}
+	}
+	return out
+}
+
+// CoreTypes returns the per-core indices into Types.
+func (p *Platform) CoreTypes() []int { return append([]int(nil), p.coreType...) }
+
+// TypeName returns the processor-type name of core i.
+func (p *Platform) TypeName(i int) string { return p.types[p.coreType[i]].Name }
+
+// Levels returns a copy of core i's DVS level table.
+func (p *Platform) Levels(i int) []Level {
+	t := p.types[p.coreType[i]]
+	return append([]Level(nil), t.Levels...)
+}
+
+// NominalHz is the platform's reference clock: the fastest (s=1) frequency
+// across all cores. T_M cycle counts are expressed against it.
+func (p *Platform) NominalHz() float64 { return p.nominalHz }
+
+// CoreLevel returns core i's operating point for scaling coefficient s
+// (1-based).
+func (p *Platform) CoreLevel(i, s int) (Level, error) {
+	if i < 0 || i >= p.cores {
+		return Level{}, fmt.Errorf("arch: core %d outside [0,%d)", i, p.cores)
+	}
+	t := p.types[p.coreType[i]]
+	if s < 1 || s > len(t.Levels) {
+		return Level{}, fmt.Errorf("arch: core %d scaling coefficient %d outside [1,%d]", i, s, len(t.Levels))
+	}
+	return t.Levels[s-1], nil
+}
+
+// MustCoreLevel is CoreLevel but panics on out-of-range arguments.
+func (p *Platform) MustCoreLevel(i, s int) Level {
+	l, err := p.CoreLevel(i, s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Level returns the operating point for scaling coefficient s (1-based) of
+// the single shared table of a homogeneous platform. Heterogeneous platforms
+// have no core-independent operating points; use CoreLevel there.
+func (p *Platform) Level(s int) (Level, error) {
+	if !p.Homogeneous() {
+		return Level{}, fmt.Errorf("arch: Level(s) on a heterogeneous platform; use CoreLevel(core, s)")
+	}
+	return p.CoreLevel(0, s)
+}
+
+// MustLevel is Level but panics on out-of-range s or a heterogeneous
+// platform.
 func (p *Platform) MustLevel(s int) Level {
 	l, err := p.Level(s)
 	if err != nil {
@@ -236,14 +419,14 @@ func (p *Platform) CL() float64 { return p.cl }
 func (p *Platform) BaselineBits() int64 { return p.baselineBits }
 
 // ValidScaling reports whether the per-core scaling vector has one in-range
-// coefficient per core.
+// coefficient per core (each checked against that core's own table).
 func (p *Platform) ValidScaling(scaling []int) error {
 	if len(scaling) != p.cores {
 		return fmt.Errorf("arch: scaling vector has %d entries, platform has %d cores", len(scaling), p.cores)
 	}
 	for i, s := range scaling {
-		if s < 1 || s > len(p.levels) {
-			return fmt.Errorf("arch: core %d scaling %d outside [1,%d]", i, s, len(p.levels))
+		if n := p.CoreNumLevels(i); s < 1 || s > n {
+			return fmt.Errorf("arch: core %d scaling %d outside [1,%d]", i, s, n)
 		}
 	}
 	return nil
@@ -261,7 +444,7 @@ func (p *Platform) DynamicPower(scaling []int, util []float64) (float64, error) 
 	}
 	var sum float64
 	for i, s := range scaling {
-		l := p.levels[s-1]
+		l := p.types[p.coreType[i]].Levels[s-1]
 		alpha := 1.0
 		if util != nil {
 			alpha = util[i]
@@ -284,11 +467,12 @@ func (p *Platform) MaxPowerScaling() []int {
 }
 
 // MinPowerScaling returns the all-slowest scaling vector (the starting point
-// of the Fig. 5(a) enumeration).
+// of the Fig. 5(a) enumeration): each core at the last level of its own
+// table.
 func (p *Platform) MinPowerScaling() []int {
 	out := make([]int, p.cores)
 	for i := range out {
-		out[i] = len(p.levels)
+		out[i] = p.CoreNumLevels(i)
 	}
 	return out
 }

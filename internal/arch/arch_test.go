@@ -115,7 +115,7 @@ func TestPlatformAccessors(t *testing.T) {
 	if got := p.MinPowerScaling(); len(got) != 4 || got[0] != 3 {
 		t.Errorf("MinPowerScaling = %v", got)
 	}
-	levels := p.Levels()
+	levels := p.Levels(0)
 	levels[0].FreqMHz = 0 // must not corrupt the platform
 	if p.MustLevel(1).FreqMHz != 200 {
 		t.Error("Levels() leaked internal state")
@@ -247,5 +247,111 @@ func TestLevelsFromFrequencies(t *testing.T) {
 	}
 	if _, err := LevelsFromFrequencies(100, -5); err == nil {
 		t.Error("negative frequency accepted")
+	}
+}
+
+// heteroTestPlatform builds a 4-core mixed platform: two ARM7 Table-I cores,
+// one 2-level core and one 4-level core.
+func heteroTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewHeterogeneousPlatform(
+		[]ProcType{
+			{Name: "arm7x3", Levels: ARM7Levels3()},
+			{Name: "arm7x2", Levels: ARM7Levels2()},
+			{Name: "arm7x4", Levels: ARM7Levels4()},
+		},
+		[]int{0, 0, 1, 2})
+	if err != nil {
+		t.Fatalf("NewHeterogeneousPlatform: %v", err)
+	}
+	return p
+}
+
+func TestHeterogeneousPlatform(t *testing.T) {
+	p := heteroTestPlatform(t)
+	if p.Cores() != 4 || p.Homogeneous() {
+		t.Fatalf("Cores=%d Homogeneous=%v", p.Cores(), p.Homogeneous())
+	}
+	if got := p.LevelCounts(); got[0] != 3 || got[1] != 3 || got[2] != 2 || got[3] != 4 {
+		t.Errorf("LevelCounts = %v", got)
+	}
+	if got := p.SymmetryClasses(); got[0] != 0 || got[1] != 0 || got[2] != 1 || got[3] != 2 {
+		t.Errorf("SymmetryClasses = %v", got)
+	}
+	if got := p.MinPowerScaling(); got[0] != 3 || got[2] != 2 || got[3] != 4 {
+		t.Errorf("MinPowerScaling = %v", got)
+	}
+	// Per-core levels are independent tables.
+	if f := p.MustCoreLevel(3, 1).FreqMHz; f != 236 {
+		t.Errorf("core 3 s=1 freq = %v, want 236", f)
+	}
+	if f := p.MustCoreLevel(0, 1).FreqMHz; f != 200 {
+		t.Errorf("core 0 s=1 freq = %v, want 200", f)
+	}
+	if p.NominalHz() != 236e6 {
+		t.Errorf("NominalHz = %v, want 236e6", p.NominalHz())
+	}
+	// Scaling validity is checked against each core's own table.
+	if err := p.ValidScaling([]int{3, 1, 2, 4}); err != nil {
+		t.Errorf("valid scaling rejected: %v", err)
+	}
+	if err := p.ValidScaling([]int{1, 1, 3, 1}); err == nil {
+		t.Error("core 2 scaling 3 accepted on a 2-level table")
+	}
+	// The shared-table accessors refuse heterogeneous platforms.
+	if _, err := p.Level(1); err == nil {
+		t.Error("Level(s) accepted on a heterogeneous platform")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NumLevels should panic on a heterogeneous platform")
+		}
+	}()
+	_ = p.NumLevels()
+}
+
+func TestHeterogeneousDynamicPower(t *testing.T) {
+	p := heteroTestPlatform(t)
+	s := []int{1, 2, 1, 2}
+	got, err := p.DynamicPower(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for c, sc := range s {
+		l := p.MustCoreLevel(c, sc)
+		want += l.FreqHz() * l.Vdd * l.Vdd
+	}
+	want *= p.CL()
+	if !almostEqual(got, want, 1e-18) {
+		t.Errorf("DynamicPower = %v, want %v", got, want)
+	}
+}
+
+func TestHeterogeneousValidation(t *testing.T) {
+	arm7 := ProcType{Name: "arm7", Levels: ARM7Levels3()}
+	if _, err := NewHeterogeneousPlatform(nil, []int{0}); err == nil {
+		t.Error("no types accepted")
+	}
+	if _, err := NewHeterogeneousPlatform([]ProcType{arm7}, nil); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewHeterogeneousPlatform([]ProcType{arm7}, []int{0, 1}); err == nil {
+		t.Error("out-of-range type index accepted")
+	}
+	if _, err := NewHeterogeneousPlatform([]ProcType{{Name: "bad"}}, []int{0}); err == nil {
+		t.Error("empty level table accepted")
+	}
+	// Distinct type names with identical tables share one symmetry class.
+	p, err := NewHeterogeneousPlatform(
+		[]ProcType{arm7, {Name: "arm7-copy", Levels: ARM7Levels3()}}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Homogeneous() {
+		t.Errorf("identical tables should collapse to one class: %v", p.SymmetryClasses())
+	}
+	if p.NumLevels() != 3 {
+		t.Errorf("NumLevels = %d", p.NumLevels())
 	}
 }

@@ -1,0 +1,176 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"seadopt/internal/arch"
+)
+
+// PlatformSpec is the JSON description of an MPSoC platform: a set of named
+// processor types (each with its own DVS level table) and a core list
+// instantiating them. It is how heterogeneous platforms enter the system —
+// the CLI -platform flag and the service's "platform" job field both carry
+// one.
+//
+// A minimal homogeneous spec:
+//
+//	{
+//	  "types": [{"name": "arm7", "freqs_mhz": [200, 100, 66.67]}],
+//	  "cores": [{"type": "arm7", "count": 4}]
+//	}
+//
+// A type's table is given either as explicit levels ({"freq_mhz", "vdd"}
+// pairs, fastest first) or as "freqs_mhz", deriving voltages with the ARM7
+// law of eq. (2). cl and baseline_bits override the power/exposure
+// calibration constants; both default to the paper's values.
+type PlatformSpec struct {
+	// Name labels the platform in logs and summaries; it does not
+	// participate in problem identity.
+	Name string `json:"name,omitempty"`
+	// Types declares the processor types cores can reference.
+	Types []ProcTypeSpec `json:"types"`
+	// Cores instantiates types, in core-index order.
+	Cores []CoreSpec `json:"cores"`
+	// CL overrides the effective switched capacitance of eq. (5) in farads;
+	// 0 selects arch.DefaultCL.
+	CL float64 `json:"cl,omitempty"`
+	// BaselineBits overrides the per-core baseline SEU-exposed storage;
+	// nil selects arch.DefaultBaselineBits.
+	BaselineBits *int64 `json:"baseline_bits,omitempty"`
+}
+
+// ProcTypeSpec declares one processor type. Exactly one of Levels and
+// FreqsMHz must be given.
+type ProcTypeSpec struct {
+	// Name is the identifier core entries reference. Required, unique.
+	Name string `json:"name"`
+	// Levels is the explicit DVS table, fastest first.
+	Levels []LevelSpec `json:"levels,omitempty"`
+	// FreqsMHz derives the table from operating frequencies (MHz, fastest
+	// first) with the ARM7 voltage law of eq. (2).
+	FreqsMHz []float64 `json:"freqs_mhz,omitempty"`
+}
+
+// LevelSpec is one explicit DVS operating point.
+type LevelSpec struct {
+	FreqMHz float64 `json:"freq_mhz"`
+	Vdd     float64 `json:"vdd"`
+}
+
+// CoreSpec instantiates count cores of a declared type.
+type CoreSpec struct {
+	// Type references a declared processor type by name.
+	Type string `json:"type"`
+	// Count is the number of cores of this type; absent means 1. An
+	// explicit zero or negative count is an error — a spec that
+	// instantiates no cores is a mistake, not a platform.
+	Count *int `json:"count,omitempty"`
+}
+
+// ParsePlatformSpec decodes and validates a JSON platform spec, returning
+// the built platform. Errors name the offending element so a spec author
+// can fix the document without reading this source.
+func ParsePlatformSpec(data []byte) (*arch.Platform, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var spec PlatformSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("ingest: decoding platform spec: %w", err)
+	}
+	return spec.Build()
+}
+
+// ReadPlatformSpec is ParsePlatformSpec over a reader (a spec file).
+func ReadPlatformSpec(r io.Reader) (*arch.Platform, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading platform spec: %w", err)
+	}
+	return ParsePlatformSpec(data)
+}
+
+// Build validates the spec and constructs the platform.
+func (spec *PlatformSpec) Build() (*arch.Platform, error) {
+	if len(spec.Types) == 0 {
+		return nil, fmt.Errorf("ingest: platform spec declares no processor types; add a \"types\" list")
+	}
+	types := make([]arch.ProcType, len(spec.Types))
+	index := make(map[string]int, len(spec.Types))
+	var names []string
+	for i, ts := range spec.Types {
+		if ts.Name == "" {
+			return nil, fmt.Errorf("ingest: platform spec: processor type %d has no name", i)
+		}
+		if _, dup := index[ts.Name]; dup {
+			return nil, fmt.Errorf("ingest: platform spec: duplicate processor type %q; type names must be unique", ts.Name)
+		}
+		levels, err := ts.levels()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: platform spec: processor type %q: %w", ts.Name, err)
+		}
+		types[i] = arch.ProcType{Name: ts.Name, Levels: levels}
+		if err := types[i].Validate(); err != nil {
+			return nil, fmt.Errorf("ingest: platform spec: processor type %q: %w", ts.Name, err)
+		}
+		index[ts.Name] = i
+		names = append(names, ts.Name)
+	}
+	if len(spec.Cores) == 0 {
+		return nil, fmt.Errorf("ingest: platform spec declares no cores; add a \"cores\" list referencing the declared types")
+	}
+	var coreTypes []int
+	for i, cs := range spec.Cores {
+		ti, ok := index[cs.Type]
+		if !ok {
+			return nil, fmt.Errorf("ingest: platform spec: cores entry %d references unknown processor type %q (declared: %s)",
+				i, cs.Type, strings.Join(names, ", "))
+		}
+		count := 1
+		if cs.Count != nil {
+			count = *cs.Count
+		}
+		if count < 1 {
+			return nil, fmt.Errorf("ingest: platform spec: cores entry %d instantiates zero cores (count %d); counts must be ≥ 1", i, count)
+		}
+		for c := 0; c < count; c++ {
+			coreTypes = append(coreTypes, ti)
+		}
+	}
+	var opts []arch.Option
+	if spec.CL != 0 {
+		opts = append(opts, arch.WithCL(spec.CL))
+	}
+	if spec.BaselineBits != nil {
+		opts = append(opts, arch.WithBaselineBits(*spec.BaselineBits))
+	}
+	p, err := arch.NewHeterogeneousPlatform(types, coreTypes, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: platform spec: %w", err)
+	}
+	return p, nil
+}
+
+// levels resolves a type's DVS table from whichever encoding the spec used.
+func (ts ProcTypeSpec) levels() ([]arch.Level, error) {
+	switch {
+	case len(ts.Levels) > 0 && len(ts.FreqsMHz) > 0:
+		return nil, fmt.Errorf("give either \"levels\" or \"freqs_mhz\", not both")
+	case len(ts.FreqsMHz) > 0:
+		levels, err := arch.LevelsFromFrequencies(ts.FreqsMHz...)
+		if err != nil {
+			return nil, err
+		}
+		return levels, nil
+	case len(ts.Levels) > 0:
+		out := make([]arch.Level, len(ts.Levels))
+		for i, l := range ts.Levels {
+			out[i] = arch.Level{S: i + 1, FreqMHz: l.FreqMHz, Vdd: l.Vdd}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("empty DVS level table: give \"levels\" or \"freqs_mhz\"")
+	}
+}

@@ -179,7 +179,10 @@ type Problem struct {
 // engine's result semantics change, invalidating previously cached keys.
 // v2: exploration strategy + sample budget joined the canonical options.
 // v3: optimization mode + Pareto objectives joined the canonical options.
-const problemKeyVersion = 3
+// v4: heterogeneous platforms — the canonical platform became a per-core
+// type assignment over class-deduplicated DVS tables (a homogeneous spec
+// hashes differently than under v3 but provably produces identical designs).
+const problemKeyVersion = 4
 
 // canonicalProblem is the stable wire form the ProblemKey hashes. Field
 // order is fixed; every field is value-typed or deterministically ordered
@@ -192,11 +195,17 @@ type canonicalProblem struct {
 	Options  Options           `json:"options"`
 }
 
+// canonicalPlatform encodes the physical platform only: per-core indices
+// into a list of distinct DVS tables. Processor-type *names* and duplicate
+// type declarations are canonicalized away via arch's symmetry classes
+// (identical tables collapse to one class, ids in first-occurrence order
+// over the core list), so two specs describing the same hardware hash
+// identically however they spell it.
 type canonicalPlatform struct {
-	Cores        int              `json:"cores"`
-	CL           float64          `json:"cl"`
-	BaselineBits int64            `json:"baseline_bits"`
-	Levels       []canonicalLevel `json:"levels"`
+	CoreTypes    []int              `json:"core_types"`
+	CL           float64            `json:"cl"`
+	BaselineBits int64              `json:"baseline_bits"`
+	Types        [][]canonicalLevel `json:"types"`
 }
 
 type canonicalLevel struct {
@@ -222,14 +231,24 @@ func (p *Problem) CanonicalEncoding() ([]byte, error) {
 		V:     problemKeyVersion,
 		Graph: gj,
 		Platform: canonicalPlatform{
-			Cores:        p.Platform.Cores(),
+			CoreTypes:    p.Platform.SymmetryClasses(),
 			CL:           p.Platform.CL(),
 			BaselineBits: p.Platform.BaselineBits(),
 		},
 		Options: p.Options.normalize(),
 	}
-	for _, l := range p.Platform.Levels() {
-		cp.Platform.Levels = append(cp.Platform.Levels, canonicalLevel{S: l.S, FreqMHz: l.FreqMHz, Vdd: l.Vdd})
+	// One table per symmetry class, in class-id (first-occurrence) order.
+	seen := make(map[int]bool)
+	for core, cls := range cp.Platform.CoreTypes {
+		if seen[cls] {
+			continue
+		}
+		seen[cls] = true
+		var levels []canonicalLevel
+		for _, l := range p.Platform.Levels(core) {
+			levels = append(levels, canonicalLevel{S: l.S, FreqMHz: l.FreqMHz, Vdd: l.Vdd})
+		}
+		cp.Platform.Types = append(cp.Platform.Types, levels)
 	}
 	return json.Marshal(cp)
 }

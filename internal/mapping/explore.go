@@ -523,16 +523,25 @@ func (p *paretoFold) frontier() []*Design {
 	return out
 }
 
-// newFrontier builds the strategy's combination stream.
+// newFrontier builds the strategy's combination stream over the platform's
+// scaling space — the Fig. 5 enumeration for homogeneous platforms, the
+// mixed-radix per-core generalization for heterogeneous ones. Both walks are
+// bit-identical to the legacy homogeneous stream on homogeneous platforms,
+// so combination indices (and with them mapper seeds and cache identities)
+// are stable across the generalization.
 func newFrontier(p *arch.Platform, cfg Config, strategy Strategy) (*vscale.Frontier, error) {
+	space, err := vscale.PlatformSpace(p)
+	if err != nil {
+		return nil, err
+	}
 	if strategy == StrategySampled {
 		budget := cfg.SampleBudget
 		if budget == 0 {
 			budget = DefaultSampleBudget
 		}
-		return vscale.NewSampledFrontier(p.Cores(), p.NumLevels(), budget, cfg.Seed)
+		return space.SampledFrontier(budget, cfg.Seed)
 	}
-	return vscale.NewFrontier(p.Cores(), p.NumLevels())
+	return space.Frontier(), nil
 }
 
 // exploreStream is the scalar entry to the streaming work loop: it plugs the
@@ -965,7 +974,7 @@ func probeFeasible(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error
 	loadSec := make([]float64, cores)
 	freq := make([]float64, cores)
 	for c, s := range mc.Scaling {
-		freq[c] = p.MustLevel(s).FreqHz()
+		freq[c] = p.MustCoreLevel(c, s).FreqHz()
 	}
 	for _, t := range order {
 		bestCore := 0

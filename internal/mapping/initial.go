@@ -146,7 +146,7 @@ func InitialSEAMapping(g *taskgraph.Graph, p *arch.Platform, scaling []int, cfg 
 	freq := make([]float64, cores)
 	lambda := make([]float64, cores)
 	for c, s := range scaling {
-		level := p.MustLevel(s)
+		level := p.MustCoreLevel(c, s)
 		freq[c] = level.FreqHz()
 		lambda[c] = cfg.SER.RatePerSec(level.Vdd)
 	}

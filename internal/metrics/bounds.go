@@ -75,8 +75,8 @@ func (b *Bounds) TMLowerBound(scaling []int) (float64, error) {
 	}
 	fastest := 0.0
 	var sumHz float64
-	for _, s := range scaling {
-		f := b.p.MustLevel(s).FreqHz()
+	for c, s := range scaling {
+		f := b.p.MustCoreLevel(c, s).FreqHz()
 		sumHz += f
 		if f > fastest {
 			fastest = f

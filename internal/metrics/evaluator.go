@@ -109,7 +109,7 @@ func NewEvaluator(g *taskgraph.Graph, p *arch.Platform, ser faults.SERModel, opt
 		util:         make([]float64, cores),
 		lambdaSec:    make([]float64, cores),
 		lambdaCyc:    make([]float64, cores),
-		nominalHz:    p.MustLevel(1).FreqHz(),
+		nominalHz:    p.NominalHz(),
 		baselineBits: p.BaselineBits(),
 	}
 	e.ev.PerCore = make([]CoreMetrics, cores)
@@ -135,7 +135,7 @@ func (e *Evaluator) Bind(scaling []int) error {
 		return err
 	}
 	for c, s := range e.sch.Scaling() {
-		level := e.p.MustLevel(s)
+		level := e.p.MustCoreLevel(c, s)
 		e.lambdaSec[c] = e.ser.RatePerSec(level.Vdd)
 		e.lambdaCyc[c] = e.ser.RatePerCycle(level.Vdd, level.FreqHz())
 	}

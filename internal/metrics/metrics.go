@@ -108,7 +108,7 @@ func EvaluateSchedule(s *sched.Schedule, p *arch.Platform, ser faults.SERModel, 
 		DeadlineSec: opt.DeadlineSec,
 	}
 	ev.TMSeconds = s.PipelinedMakespanSeconds(opt.Iterations)
-	nominalHz := p.MustLevel(1).FreqHz()
+	nominalHz := p.NominalHz()
 	ev.TMCycles = ev.TMSeconds * nominalHz
 
 	util := s.Utilization(opt.Iterations)
@@ -119,7 +119,7 @@ func EvaluateSchedule(s *sched.Schedule, p *arch.Platform, ser faults.SERModel, 
 		cm.BusyCycles = s.BusyCycles(c)
 		cm.BusySec = s.BusySeconds(c)
 		cm.Utilization = util[c]
-		level := p.MustLevel(s.Scaling[c])
+		level := p.MustCoreLevel(c, s.Scaling[c])
 		cm.LambdaPerSec = ser.RatePerSec(level.Vdd)
 		cm.Lambda = ser.RatePerCycle(level.Vdd, level.FreqHz())
 		if len(coreTasks[c]) > 0 {

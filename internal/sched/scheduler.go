@@ -91,7 +91,7 @@ func (s *Scheduler) Bind(scaling []int) error {
 	}
 	copy(s.scaling, scaling)
 	for i, lv := range s.scaling {
-		s.freq[i] = s.p.MustLevel(lv).FreqHz()
+		s.freq[i] = s.p.MustCoreLevel(i, lv).FreqHz()
 	}
 	return nil
 }

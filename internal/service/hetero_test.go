@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seadopt/internal/taskgraph"
+)
+
+// heteroPlatformJSON is the full platform-spec form of the submit envelope's
+// platform field: 3 cores across two distinct DVS tables.
+const heteroPlatformJSON = `{
+  "types": [
+    {"name": "arm7x3", "freqs_mhz": [200, 100, 66.667]},
+    {"name": "arm7x2", "freqs_mhz": [200, 100]}
+  ],
+  "cores": [
+    {"type": "arm7x3", "count": 2},
+    {"type": "arm7x2"}
+  ]
+}`
+
+// envelope builds an MPEG-2 job envelope with the given platform JSON.
+func heteroEnvelope(t *testing.T, platform string, searchMoves int) []byte {
+	t.Helper()
+	gj, err := taskgraph.MPEG2().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]any{
+		"format":   "json",
+		"graph":    json.RawMessage(gj),
+		"platform": json.RawMessage(platform),
+		"options": map[string]any{
+			"deadline_sec":      taskgraph.MPEG2Deadline,
+			"stream_iterations": taskgraph.MPEG2Frames,
+			"search_moves":      searchMoves,
+			"seed":              2010,
+		},
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestConcurrentHeteroAndHomogeneousSubmissions: the same graph submitted
+// concurrently on a heterogeneous platform and on the homogeneous shorthand
+// must hash to distinct ProblemKeys, occupy distinct cache entries (two
+// engine executions, no cross-coalescing), and both complete with results.
+// Run under -race in CI.
+func TestConcurrentHeteroAndHomogeneousSubmissions(t *testing.T) {
+	srv, ts := newHTTPServer(t, Config{Workers: 2, EngineParallelism: 2})
+
+	hetero := heteroEnvelope(t, heteroPlatformJSON, 60)
+	homog := heteroEnvelope(t, `{"cores": 3, "levels": 3}`, 60)
+
+	const perKind = 4
+	var wg sync.WaitGroup
+	ids := make([]string, 2*perKind)
+	for i := 0; i < 2*perKind; i++ {
+		body := hetero
+		if i%2 == 1 {
+			body = homog
+		}
+		wg.Add(1)
+		go func(i int, body []byte) {
+			defer wg.Done()
+			ids[i] = postJob(t, ts.URL, body).ID
+		}(i, body)
+	}
+	wg.Wait()
+
+	keys := make(map[string]bool)
+	results := make(map[string]string)
+	for i, id := range ids {
+		st := waitJobHTTP(t, ts.URL, id, StateDone)
+		keys[st.Key] = true
+		kind := "hetero"
+		if i%2 == 1 {
+			kind = "homog"
+		}
+		if prev, ok := results[kind]; ok && prev != string(st.Result) {
+			t.Errorf("%s submissions returned different result bytes", kind)
+		}
+		results[kind] = string(st.Result)
+		if len(st.Result) == 0 {
+			t.Errorf("job %s finished without a result", id)
+		}
+	}
+	if len(keys) != 2 {
+		t.Fatalf("expected exactly 2 distinct ProblemKeys, got %d: %v", len(keys), keys)
+	}
+	if results["hetero"] == results["homog"] {
+		t.Error("heterogeneous and homogeneous platforms produced identical result bytes")
+	}
+
+	m := srv.Metrics()
+	if m.EngineExecutions != 2 {
+		t.Errorf("engine executions = %d, want 2 (one per distinct problem)", m.EngineExecutions)
+	}
+	if m.CacheEntries != 2 {
+		t.Errorf("cache entries = %d, want 2 distinct entries", m.CacheEntries)
+	}
+
+	// Resubmitting either form is a pure cache hit — the entries never
+	// collided.
+	before := m.CacheHits
+	st := postJob(t, ts.URL, hetero)
+	if st.State != StateDone || !st.CacheHit {
+		t.Errorf("hetero resubmission state %s cacheHit=%v, want done cache hit", st.State, st.CacheHit)
+	}
+	st = postJob(t, ts.URL, homog)
+	if st.State != StateDone || !st.CacheHit {
+		t.Errorf("homog resubmission state %s cacheHit=%v, want done cache hit", st.State, st.CacheHit)
+	}
+	if got := srv.Metrics().CacheHits; got != before+2 {
+		t.Errorf("cache hits went %d → %d, want +2", before, got)
+	}
+}
+
+// TestHeteroSSECleanShutdownOnDelete: DELETE on a running heterogeneous job
+// mid-stream must terminate its SSE progress stream promptly and cleanly —
+// a terminal event (or clean EOF), no hang, no stream error. Run under -race
+// in CI.
+func TestHeteroSSECleanShutdownOnDelete(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1, EngineParallelism: 1})
+
+	// A deliberately slow job: exhaustive walk with a big per-scaling search
+	// budget so DELETE lands mid-exploration.
+	gj, err := taskgraph.MPEG2().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := json.Marshal(map[string]any{
+		"format":   "json",
+		"graph":    json.RawMessage(gj),
+		"platform": json.RawMessage(heteroPlatformJSON),
+		"options": map[string]any{
+			"deadline_sec":      taskgraph.MPEG2Deadline,
+			"stream_iterations": taskgraph.MPEG2Frames,
+			"search_moves":      500_000,
+			"strategy":          "exhaustive",
+			"seed":              7,
+		},
+	})
+	st := postJob(t, ts.URL, env)
+	waitJobHTTP(t, ts.URL, st.ID, StateRunning)
+
+	// Subscribe mid-run.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	streamDone := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		sawTerminal := false
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: done") {
+				sawTerminal = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			streamDone <- err
+			return
+		}
+		if !sawTerminal {
+			// A canceled job may close the stream without a terminal event
+			// only if the client went away; here the server must deliver it.
+			t.Error("SSE stream ended without a terminal done event")
+		}
+		streamDone <- nil
+	}()
+
+	// Let the stream attach, then cancel the job underneath it.
+	time.Sleep(50 * time.Millisecond)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d: %s", dresp.StatusCode, raw)
+	}
+
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("SSE stream error after DELETE: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SSE stream did not shut down after DELETE")
+	}
+	if after := getJob(t, ts.URL, st.ID); after.State != StateCanceled {
+		t.Fatalf("job state %s after DELETE, want canceled", after.State)
+	}
+}

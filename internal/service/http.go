@@ -15,28 +15,33 @@ import (
 
 // submitRequest is the JSON envelope of POST /v1/jobs. The graph field is
 // either an inline canonical-JSON graph object (format "json") or a string
-// holding the document in any supported format.
+// holding the document in any supported format. The platform field is
+// either the shorthand {"cores": C, "levels": L} ARM7 form or a full
+// heterogeneous platform spec (an object with a "types" list; see
+// ingest.PlatformSpec).
 type submitRequest struct {
 	// Format of the graph payload: "json", "tgff", "dot"; "" sniffs.
 	Format string `json:"format"`
 	// Graph is the task graph document.
 	Graph json.RawMessage `json:"graph"`
-	// Platform selects the ARM7 MPSoC configuration.
-	Platform platformSpec `json:"platform"`
+	// Platform selects the MPSoC configuration; absent selects the server's
+	// default platform (4 ARM7 cores × Table I unless -platform overrode it).
+	Platform json.RawMessage `json:"platform"`
 	// Options are the result-affecting optimization knobs.
 	Options ingest.Options `json:"options"`
 	// Priority orders the queue; higher runs first. Default 0.
 	Priority int `json:"priority"`
 }
 
-type platformSpec struct {
+// platformShorthand is the homogeneous {"cores", "levels"} ARM7 form.
+type platformShorthand struct {
 	// Cores is the MPSoC core count (default 4).
 	Cores int `json:"cores"`
 	// Levels is the DVS level-table size: 2, 3 or 4 (default 3).
 	Levels int `json:"levels"`
 }
 
-func (p platformSpec) build() (*arch.Platform, error) {
+func (p platformShorthand) build() (*arch.Platform, error) {
 	if p.Cores == 0 {
 		p.Cores = 4
 	}
@@ -48,6 +53,35 @@ func (p platformSpec) build() (*arch.Platform, error) {
 		return nil, err
 	}
 	return arch.NewPlatform(p.Cores, table)
+}
+
+// buildPlatform resolves the request's platform field: absent → the server
+// default; an object with a "types" key → a full heterogeneous spec; any
+// other object → the ARM7 shorthand.
+func (req *submitRequest) buildPlatform(fallback *arch.Platform) (*arch.Platform, error) {
+	raw := req.Platform
+	if len(raw) == 0 || string(raw) == "null" {
+		if fallback != nil {
+			return fallback, nil
+		}
+		return platformShorthand{}.build()
+	}
+	var probe struct {
+		Types json.RawMessage `json:"types"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("decoding platform: %w", err)
+	}
+	if probe.Types != nil {
+		return ingest.ParsePlatformSpec(raw)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var short platformShorthand
+	if err := dec.Decode(&short); err != nil {
+		return nil, fmt.Errorf("decoding platform: %w (want {\"cores\",\"levels\"} or a full spec with \"types\")", err)
+	}
+	return short.build()
 }
 
 // Handler returns the service's HTTP API:
@@ -93,7 +127,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	platform, err := req.Platform.build()
+	platform, err := req.buildPlatform(s.cfg.DefaultPlatform)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -175,9 +209,10 @@ func decodeSubmit(r *http.Request, body []byte) (*submitRequest, error) {
 		}
 		return nil
 	}
+	var short platformShorthand
 	for name, dst := range map[string]*int{
-		"cores":             &req.Platform.Cores,
-		"levels":            &req.Platform.Levels,
+		"cores":             &short.Cores,
+		"levels":            &short.Levels,
 		"stream_iterations": &req.Options.StreamIterations,
 		"search_moves":      &req.Options.SearchMoves,
 		"sample_budget":     &req.Options.SampleBudget,
@@ -186,6 +221,13 @@ func decodeSubmit(r *http.Request, body []byte) (*submitRequest, error) {
 		if err := intq(name, dst); err != nil {
 			return nil, err
 		}
+	}
+	if short != (platformShorthand{}) {
+		enc, err := json.Marshal(short)
+		if err != nil {
+			return nil, err
+		}
+		req.Platform = enc
 	}
 	if v := q.Get("seed"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"seadopt"
+	"seadopt/internal/arch"
 	"seadopt/internal/ingest"
 )
 
@@ -109,6 +110,11 @@ type Config struct {
 	// the objectives job option empty, before the problem is hashed.
 	// "" selects all three objectives.
 	DefaultObjectives string
+	// DefaultPlatform is applied to submissions that carry no platform
+	// field — a daemon booted with -platform serves that MPSoC (possibly
+	// heterogeneous) by default. Nil selects 4 ARM7 cores × Table I.
+	// Submissions that do name a platform are unaffected.
+	DefaultPlatform *arch.Platform
 }
 
 func (c Config) withDefaults() Config {

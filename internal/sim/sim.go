@@ -126,7 +126,7 @@ func Run(g *taskgraph.Graph, p *arch.Platform, m sched.Mapping, scaling []int, c
 		kernel:     k,
 	}
 	for c, s := range scaling {
-		level := p.MustLevel(s)
+		level := p.MustCoreLevel(c, s)
 		res.periods[c] = desim.PeriodOf(level.FreqHz())
 		res.freqHz[c] = level.FreqHz()
 		res.vdd[c] = level.Vdd

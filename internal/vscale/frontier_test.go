@@ -189,7 +189,7 @@ func TestRankedFrontierMatchesAllByPower(t *testing.T) {
 			t.Fatal(err)
 		}
 		weights := make([]float64, tc.levels)
-		for i, l := range p.Levels() {
+		for i, l := range p.Levels(0) {
 			weights[i] = l.FreqHz() * l.Vdd * l.Vdd
 		}
 		f, err := NewRankedFrontier(tc.cores, weights)

@@ -16,9 +16,7 @@
 package vscale
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"seadopt/internal/arch"
@@ -193,14 +191,16 @@ func Canonical(scaling []int) []int {
 	return out
 }
 
-// AllByPower returns the Fig. 5 enumeration for the platform, sorted by
-// ascending full-utilization dynamic power (the order in which step 1 of
-// Fig. 4 offers combinations to the mapper: cheapest first).
+// AllByPower returns the scaling enumeration for the platform — Fig. 5 for
+// homogeneous platforms, the mixed-radix Space for heterogeneous ones —
+// sorted by ascending full-utilization dynamic power (the order in which
+// step 1 of Fig. 4 offers combinations to the mapper: cheapest first).
 func AllByPower(p *arch.Platform) ([][]int, error) {
-	combos, err := All(p.Cores(), p.NumLevels())
+	sp, err := PlatformSpace(p)
 	if err != nil {
 		return nil, err
 	}
+	combos := sp.All()
 	power := make([]float64, len(combos))
 	for i, s := range combos {
 		pw, err := p.DynamicPower(s, nil)
@@ -224,32 +224,18 @@ func AllByPower(p *arch.Platform) ([][]int, error) {
 // Unrank returns the rank-th vector of the Fig. 5 enumeration (0-based)
 // without walking the sequence: the enumeration is exactly descending
 // lexicographic order over non-increasing vectors, so each position is
-// resolved by peeling off the block sizes Count(remaining, v) of the
-// candidate values v from the current maximum downward. This is the random
-// access that gives every combination a stable index — the Sampled
-// exploration strategy draws indices and unranks them, and a combination's
-// mapper seed is derived from this index whatever order it is visited in.
+// resolved by peeling off suffix-count blocks of the candidate values from
+// the current maximum downward. This is the random access that gives every
+// combination a stable index — the Sampled exploration strategy draws
+// indices and unranks them, and a combination's mapper seed is derived from
+// this index whatever order it is visited in. It is the uniform special
+// case of Space.Unrank.
 func Unrank(cores, levels, rank int) ([]int, error) {
-	if cores < 1 || levels < 1 {
-		return nil, fmt.Errorf("vscale: need cores ≥ 1 and levels ≥ 1, got %d, %d", cores, levels)
+	sp, err := UniformSpace(cores, levels)
+	if err != nil {
+		return nil, err
 	}
-	if total := Count(cores, levels); rank < 0 || rank >= total {
-		return nil, fmt.Errorf("vscale: rank %d outside [0,%d)", rank, total)
-	}
-	out := make([]int, cores)
-	max := levels
-	for i := 0; i < cores; i++ {
-		for v := max; v >= 1; v-- {
-			block := Count(cores-i-1, v)
-			if rank < block {
-				out[i] = v
-				max = v
-				break
-			}
-			rank -= block
-		}
-	}
-	return out, nil
+	return sp.Unrank(rank)
 }
 
 // Combo is one design-space point of a Frontier stream: the per-core
@@ -280,66 +266,28 @@ func (f *Frontier) Next() (Combo, bool) { return f.next() }
 func (f *Frontier) Size() int { return f.size }
 
 // NewFrontier streams the full Fig. 5 enumeration in enumeration order
-// (all-slowest first), with Combo.Index equal to the stream position.
+// (all-slowest first), with Combo.Index equal to the stream position — the
+// uniform special case of Space.Frontier.
 func NewFrontier(cores, levels int) (*Frontier, error) {
-	e, err := NewEnumerator(cores, levels)
+	sp, err := UniformSpace(cores, levels)
 	if err != nil {
 		return nil, err
 	}
-	i := -1
-	return &Frontier{
-		size: Count(cores, levels),
-		next: func() (Combo, bool) {
-			s, ok := e.Next()
-			if !ok {
-				return Combo{}, false
-			}
-			i++
-			return Combo{Index: i, Scaling: s}, true
-		},
-	}, nil
+	return sp.Frontier(), nil
 }
 
 // NewSampledFrontier streams a seed-deterministic uniform sample of `budget`
 // distinct combinations in ascending enumeration-index order, unranking each
 // on demand — random access into spaces too large to enumerate. A budget of
-// zero or beyond the space size yields the whole enumeration.
+// zero or beyond the space size yields the whole enumeration. It is the
+// uniform special case of Space.SampledFrontier (identical draw sequence for
+// the same seed).
 func NewSampledFrontier(cores, levels, budget int, seed int64) (*Frontier, error) {
-	total := Count(cores, levels)
-	if cores < 1 || levels < 1 {
-		return nil, fmt.Errorf("vscale: need cores ≥ 1 and levels ≥ 1, got %d, %d", cores, levels)
+	sp, err := UniformSpace(cores, levels)
+	if err != nil {
+		return nil, err
 	}
-	if budget <= 0 || budget >= total {
-		return NewFrontier(cores, levels)
-	}
-	rng := rand.New(rand.NewSource(seed ^ 0x5A3D1EF0))
-	picked := make(map[int]struct{}, budget)
-	idxs := make([]int, 0, budget)
-	for len(idxs) < budget {
-		r := rng.Intn(total)
-		if _, dup := picked[r]; dup {
-			continue
-		}
-		picked[r] = struct{}{}
-		idxs = append(idxs, r)
-	}
-	sort.Ints(idxs)
-	pos := 0
-	return &Frontier{
-		size: budget,
-		next: func() (Combo, bool) {
-			if pos >= len(idxs) {
-				return Combo{}, false
-			}
-			s, err := Unrank(cores, levels, idxs[pos])
-			if err != nil {
-				return Combo{}, false // unreachable: idxs ∈ [0,total)
-			}
-			c := Combo{Index: idxs[pos], Scaling: s}
-			pos++
-			return c, true
-		},
-	}, nil
+	return sp.SampledFrontier(budget, seed)
 }
 
 // rankedNode is one frontier entry of the ranked generation heap.
@@ -362,100 +310,29 @@ func (h *rankedHeap) Pop() any          { old := *h; n := len(old); v := old[n-1
 // the speed-up lattice from the all-slowest vector: no up-front
 // materialization or sort, at the cost of a heap plus a visited set that
 // grow with the number of combinations actually consumed. Ties are emitted
-// in ascending enumeration-index order. levelWeight must be ascending with
-// level coefficient... i.e. levelWeight[0] (s=1, fastest) is the largest.
+// in ascending enumeration-index order. levelWeight must be non-increasing
+// in the level coefficient, i.e. levelWeight[0] (s=1, fastest) is the
+// largest. It is the uniform special case of Space.RankedFrontier.
 func NewRankedFrontier(cores int, levelWeight []float64) (*Frontier, error) {
-	levels := len(levelWeight)
-	if cores < 1 || levels < 1 {
-		return nil, fmt.Errorf("vscale: need cores ≥ 1 and levels ≥ 1, got %d, %d", cores, levels)
+	sp, err := UniformSpace(cores, len(levelWeight))
+	if err != nil {
+		return nil, err
 	}
-	for i := 1; i < levels; i++ {
-		if levelWeight[i-1] < levelWeight[i] {
-			return nil, fmt.Errorf("vscale: level weights must be non-increasing in s (fastest level heaviest)")
-		}
+	weight := make([][]float64, cores)
+	for c := range weight {
+		weight[c] = levelWeight
 	}
-	weightOf := func(s []int) float64 {
-		var w float64
-		for _, v := range s {
-			w += levelWeight[v-1]
-		}
-		return w
-	}
-	start := make([]int, cores)
-	for i := range start {
-		start[i] = levels
-	}
-	h := &rankedHeap{{scaling: start, weight: weightOf(start)}}
-	seen := map[string]struct{}{fmt.Sprint(start): {}}
-	return &Frontier{
-		size: Count(cores, levels),
-		next: func() (Combo, bool) {
-			if h.Len() == 0 {
-				return Combo{}, false
-			}
-			// Pop every node of the minimal weight and order the tie class
-			// by enumeration index so the stream is fully deterministic.
-			batch := []rankedNode{heap.Pop(h).(rankedNode)}
-			for h.Len() > 0 && (*h)[0].weight <= batch[0].weight {
-				batch = append(batch, heap.Pop(h).(rankedNode))
-			}
-			sort.Slice(batch, func(a, b int) bool {
-				ra, _ := Rank(batch[a].scaling, levels)
-				rb, _ := Rank(batch[b].scaling, levels)
-				return ra < rb
-			})
-			cur := batch[0]
-			for _, n := range batch[1:] {
-				heap.Push(h, n)
-			}
-			// Successors: speed one core up a level, keeping the vector
-			// non-increasing (canonical), deduplicated via the visited set.
-			for i := 0; i < cores; i++ {
-				if cur.scaling[i] <= 1 {
-					continue
-				}
-				if i < cores-1 && cur.scaling[i]-1 < cur.scaling[i+1] {
-					continue // would break non-increasing form
-				}
-				succ := append([]int(nil), cur.scaling...)
-				succ[i]--
-				key := fmt.Sprint(succ)
-				if _, dup := seen[key]; dup {
-					continue
-				}
-				seen[key] = struct{}{}
-				// Recompute from scratch so equal multisets reached along
-				// different speed-up paths carry bit-identical weights and
-				// the tie ordering by enumeration index stays exact.
-				heap.Push(h, rankedNode{scaling: succ, weight: weightOf(succ)})
-			}
-			idx, err := Rank(cur.scaling, levels)
-			if err != nil {
-				return Combo{}, false // unreachable: generated vectors are canonical
-			}
-			return Combo{Index: idx, Scaling: cur.scaling}, true
-		},
-	}, nil
+	return sp.RankedFrontier(weight)
 }
 
 // Rank is the inverse of Unrank: the 0-based index of a canonical
 // (non-increasing, entries ≥ 1) scaling vector within the Fig. 5
-// enumeration for a platform with the given number of DVS levels.
+// enumeration for a platform with the given number of DVS levels. It is
+// the uniform special case of Space.Rank.
 func Rank(s []int, levels int) (int, error) {
-	if !Valid(s) {
-		return 0, fmt.Errorf("vscale: %v is not a canonical scaling vector", s)
+	sp, err := UniformSpace(len(s), levels)
+	if err != nil {
+		return 0, fmt.Errorf("vscale: %v is not a canonical scaling vector for a %d-level table: %w", s, levels, err)
 	}
-	if s[0] > levels {
-		return 0, fmt.Errorf("vscale: %v exceeds the %d-level table", s, levels)
-	}
-	cores := len(s)
-	rank := 0
-	hi := levels
-	for i, v := range s {
-		for u := hi; u > v; u-- {
-			rank += Count(cores-i-1, u)
-		}
-		hi = v
-	}
-	return rank, nil
+	return sp.Rank(s)
 }

@@ -6,17 +6,43 @@ import (
 	"seadopt/internal/vscale"
 )
 
-// vscaleAll exposes the Fig. 5 enumeration to the facade.
+// vscaleAll exposes the scaling enumeration to the facade: the Fig. 5
+// sequence for homogeneous platforms, the mixed-radix per-core
+// generalization for heterogeneous ones.
 func vscaleAll(p *arch.Platform) ([][]int, error) {
-	return vscale.All(p.Cores(), p.NumLevels())
+	sp, err := vscale.PlatformSpace(p)
+	if err != nil {
+		return nil, err
+	}
+	return sp.All(), nil
 }
 
 // NextScaling computes the successor of a scaling vector in the Fig. 5(a)
 // enumeration order (all-slowest first, all-nominal last); ok is false at
 // the end of the sequence, and for malformed input (empty, non-monotone,
 // or entries below 1) rather than walking garbage.
+//
+// This is the paper's homogeneous rule: it assumes every core shares one
+// level table, so on a heterogeneous platform it can emit vectors that
+// exceed a core's own table. Use System.NextScaling, which knows the
+// platform's per-core caps, when the platform may be heterogeneous.
 func NextScaling(prev []int) (next []int, ok bool) {
 	return vscale.NextScaling(prev)
+}
+
+// NextScaling computes the successor of prev in this platform's scaling
+// enumeration — the same sequence ScalingCombinations lists: Fig. 5(a) for
+// homogeneous platforms, the mixed-radix per-core generalization for
+// heterogeneous ones. ok is false at the end of the sequence and for
+// vectors that are not valid enumeration members of this platform (wrong
+// length, out of a core's level range, or violating the same-table
+// non-increasing canonical form).
+func (s *System) NextScaling(prev []int) (next []int, ok bool) {
+	sp, err := vscale.PlatformSpace(s.Platform)
+	if err != nil {
+		return nil, false
+	}
+	return sp.Next(prev)
 }
 
 // GraphStats summarizes a graph's structural properties (depth, width,

@@ -39,6 +39,17 @@ func ParseGraph(format GraphFormat, r io.Reader) (*Graph, error) {
 	return ingest.ParseBytes(f, data)
 }
 
+// ParsePlatformSpec reads a JSON platform spec — processor types with their
+// own DVS tables plus a core list instantiating them — and returns the
+// validated platform. This is how heterogeneous MPSoCs enter the system:
+// the seadopt CLI's -platform flag and the seadoptd "platform" job field
+// both accept the same document. See internal/ingest.PlatformSpec for the
+// schema and the README's "Heterogeneous platforms" section for a worked
+// example.
+func ParsePlatformSpec(r io.Reader) (*Platform, error) {
+	return ingest.ReadPlatformSpec(r)
+}
+
 // wireDesign is the stable JSON encoding of a Design. Field order and
 // content are part of the service contract: two runs of the same problem
 // must marshal byte-identically, which holds because the engine's result is

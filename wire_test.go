@@ -3,6 +3,7 @@ package seadopt
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -120,5 +121,96 @@ func TestDesignMarshalJSONDeterministic(t *testing.T) {
 	// Marshaling an unevaluated design is an error, not a panic.
 	if _, err := json.Marshal(&Design{}); err == nil {
 		t.Fatal("marshaled an unevaluated design")
+	}
+}
+
+// TestParsePlatformSpecFacade: the root-level spec reader builds a working
+// heterogeneous platform that the full optimization pipeline accepts.
+func TestParsePlatformSpecFacade(t *testing.T) {
+	spec := `{
+	  "types": [
+	    {"name": "arm7x3", "freqs_mhz": [200, 100, 66.667]},
+	    {"name": "arm7x2", "freqs_mhz": [200, 100]}
+	  ],
+	  "cores": [{"type": "arm7x3", "count": 2}, {"type": "arm7x2"}]
+	}`
+	p, err := ParsePlatformSpec(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores() != 3 || p.Homogeneous() {
+		t.Fatalf("Cores=%d Homogeneous=%v", p.Cores(), p.Homogeneous())
+	}
+	sys, err := NewSystem(Fig8(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sys.Optimize(OptimizeOptions{DeadlineSec: 0.075, SearchMoves: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Scaling) != 3 {
+		t.Fatalf("design scaling %v on a 3-core platform", d.Scaling)
+	}
+	if _, err := ParsePlatformSpec(strings.NewReader(`{"cores": 4}`)); err == nil {
+		t.Error("spec without types accepted")
+	}
+
+	// The facade constructor mirrors the spec path.
+	hp, err := NewHeterogeneousPlatform(
+		[]ProcType{{Name: "a", Levels: p.Levels(0)}, {Name: "b", Levels: p.Levels(2)}},
+		[]int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Cores() != 3 || hp.Homogeneous() {
+		t.Fatalf("facade platform Cores=%d Homogeneous=%v", hp.Cores(), hp.Homogeneous())
+	}
+	if _, err := NewHeterogeneousPlatform(nil, []int{0}); err == nil {
+		t.Error("nil types accepted")
+	}
+}
+
+// TestSystemNextScaling: the platform-aware successor walks exactly the
+// ScalingCombinations sequence on heterogeneous platforms, where the
+// homogeneous package-level NextScaling does not apply.
+func TestSystemNextScaling(t *testing.T) {
+	spec := `{
+	  "types": [
+	    {"name": "arm7x3", "freqs_mhz": [200, 100, 66.667]},
+	    {"name": "arm7x2", "freqs_mhz": [200, 100]}
+	  ],
+	  "cores": [{"type": "arm7x3", "count": 2}, {"type": "arm7x2"}]
+	}`
+	p, err := ParsePlatformSpec(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Fig8(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := sys.ScalingCombinations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(all); i++ {
+		next, ok := sys.NextScaling(all[i])
+		if !ok {
+			t.Fatalf("NextScaling(%v) ended the sequence at %d of %d", all[i], i+1, len(all))
+		}
+		if fmt.Sprint(next) != fmt.Sprint(all[i+1]) {
+			t.Fatalf("NextScaling(%v) = %v, want %v", all[i], next, all[i+1])
+		}
+		if err := p.ValidScaling(next); err != nil {
+			t.Fatalf("NextScaling emitted an invalid vector %v: %v", next, err)
+		}
+	}
+	if _, ok := sys.NextScaling(all[len(all)-1]); ok {
+		t.Error("the all-fastest vector has a successor")
+	}
+	// Vectors outside the platform's caps are rejected, not walked.
+	if _, ok := sys.NextScaling([]int{3, 3, 3}); ok {
+		t.Error("NextScaling accepted a vector exceeding core 2's 2-level table")
 	}
 }
