@@ -218,6 +218,14 @@ type OptimizeOptions struct {
 	// SampleBudget bounds StrategySampled's portfolio size (0 selects the
 	// engine default). Ignored by the exact strategies.
 	SampleBudget int
+	// Ranked makes StrategyBranchAndBound locate its first feasible
+	// incumbent by walking combinations in ascending nominal power before
+	// the deterministic stream starts, so dominance pruning is active from
+	// the first combination. The chosen design is unchanged (still
+	// byte-identical to exhaustive); only wall-clock and the
+	// pruned/skipped split differ. Requires StrategyBranchAndBound;
+	// ignored by OptimizePareto.
+	Ranked bool
 	// Objectives selects the objective components of the Pareto
 	// exploration's dominance tests (OptimizePareto); 0 selects all three
 	// (power, makespan, Γ). Ignored by the scalar optimizations.
@@ -244,6 +252,7 @@ func (o OptimizeOptions) mappingConfig() mapping.Config {
 		// The facade returns only the chosen design; don't retain one
 		// Design per combination on large platforms.
 		SampleBudget:      o.SampleBudget,
+		Ranked:            o.Ranked,
 		Objectives:        o.Objectives,
 		DiscardPerScaling: true,
 	}

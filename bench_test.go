@@ -189,6 +189,108 @@ func BenchmarkEvaluatorReuse(b *testing.B) {
 	}
 }
 
+// bench64Workload mirrors bench64System at the internal layer for the
+// evaluator micro-benchmarks: the same 120-task §V random graph on the
+// 56+8-core heterogeneous platform of BENCH_scale.json.
+func bench64Workload(b *testing.B) (*taskgraph.Graph, *arch.Platform) {
+	b.Helper()
+	cfg := taskgraph.DefaultRandomConfig(120)
+	cfg.MaxWidth = 32
+	g := taskgraph.MustRandom(cfg, 11)
+	types := []arch.ProcType{
+		{Name: "eff", Levels: arch.ARM7Levels2()},
+		{Name: "perf", Levels: arch.ARM7Levels4()},
+	}
+	coreTypes := make([]int, 64)
+	for i := 56; i < 64; i++ {
+		coreTypes[i] = 1
+	}
+	p, err := arch.NewHeterogeneousPlatform(types, coreTypes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, p
+}
+
+// bench64Delta pins an evaluator on the 64-core workload and returns the
+// two scaling vectors the delta benchmarks alternate between. With
+// idleCore set, the toggled core (63) hosts no task, exercising the
+// O(changed) patch path; otherwise core 0 is loaded and the delta
+// re-schedules (but reuses the register-pressure profile).
+func bench64Delta(b *testing.B, idleCore bool) (*metrics.Evaluator, []int, []int) {
+	b.Helper()
+	g, p := bench64Workload(b)
+	e, err := metrics.NewEvaluator(g, p, faults.NewSERModel(faults.DefaultSER),
+		metrics.Options{Iterations: 1, DeadlineSec: taskgraph.RandomDeadline(120) / 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	usable := 64
+	core := 0
+	if idleCore {
+		usable, core = 63, 63
+	}
+	m := sched.RoundRobin(g.N(), usable)
+	prev := p.MinPowerScaling()
+	next := append([]int(nil), prev...)
+	next[core] = prev[core] - 1 // one level faster on the toggled core
+	if err := e.Bind(prev); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Evaluate(m); err != nil {
+		b.Fatal(err)
+	}
+	return e, prev, next
+}
+
+// BenchmarkEvaluateDelta measures EvaluateDelta moving one *loaded* core by
+// one level on the 64-core workload: the schedule recomputes but the
+// mapping-derived register profile is reused.
+func BenchmarkEvaluateDelta(b *testing.B) {
+	e, prev, next := bench64Delta(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvaluateDelta(prev, next); err != nil {
+			b.Fatal(err)
+		}
+		prev, next = next, prev
+	}
+}
+
+// BenchmarkEvaluateDeltaIdle measures the idle-core fast path: the toggled
+// core hosts no task, so the evaluation is patched in O(changed) without
+// re-scheduling.
+func BenchmarkEvaluateDeltaIdle(b *testing.B) {
+	e, prev, next := bench64Delta(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvaluateDelta(prev, next); err != nil {
+			b.Fatal(err)
+		}
+		prev, next = next, prev
+	}
+}
+
+// BenchmarkEvaluateDeltaFullRebind is the non-delta baseline for the two
+// benchmarks above: a full Bind + Evaluate at each move.
+func BenchmarkEvaluateDeltaFullRebind(b *testing.B) {
+	e, prev, next := bench64Delta(b, false)
+	m := sched.RoundRobin(120, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Bind(next); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Evaluate(m); err != nil {
+			b.Fatal(err)
+		}
+		prev, next = next, prev
+	}
+}
+
 // BenchmarkSimulatorPipelined measures the cycle-level DES simulator
 // running the full 437-frame MPEG-2 pipeline (4807 task instances).
 func BenchmarkSimulatorPipelined(b *testing.B) {
@@ -276,13 +378,18 @@ func benchStrategy(b *testing.B, g *Graph, cores int, deadline float64, iters in
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := OptimizeOptions{
+	benchSystem(b, sys, OptimizeOptions{
 		DeadlineSec:      deadline,
 		StreamIterations: iters,
 		SearchMoves:      200,
 		Seed:             1,
 		Strategy:         strategy,
-	}
+	})
+}
+
+// benchSystem measures the full design loop on an assembled system.
+func benchSystem(b *testing.B, sys *System, opts OptimizeOptions) {
+	b.Helper()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Optimize(opts); err != nil {
@@ -322,6 +429,70 @@ func BenchmarkExplore16CoreExhaustive(b *testing.B) {
 func BenchmarkExplore16CoreBnB(b *testing.B) {
 	g, dl := bench16Graph(b)
 	benchStrategy(b, g, 16, dl, 1, StrategyBranchAndBound)
+}
+
+// bench64System is the 64-core flagship workload of BENCH_scale.json: a
+// heterogeneous platform of 56 two-level efficiency cores plus 8 four-level
+// performance cores (C(57,1)·C(11,3) = 57·165 = 9405 combinations, 61× the
+// 16-core space) running a 120-task §V random graph widened to 32-task
+// layers so the workload can actually occupy the platform. The deadline
+// (1/15 of the paper's default) sits between the all-fast and all-slow
+// makespan lower bounds, so the slow tail of the enumeration is
+// bound-pruned and the surviving prefix is dominance-skipped once the first
+// feasible design lands.
+func bench64System(b *testing.B) (*System, OptimizeOptions) {
+	b.Helper()
+	cfg := DefaultRandomGraphConfig(120)
+	cfg.MaxWidth = 32
+	g, err := RandomGraph(cfg, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	types := []ProcType{
+		{Name: "eff", Levels: arch.ARM7Levels2()},
+		{Name: "perf", Levels: arch.ARM7Levels4()},
+	}
+	coreTypes := make([]int, 64)
+	for i := 56; i < 64; i++ {
+		coreTypes[i] = 1
+	}
+	p, err := NewHeterogeneousPlatform(types, coreTypes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, OptimizeOptions{
+		DeadlineSec: RandomGraphDeadline(120) / 15,
+		SearchMoves: 200,
+		Seed:        1,
+	}
+}
+
+func BenchmarkExplore64CoreExhaustive(b *testing.B) {
+	sys, opts := bench64System(b)
+	opts.Strategy = StrategyExhaustive
+	benchSystem(b, sys, opts)
+}
+
+func BenchmarkExplore64CoreBnB(b *testing.B) {
+	sys, opts := bench64System(b)
+	opts.Strategy = StrategyBranchAndBound
+	benchSystem(b, sys, opts)
+}
+
+// BenchmarkExplore64CoreBnBRanked adds the ranked incumbent-seeding pass:
+// a sequential ascending-nominal walk locates the eventual winner's power
+// before the lexicographic stream starts, so every pricier combination is
+// dominance-skipped at dispatch instead of mapped. Same design,
+// byte-identical to exhaustive.
+func BenchmarkExplore64CoreBnBRanked(b *testing.B) {
+	sys, opts := bench64System(b)
+	opts.Strategy = StrategyBranchAndBound
+	opts.Ranked = true
+	benchSystem(b, sys, opts)
 }
 
 // BenchmarkAblations runs the three design-choice ablation studies

@@ -1,12 +1,15 @@
 // Command benchgate is the CI benchmark-regression gate: it parses raw
 // `go test -bench` output (typically run with -count=5 -benchmem) and
 // compares it against the repository's committed benchmark baselines
-// (BENCH_explore.json, BENCH_prune.json), failing the build when a
-// machine-independent quantity regresses beyond the tolerance.
+// (BENCH_explore.json, BENCH_prune.json, BENCH_scale.json), failing the
+// build when a machine-independent quantity regresses beyond the
+// tolerance. Baseline files are given positionally or via repeated
+// -baseline flags, interchangeably.
 //
 //	go test -run '^$' -bench 'Explore|OptimizeMPEG2|Evaluate' \
 //	    -benchmem -count=5 . | tee bench.txt
-//	benchgate -bench bench.txt BENCH_explore.json BENCH_prune.json
+//	benchgate -bench bench.txt -baseline BENCH_explore.json \
+//	    -baseline BENCH_prune.json BENCH_scale.json
 //
 // Raw ns/op is meaningless across runner generations, so the gate checks
 // only quantities that travel:
@@ -21,9 +24,14 @@
 //     within -tol of the committed speedup — pruning wins are relative, so
 //     the ratio is comparable on any host.
 //
-// Benchmarks named in the baselines but absent from the measured output are
-// reported and skipped (CI may gate a subset), but a run in which no check
-// fires at all fails: a gate that silently checks nothing is broken.
+// A benchmark named in the baselines but absent from the measured output
+// FAILS the gate with the file that names it: a renamed or deleted
+// benchmark would otherwise silently check nothing forever. Either widen
+// the -bench filter to measure it or regenerate the baseline that names
+// it. Records that must not be gated (e.g. wall-clock references too slow
+// for CI) belong outside the "before"/"after" sections. Ratio pairs whose
+// counterpart is absent are still reported as SKIP — the pair check is
+// already covered by the two per-benchmark presence checks.
 package main
 
 import (
@@ -75,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchgate:", err)
 		return 2
 	}
-	baseline, err := loadBaselines(fs.baselines)
+	baseline, source, err := loadBaselines(fs.baselines)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchgate:", err)
 		return 2
@@ -96,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	lines, failures := evaluate(baseline, got, fs.tol)
+	lines, failures := evaluate(baseline, source, got, fs.tol)
 	performed := 0
 	for _, line := range lines {
 		fmt.Fprintln(stdout, line)
@@ -134,6 +142,12 @@ func (f *flags) parse(args []string) error {
 				return fmt.Errorf("-bench needs a file path (or - for stdin)")
 			}
 			f.benchPath = args[i]
+		case arg == "-baseline" || arg == "--baseline":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-baseline needs a baseline JSON path (repeat the flag for several)")
+			}
+			f.baselines = append(f.baselines, args[i])
 		case arg == "-tol" || arg == "--tol":
 			i++
 			if i >= len(args) {
@@ -145,13 +159,13 @@ func (f *flags) parse(args []string) error {
 			}
 			f.tol = v
 		case strings.HasPrefix(arg, "-"):
-			return fmt.Errorf("unknown flag %q (usage: benchgate [-bench file] [-tol 0.20] baseline.json...)", arg)
+			return fmt.Errorf("unknown flag %q (usage: benchgate [-bench file] [-tol 0.20] [-baseline file]... [baseline.json...])", arg)
 		default:
 			f.baselines = append(f.baselines, arg)
 		}
 	}
 	if len(f.baselines) == 0 {
-		return fmt.Errorf("no baseline files given (usage: benchgate [-bench file] [-tol 0.20] baseline.json...)")
+		return fmt.Errorf("no baseline files given (usage: benchgate [-bench file] [-tol 0.20] [-baseline file]... [baseline.json...])")
 	}
 	return nil
 }
@@ -160,21 +174,23 @@ func (f *flags) parse(args []string) error {
 // "before" first, then "after" overriding (a benchmark recorded in both is
 // baselined at its improved figures) — keying by name without the
 // "Benchmark" prefix. The "before" commit field is provenance, not a
-// measurable: records for benchmarks that no longer exist simply never
-// match the measured output and are reported as skipped.
-func loadBaselines(paths []string) (map[string]benchRecord, error) {
+// measurable. The second map records which file names each benchmark, so a
+// baselined benchmark missing from the measured output can fail with the
+// file to fix.
+func loadBaselines(paths []string) (map[string]benchRecord, map[string]string, error) {
 	merged := make(map[string]benchRecord)
+	source := make(map[string]string)
 	for _, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var bf baselineFile
 		if err := json.Unmarshal(data, &bf); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
 		}
 		if len(bf.After) == 0 {
-			return nil, fmt.Errorf("%s: no \"after\" benchmark records", path)
+			return nil, nil, fmt.Errorf("%s: no \"after\" benchmark records", path)
 		}
 		for _, section := range []map[string]json.RawMessage{bf.Before, bf.After} {
 			for name, raw := range section {
@@ -182,11 +198,13 @@ func loadBaselines(paths []string) (map[string]benchRecord, error) {
 				if err := json.Unmarshal(raw, &rec); err != nil || rec.NsPerOp <= 0 {
 					continue // provenance entries like "commit"
 				}
-				merged[strings.TrimPrefix(name, "Benchmark")] = rec
+				key := strings.TrimPrefix(name, "Benchmark")
+				merged[key] = rec
+				source[key] = path
 			}
 		}
 	}
-	return merged, nil
+	return merged, source, nil
 }
 
 // parseBenchOutput extracts per-benchmark best-of-count results from raw
@@ -234,19 +252,24 @@ func parseBenchOutput(r io.Reader) (map[string]measured, error) {
 
 // evaluate runs every applicable check and renders one line per check;
 // failures counts the lines that FAILed.
-func evaluate(baseline map[string]benchRecord, got map[string]measured, tol float64) (lines []string, failures int) {
+func evaluate(baseline map[string]benchRecord, source map[string]string, got map[string]measured, tol float64) (lines []string, failures int) {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	// Allocation gate: deterministic per-op counts must not regress.
+	// Allocation gate: deterministic per-op counts must not regress. A
+	// baselined benchmark the measured output never mentions is a failure,
+	// not a skip — renames and deletions must not hollow the gate out.
 	for _, name := range names {
 		rec := baseline[name]
 		m, ok := got[name]
 		if !ok {
-			lines = append(lines, fmt.Sprintf("SKIP  %-36s not in measured output", name))
+			lines = append(lines, fmt.Sprintf(
+				"FAIL  %-36s baselined in %s but absent from the measured output — renamed or deleted? widen the -bench filter to cover it, or regenerate that baseline",
+				name, source[name]))
+			failures++
 			continue
 		}
 		limit := rec.AllocsPerOp * (1 + tol)

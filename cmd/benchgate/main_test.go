@@ -33,13 +33,17 @@ func healthyBench() string {
 		ns     float64
 		allocs int
 	}{
-		{"BenchmarkOptimizeMPEG2", 3617032, 5793},
-		{"BenchmarkEvaluate", 39974, 40},
-		{"BenchmarkEvaluatorReuse", 6945, 1},
-		{"BenchmarkExploreMPEG2Exhaustive", 3755157, 5820},
-		{"BenchmarkExploreMPEG2BnB", 699711, 1237},
-		{"BenchmarkExplore16CoreExhaustive", 436971690, 190877},
-		{"BenchmarkExplore16CoreBnB", 91985161, 40871},
+		// OptimizeMPEG2 uses 450 allocs (not the baseline's 448) so its
+		// alloc count is unique in the fixture: the regression tests below
+		// rewrite it by string replacement without touching ExploreMPEG2BnB,
+		// which shares the 448 figure in the committed baselines.
+		{"BenchmarkOptimizeMPEG2", 807341, 450},
+		{"BenchmarkEvaluate", 37924, 43},
+		{"BenchmarkEvaluatorReuse", 7172, 0},
+		{"BenchmarkExploreMPEG2Exhaustive", 4153701, 1796},
+		{"BenchmarkExploreMPEG2BnB", 896104, 448},
+		{"BenchmarkExplore16CoreExhaustive", 397196066, 69837},
+		{"BenchmarkExplore16CoreBnB", 61809175, 7959},
 	}
 	for _, l := range lines {
 		for rep := 0; rep < 3; rep++ {
@@ -117,7 +121,7 @@ func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 // TestGateFailsOnAllocRegression: a doubled allocs/op count on a baselined
 // benchmark fails the allocation gate.
 func TestGateFailsOnAllocRegression(t *testing.T) {
-	regressed := strings.ReplaceAll(healthyBench(), "5793 allocs/op", "11586 allocs/op")
+	regressed := strings.ReplaceAll(healthyBench(), "450 allocs/op", "900 allocs/op")
 	code, out := runGate(t, regressed)
 	if code == 0 {
 		t.Fatalf("2x alloc regression passed the gate:\n%s", out)
@@ -131,7 +135,7 @@ func TestGateFailsOnAllocRegression(t *testing.T) {
 // stay inside the ±20% band.
 func TestGateWithinTolerancePasses(t *testing.T) {
 	bench := healthyBench()
-	bench = strings.ReplaceAll(bench, "5793 allocs/op", "6662 allocs/op") // +15%
+	bench = strings.ReplaceAll(bench, "450 allocs/op", "515 allocs/op") // +15% vs the 448 baseline
 	var sb strings.Builder
 	for _, line := range strings.Split(bench, "\n") {
 		if strings.Contains(line, "BnB") {
@@ -168,5 +172,52 @@ func TestFlagErrors(t *testing.T) {
 	}
 	if code := run([]string{"-unknown"}, &out, &out); code != 2 {
 		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+}
+
+// TestGateFailsOnMissingBenchmark: a baselined benchmark absent from the
+// measured output must fail with the baseline file that names it — a
+// renamed benchmark must not silently stop being checked.
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	bench := healthyBench()
+	// Drop one baselined benchmark from the output entirely.
+	var kept []string
+	for _, line := range strings.Split(bench, "\n") {
+		if strings.HasPrefix(line, "BenchmarkEvaluatorReuse") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	code, out := runGate(t, strings.Join(kept, "\n"))
+	if code == 0 {
+		t.Fatalf("missing baselined benchmark passed:\n%s", out)
+	}
+	if !strings.Contains(out, "EvaluatorReuse") || !strings.Contains(out, "BENCH_explore.json") {
+		t.Fatalf("failure message does not name the benchmark and its baseline file:\n%s", out)
+	}
+	if !strings.Contains(out, "renamed or deleted") {
+		t.Fatalf("failure message is not actionable:\n%s", out)
+	}
+}
+
+// TestRepeatedBaselineFlags: -baseline can be given repeatedly and mixes
+// with positional files.
+func TestRepeatedBaselineFlags(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(path, []byte(healthyBench()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	args := []string{"-bench", path}
+	for _, b := range repoBaselines(t) {
+		args = append(args, "-baseline", b)
+	}
+	if code := run(args, &out, &out); code != 0 {
+		t.Fatalf("repeated -baseline flags failed (%d):\n%s", code, out.String())
+	}
+	var out2 strings.Builder
+	if code := run([]string{"-bench", path, "-baseline"}, &out2, &out2); code != 2 {
+		t.Fatalf("trailing -baseline without a path exited %d, want 2", code)
 	}
 }

@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel  = fs.Int("parallel", 0, "scaling-combination workers (0 = all cores, 1 = sequential; same result either way)")
 		strategy  = fs.String("strategy", "", "exploration strategy: bnb (default; same answer as exhaustive, prunes provably irrelevant scalings), exhaustive, or sampled (approximate)")
 		budget    = fs.Int("sample-budget", 0, "combinations the sampled strategy maps (0 = default)")
+		ranked    = fs.Bool("ranked", false, "seed the bnb incumbent via a ranked (cheapest-nominal-first) pass before the stream; same answer, often much faster")
 		paretoRun = fs.Bool("pareto", false, "return the Pareto frontier of feasible designs instead of the single minimum-power one")
 		objs      = fs.String("objectives", "", "pareto objectives, comma-separated subset of power,makespan,gamma (default all three)")
 		progress  = fs.Bool("progress", false, "print one line per resolved scaling combination")
@@ -145,6 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism:      *parallel,
 		Strategy:         strat,
 		SampleBudget:     *budget,
+		Ranked:           *ranked,
 		Objectives:       objectives,
 	}
 	if *progress {

@@ -28,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		paretoMode   = fs.Bool("pareto", false, "default jobs that don't set a mode to pareto (serve frontiers instead of single designs)")
 		objectives   = fs.String("objectives", "", "default pareto objectives for jobs that don't set them: comma-separated subset of power,makespan,gamma")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		pprofOn      = fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,7 +111,22 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// The service handler owns "/"; mount the profiler beside it on a
+		// wrapper mux rather than the default mux so nothing is exposed
+		// unless the operator asked for it.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("seadoptd profiling endpoints enabled at /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 	log.Printf("seadoptd listening on %s (%d workers, cache %d entries)", ln.Addr(), *workers, *cacheSize)
 	if ready != nil {
 		ready(ln.Addr().String())

@@ -151,3 +151,59 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatal("daemon failed to drain and exit")
 	}
 }
+
+// TestPprofGatedBehindFlag: the profiling endpoints must exist when -pprof
+// is set and 404 when it is not — profiling is opt-in, never ambient.
+func TestPprofGatedBehindFlag(t *testing.T) {
+	boot := func(t *testing.T, args []string) (base string, shutdown func()) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		addrCh := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, args...),
+				func(addr string) { addrCh <- addr })
+		}()
+		select {
+		case addr := <-addrCh:
+			base = "http://" + addr
+		case err := <-done:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return base, func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(time.Minute):
+				t.Fatal("daemon failed to drain and exit")
+			}
+		}
+	}
+
+	status := func(t *testing.T, base, path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	base, shutdown := boot(t, []string{"-pprof"})
+	if got := status(t, base, "/debug/pprof/cmdline"); got != http.StatusOK {
+		t.Errorf("-pprof on: /debug/pprof/cmdline = %d, want 200", got)
+	}
+	if got := status(t, base, "/healthz"); got != http.StatusOK {
+		t.Errorf("-pprof on: /healthz = %d, want 200 (service routes must keep working)", got)
+	}
+	shutdown()
+
+	base, shutdown = boot(t, nil)
+	if got := status(t, base, "/debug/pprof/cmdline"); got != http.StatusNotFound {
+		t.Errorf("-pprof off: /debug/pprof/cmdline = %d, want 404", got)
+	}
+	shutdown()
+}

@@ -442,6 +442,44 @@ func (p *Platform) DynamicPower(scaling []int, util []float64) (float64, error) 
 	if util != nil && len(util) != p.cores {
 		return 0, fmt.Errorf("arch: utilization vector has %d entries, want %d", len(util), p.cores)
 	}
+	if util == nil {
+		// Nominal power (α ≡ 1) is reduced per (symmetry class, level) in
+		// class-major catalogue order — the same fixed order the
+		// metrics.Bounds histogram uses — so permutation-equal vectors
+		// produce bit-identical power whatever core order they arrive in,
+		// and the exploration engine's delta-maintained nominal matches
+		// this full computation bit for bit.
+		nclass := 0
+		for _, k := range p.classes {
+			if k+1 > nclass {
+				nclass = k + 1
+			}
+		}
+		rep := make([]int, nclass)
+		cnt := make([][]int, nclass)
+		for i := range rep {
+			rep[i] = -1
+		}
+		for c, k := range p.classes {
+			if rep[k] < 0 {
+				rep[k] = c
+				cnt[k] = make([]int, p.CoreNumLevels(c))
+			}
+			cnt[k][scaling[c]-1]++
+		}
+		var sum float64
+		for k := 0; k < nclass; k++ {
+			levels := p.types[p.coreType[rep[k]]].Levels
+			for s, n := range cnt[k] {
+				if n == 0 {
+					continue
+				}
+				l := levels[s]
+				sum += float64(n) * (l.FreqHz() * l.Vdd * l.Vdd)
+			}
+		}
+		return p.cl * sum, nil
+	}
 	var sum float64
 	for i, s := range scaling {
 		l := p.types[p.coreType[i]].Levels[s-1]

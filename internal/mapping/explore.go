@@ -31,6 +31,10 @@ type Design struct {
 // only after 0..i-1), regardless of the worker parallelism, and every
 // field of the event stream is deterministic for a given (Config, graph,
 // platform) at any Parallelism.
+//
+// The event is BORROWED: its slice-valued fields (Scaling in particular)
+// are recycled by the engine as soon as the callback returns, so callbacks
+// must copy anything they retain.
 type Progress struct {
 	// Index is the 0-based visit position; Total the number of
 	// combinations this exploration visits. Under StrategyExhaustive and
@@ -41,17 +45,19 @@ type Progress struct {
 	// Combination is the combination's stable Fig. 5 enumeration index,
 	// whatever order or subset the strategy visits.
 	Combination int
-	// Scaling is the combination's per-core vector. Shared; do not mutate.
+	// Scaling is the combination's per-core vector. Borrowed: valid only
+	// for the duration of the callback; copy to retain, do not mutate.
 	Scaling []int
 	// Pruned reports that the combination's admissible makespan lower
 	// bound already misses the deadline: it is provably infeasible and the
 	// mapper never ran. Design is nil for pruned combinations.
 	Pruned bool
 	// Skipped reports that the combination is provably irrelevant to the
-	// fold's result — dominated on nominal power by a feasible incumbent
-	// (scalar fold) or bound-dominated by the frontier (Pareto fold) — so
-	// the mapper was skipped or cancelled. Design is nil for skipped
-	// combinations.
+	// fold's result — dominated on nominal power by a feasible incumbent,
+	// probe-infeasible while a probed incumbent stands (scalar fold), or
+	// bound-dominated by the frontier (Pareto fold) — so the mapper was
+	// skipped or cancelled, or its design discarded. Design is nil for
+	// skipped combinations.
 	Skipped bool
 	// Design is the combination's optimized design; nil when Pruned or
 	// Skipped.
@@ -85,12 +91,17 @@ func Explore(g *taskgraph.Graph, p *arch.Platform, mapper MapperFunc, cfg Config
 //
 // Config.Strategy picks the walk: StrategyExhaustive maps every
 // combination; StrategyBranchAndBound (the default) prunes combinations an
-// admissible bound proves infeasible and skips combinations dominated by a
-// resolved feasible incumbent, cancelling dominated in-flight work — and
-// returns a byte-identical best Design; StrategySampled maps a budgeted
-// random portfolio. The enumeration is never materialized: combinations
-// stream through a bounded reorder window, so memory is O(workers), not
-// O(combinations).
+// admissible bound proves infeasible and skips combinations that provably
+// cannot change the verdict — dominated on nominal power by a resolved
+// feasible incumbent, or probe-infeasible while any probed incumbent stands
+// — cancelling dominated in-flight work, and returns a byte-identical best
+// Design; StrategySampled maps a budgeted
+// random portfolio. With Config.Ranked, branch-and-bound first locates a
+// feasible incumbent by walking combinations in ascending nominal power, so
+// the dominance threshold is in force from the very first combination of
+// the deterministic stream. The enumeration is never materialized:
+// combinations stream through a bounded reorder window, so memory is
+// O(workers), not O(combinations).
 //
 // perScaling lists one Design per visited combination in visit order, for
 // the experiment harness; entries are nil for pruned/skipped combinations,
@@ -164,7 +175,9 @@ func ExplorePareto(g *taskgraph.Graph, p *arch.Platform, mapper MapperFunc, cfg 
 // metrics.Bounds T_M lower bound, zero Γ — is strictly dominated by a
 // frontier member, which proves its realized vector cannot join the
 // frontier. Deadline-bound pruning applies unchanged. The frontier is
-// byte-identical to StrategyExhaustive's at any Parallelism.
+// byte-identical to StrategyExhaustive's at any Parallelism. Config.Ranked
+// is ignored: the frontier admits only realized designs, so there is no
+// scalar incumbent to pre-seed.
 //
 // When no deadline-feasible design exists the frontier would be empty;
 // instead the scalar engine's degenerate verdict — the deterministic "least
@@ -218,6 +231,7 @@ func ExploreParetoContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platf
 		silent := cfg
 		silent.Progress = nil
 		silent.DiscardPerScaling = true
+		silent.Ranked = false
 		best, _, _, err := exploreStream(ctx, g, p, mapper, silent, false)
 		if err != nil {
 			return nil, err
@@ -234,17 +248,18 @@ var errDominated = errors.New("mapping: combination dominated by resolved incumb
 // outcome is one resolved combination flowing from the dispatcher/workers
 // into the ordered reduction.
 type outcome struct {
-	pos      int   // visit position (fold order)
-	idx      int   // stable Fig. 5 enumeration index
-	scaling  []int // owned
-	nominal  float64
-	tmLB     float64 // admissible T_M lower bound (valid when hasLB)
-	hasLB    bool
-	pruned   bool // bound-proved infeasible; mapper never ran
-	skipCand bool // mapper skipped/cancelled as dominated (fold confirms)
-	design   *Design
-	probed   bool
-	err      error
+	pos        int   // visit position (fold order)
+	idx        int   // stable Fig. 5 enumeration index
+	scaling    []int // slab-pooled; released by the reduction
+	nominal    float64
+	tmLB       float64 // admissible T_M lower bound (valid when hasLB)
+	hasLB      bool
+	pruned     bool // bound-proved infeasible; mapper never ran
+	skipCand   bool // mapper skipped/cancelled as irrelevant (fold confirms)
+	design     *Design
+	probed     bool // probe verdict: a feasible mapping exists at this scaling
+	probeKnown bool // the probe actually ran (false for dispatch-time skips)
+	err        error
 }
 
 // streamFold is the step-3 reduction plugged into the shared streaming core.
@@ -264,6 +279,12 @@ type streamFold interface {
 	register(o *outcome, cancel context.CancelCauseFunc) bool
 	// unregister retires a combination's cancellation handle.
 	unregister(pos int)
+	// mapperSkippable reports whether a probe-infeasible combination's
+	// mapper run is provably irrelevant to the fold's result, so the worker
+	// may skip it after the probe. Like dispatchSkip it must be monotone:
+	// once true, confirmSkip must reproduce the verdict for any
+	// probe-infeasible outcome folded later.
+	mapperSkippable() bool
 	// confirmSkip is the authoritative fold-time dominance verdict.
 	confirmSkip(o *outcome) bool
 	// fold consumes one resolved (neither pruned nor skipped) design.
@@ -313,6 +334,14 @@ func (b *incumbentBoard) shouldSkip(nominal float64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.probed && dominatedNominal(nominal, b.nominal)
+}
+
+// hasProbed reports whether any probed-feasible design has been published
+// (folded or ranked-seeded). Monotone: once true, always true.
+func (b *incumbentBoard) hasProbed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.probed
 }
 
 // publish lowers the dominance threshold after the fold accepts a
@@ -368,10 +397,28 @@ type scalarFold struct {
 	bestNominal float64 // the incumbent's own nominal (acceptance rule)
 	domNominal  float64 // min nominal of any accepted probed design (dominance rule)
 	bestProbed  bool
+	// seeded reports that domNominal was pre-published by the ranked
+	// incumbent pass: a probed-feasible nominal the lexicographic stream is
+	// guaranteed to fold eventually, so dominance skips against it are as
+	// sound as against a folded incumbent.
+	seeded bool
 }
 
 func newScalarFold(prune bool) *scalarFold {
 	return &scalarFold{prune: prune, board: newIncumbentBoard()}
+}
+
+// seed pre-publishes a realizable probed-feasible nominal as the dominance
+// threshold before any combination has folded. The nominal must be that of
+// an actual probe-feasible combination of the stream (the ranked pass's
+// first hit), so every beyond-band skip it causes discards a provably
+// non-winning combination.
+func (s *scalarFold) seed(nominal float64) {
+	s.seeded = true
+	s.domNominal = nominal
+	if s.prune {
+		s.board.publish(nominal)
+	}
 }
 
 func (s *scalarFold) dispatchSkip(o *outcome) bool {
@@ -391,13 +438,27 @@ func (s *scalarFold) unregister(pos int) {
 	}
 }
 
+// mapperSkippable: once any probed-feasible incumbent stands (folded or
+// ranked-seeded), a probe-infeasible combination can never displace it —
+// the acceptance walk prefers probed designs outright — so its mapper run
+// is irrelevant to the scalar verdict. The board's probed flag is monotone,
+// so confirmSkip reproduces every worker-time verdict.
+func (s *scalarFold) mapperSkippable() bool {
+	return s.prune && s.board.hasProbed()
+}
+
 // confirmSkip applies the authoritative branch-and-bound verdict on the
 // deterministic fold state alone. The dominance threshold is domNominal —
 // monotone non-increasing, exactly mirroring the board — not the
 // incumbent's own nominal, which can drift upward within the tolerance band
-// on Γ tie-breaks.
+// on Γ tie-breaks. The second branch mirrors mapperSkippable: with a probed
+// incumbent standing, a probe-infeasible combination is irrelevant whether
+// or not its mapper happened to run.
 func (s *scalarFold) confirmSkip(o *outcome) bool {
-	return s.prune && s.bestProbed && dominatedNominal(o.nominal, s.domNominal)
+	if !s.prune || !(s.bestProbed || s.seeded) {
+		return false
+	}
+	return dominatedNominal(o.nominal, s.domNominal) || (o.probeKnown && !o.probed)
 }
 
 func (s *scalarFold) fold(o *outcome) {
@@ -413,7 +474,7 @@ func (s *scalarFold) fold(o *outcome) {
 	if better {
 		s.best = o.design
 		s.bestNominal = o.nominal
-		if o.probed && (!s.bestProbed || o.nominal < s.domNominal) {
+		if o.probed && (!(s.bestProbed || s.seeded) || o.nominal < s.domNominal) {
 			s.domNominal = o.nominal
 		}
 		s.bestProbed = o.probed
@@ -485,6 +546,11 @@ func (p *paretoFold) register(o *outcome, _ context.CancelCauseFunc) bool {
 
 func (p *paretoFold) unregister(int) {}
 
+// mapperSkippable: never. The frontier admits any deadline-feasible realized
+// design, and the mapper can find feasibility the probe's hill climb missed,
+// so a probe-infeasible combination's mapper run still matters here.
+func (p *paretoFold) mapperSkippable() bool { return false }
+
 func (p *paretoFold) confirmSkip(o *outcome) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -523,13 +589,20 @@ func (p *paretoFold) frontier() []*Design {
 	return out
 }
 
-// newFrontier builds the strategy's combination stream over the platform's
+// comboSource streams the strategy's combinations over the platform's
 // scaling space — the Fig. 5 enumeration for homogeneous platforms, the
-// mixed-radix per-core generalization for heterogeneous ones. Both walks are
+// mixed-radix per-core generalization for heterogeneous ones. The scaling
+// view handed out by next is BORROWED: valid only until the following next
+// call (the dispatcher copies it into a pooled slab). Both walks are
 // bit-identical to the legacy homogeneous stream on homogeneous platforms,
 // so combination indices (and with them mapper seeds and cache identities)
 // are stable across the generalization.
-func newFrontier(p *arch.Platform, cfg Config, strategy Strategy) (*vscale.Frontier, error) {
+type comboSource struct {
+	size int
+	next func() (scaling []int, idx int, ok bool)
+}
+
+func newComboSource(p *arch.Platform, cfg Config, strategy Strategy) (*comboSource, error) {
 	space, err := vscale.PlatformSpace(p)
 	if err != nil {
 		return nil, err
@@ -539,9 +612,99 @@ func newFrontier(p *arch.Platform, cfg Config, strategy Strategy) (*vscale.Front
 		if budget == 0 {
 			budget = DefaultSampleBudget
 		}
-		return space.SampledFrontier(budget, cfg.Seed)
+		fr, err := space.SampledFrontier(budget, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &comboSource{
+			size: fr.Size(),
+			next: func() ([]int, int, bool) {
+				c, ok := fr.Next()
+				if !ok {
+					return nil, 0, false
+				}
+				return c.Scaling, c.Index, true
+			},
+		}, nil
 	}
-	return space.Frontier(), nil
+	it := space.Iter()
+	return &comboSource{size: space.Count(), next: it.Next}, nil
+}
+
+// seedRankedIncumbent is the ranked pass of Config.Ranked: it walks the
+// combination space in ascending nominal power (vscale.RankedFrontier over
+// the per-level f·V² terms), cursor-prunes bound-infeasible combinations,
+// and probes the rest until the first probe-feasible combination — whose
+// nominal power is, by the walk order, the minimum nominal of any
+// probe-feasible combination. That value pre-seeds the branch-and-bound
+// dominance threshold, so the lexicographic stream skips beyond-band
+// combinations from its very first position instead of waiting for the
+// incumbent to stream by. Probe verdicts land in cfg.Probe (keyed by the
+// stable combination index), so the main stream reuses every probe this
+// pass ran. ok is false when nothing probe-feasible exists; the stream then
+// runs unseeded and the usual degenerate fallback applies.
+func seedRankedIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platform, cfg Config) (nominal float64, ok bool, err error) {
+	space, err := vscale.PlatformSpace(p)
+	if err != nil {
+		return 0, false, err
+	}
+	cores := p.Cores()
+	class := p.SymmetryClasses()
+	weight := make([][]float64, cores)
+	cols := make(map[int][]float64)
+	for c := 0; c < cores; c++ {
+		col, have := cols[class[c]]
+		if !have {
+			levels := p.CoreNumLevels(c)
+			col = make([]float64, levels)
+			for s := 1; s <= levels; s++ {
+				l := p.MustCoreLevel(c, s)
+				col[s-1] = l.FreqHz() * l.Vdd * l.Vdd
+			}
+			cols[class[c]] = col
+		}
+		weight[c] = col
+	}
+	fr, err := space.RankedFrontier(weight)
+	if err != nil {
+		return 0, false, fmt.Errorf("mapping: ranked incumbent seeding: %w", err)
+	}
+	bounds := metrics.NewBounds(g, p, cfg.Iterations)
+	cursor := bounds.Cursor()
+	eval, err := metrics.NewEvaluator(g, p, cfg.SER,
+		metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+	if err != nil {
+		return 0, false, err
+	}
+	mc := &MapContext{Graph: g, Platform: p, Eval: eval, scratch: newComboScratch(g.N(), cores)}
+	for {
+		combo, more := fr.Next()
+		if !more {
+			return 0, false, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		if _, err := cursor.Advance(combo.Scaling); err != nil {
+			return 0, false, err
+		}
+		if cfg.DeadlineSec > 0 && cursor.TMLowerBound() > cfg.DeadlineSec*(1+1e-9) {
+			continue // provably infeasible; the stream will bound-prune it too
+		}
+		if err := eval.Bind(combo.Scaling); err != nil {
+			return 0, false, err
+		}
+		mc.Ctx = ctx
+		mc.Scaling = eval.Scaling()
+		mc.Seed = comboSeed(cfg.Seed, combo.Index)
+		_, feasible, err := cfg.Probe.feasibleAtScaling(mc, combo.Index, cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		if feasible {
+			return cursor.NominalPower(), true, nil
+		}
+	}
 }
 
 // exploreStream is the scalar entry to the streaming work loop: it plugs the
@@ -551,6 +714,18 @@ func newFrontier(p *arch.Platform, cfg Config, strategy Strategy) (*vscale.Front
 func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	mapper MapperFunc, cfg Config, prune bool) (best *Design, perScaling []*Design, prunedCount int, err error) {
 	fold := newScalarFold(prune)
+	if prune && cfg.Ranked && cfg.Strategy.withDefault() == StrategyBranchAndBound {
+		if cfg.Probe == nil {
+			cfg.Probe = NewProbeCache()
+		}
+		nominal, seeded, err := seedRankedIncumbent(ctx, g, p, cfg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if seeded {
+			fold.seed(nominal)
+		}
+	}
 	perScaling, prunedCount, err = exploreCore(ctx, g, p, mapper, cfg, fold, coreOptions{
 		computeBounds: prune && cfg.DeadlineSec > 0,
 		prune:         prune,
@@ -563,9 +738,9 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 
 // coreOptions tunes the shared streaming core.
 type coreOptions struct {
-	// computeBounds precomputes metrics.Bounds and attaches an admissible
-	// T_M lower bound to every outcome (the Pareto fold consumes it even
-	// when pruning is off).
+	// computeBounds attaches an admissible T_M lower bound to every outcome
+	// (the Pareto fold consumes it even when pruning is off). Nominal power
+	// is histogram-derived under every option set.
 	computeBounds bool
 	// prune enables the branch-and-bound verdicts: deadline-bound pruning
 	// (when a deadline is set) and fold-dominance skipping.
@@ -573,21 +748,31 @@ type coreOptions struct {
 }
 
 // exploreCore is the streaming work loop shared by every strategy and fold:
-// a dispatcher walks the frontier under a bounded reorder window, workers
-// map combinations concurrently, and the calling goroutine folds outcomes in
-// visit order (the deterministic ordered reduction). With opts.prune set,
-// the dispatcher applies the branch-and-bound rules ahead of the mapper and
-// the reduction applies them authoritatively at fold time, so the pruned and
-// skipped markers — like everything else in the event stream — are a pure
-// function of the configuration.
+// a dispatcher walks the combination source under a bounded reorder window,
+// workers map combinations concurrently, and the calling goroutine folds
+// outcomes in visit order (the deterministic ordered reduction). With
+// opts.prune set, the dispatcher applies the branch-and-bound rules ahead of
+// the mapper and the reduction applies them authoritatively at fold time, so
+// the pruned and skipped markers — like everything else in the event stream
+// — are a pure function of the configuration.
+//
+// Per-combination state is recycled: scaling vectors live in a slab pool
+// bounded by the reorder window, the reduction ring holds outcomes by value,
+// and the Progress event struct is reused across callbacks (hence the
+// borrowed-event contract on Progress). Nominal power and the T_M lower
+// bound are maintained by a metrics.Cursor, so the dispatcher's per-step
+// bound work is O(changed coefficients) — and because both are pure
+// functions of the level histogram, every strategy (exhaustive,
+// branch-and-bound, sampled, ranked-seeded) sees bit-identical values for
+// the same combination.
 func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	mapper MapperFunc, cfg Config, fold streamFold, opts coreOptions) (perScaling []*Design, prunedCount int, err error) {
 	strategy := cfg.Strategy.withDefault()
-	frontier, err := newFrontier(p, cfg, strategy)
+	src, err := newComboSource(p, cfg, strategy)
 	if err != nil {
 		return nil, 0, err
 	}
-	total := frontier.Size()
+	total := src.size
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -606,9 +791,31 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	if probe == nil {
 		probe = NewProbeCache()
 	}
-	var bounds *metrics.Bounds
-	if opts.computeBounds {
-		bounds = metrics.NewBounds(g, p, cfg.Iterations)
+	cores := p.Cores()
+	bounds := metrics.NewBounds(g, p, cfg.Iterations)
+	cursor := bounds.Cursor()
+
+	// Slab pool for per-combination scaling vectors: the token window bounds
+	// outcomes in flight, so at most `window` slabs circulate — taken by the
+	// dispatcher, released by the reduction once the combination's Progress
+	// callback has returned.
+	slabs := make(chan []int, window)
+	getSlab := func() []int {
+		select {
+		case s := <-slabs:
+			return s
+		default:
+			return make([]int, cores)
+		}
+	}
+	putSlab := func(s []int) {
+		if s == nil {
+			return
+		}
+		select {
+		case slabs <- s:
+		default:
+		}
 	}
 
 	wctx, cancel := context.WithCancel(ctx)
@@ -627,15 +834,20 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 
 	var producers sync.WaitGroup
 
-	// Workers: map one combination at a time on a private evaluator, under
-	// a per-combination cancellable context so dominated work can be
-	// abandoned mid-search.
+	// Workers: map one combination at a time on a private evaluator and a
+	// private reused MapContext, under a per-combination cancellable context
+	// so dominated work can be abandoned mid-search.
 	for w := 0; w < workers; w++ {
 		producers.Add(1)
 		go func() {
 			defer producers.Done()
 			eval, evErr := metrics.NewEvaluator(g, p, cfg.SER,
 				metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+			var mc *MapContext
+			if evErr == nil {
+				mc = &MapContext{Graph: g, Platform: p, Eval: eval,
+					scratch: newComboScratch(g.N(), cores)}
+			}
 			for o := range jobs {
 				if evErr != nil {
 					o.err = evErr
@@ -651,7 +863,7 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					results <- o
 					continue
 				}
-				o.design, o.probed, o.err = exploreCombo(jctx, eval, mapper, o.scaling, o.idx, cfg, probe)
+				o.design, o.probed, o.probeKnown, o.skipCand, o.err = exploreCombo(jctx, mc, mapper, o.scaling, o.idx, cfg, probe, fold)
 				if opts.prune {
 					fold.unregister(o.pos)
 				}
@@ -667,19 +879,19 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		}()
 	}
 
-	// Dispatcher: streams the frontier in visit order, resolving the cheap
-	// outcomes (bound-pruned, already-dominated) inline and handing the
-	// rest to the workers. The token channel caps dispatched-but-unfolded
-	// combinations at the window size, so the reduction's reorder buffer —
-	// and with it the whole exploration — needs O(workers) memory however
-	// large the enumeration is.
+	// Dispatcher: streams the combination source in visit order, resolving
+	// the cheap outcomes (bound-pruned, already-dominated) inline via the
+	// bound cursor and handing the rest to the workers. The token channel
+	// caps dispatched-but-unfolded combinations at the window size, so the
+	// reduction's reorder buffer — and with it the whole exploration —
+	// needs O(workers) memory however large the enumeration is.
 	producers.Add(1)
 	go func() {
 		defer producers.Done()
 		defer close(jobs)
 		for pos := 0; ; pos++ {
-			combo, ok := frontier.Next()
-			if !ok {
+			scaling, idx, more := src.next()
+			if !more {
 				return
 			}
 			select {
@@ -687,18 +899,18 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 			case <-wctx.Done():
 				return
 			}
-			o := outcome{pos: pos, idx: combo.Index, scaling: combo.Scaling}
-			o.nominal, o.err = p.DynamicPower(combo.Scaling, nil)
-			if o.err != nil {
+			o := outcome{pos: pos, idx: idx}
+			if _, err := cursor.Advance(scaling); err != nil {
+				o.err = err
 				results <- o
 				continue
 			}
-			if bounds != nil {
-				o.tmLB, o.err = bounds.TMLowerBound(combo.Scaling)
-				if o.err != nil {
-					results <- o
-					continue
-				}
+			slab := getSlab()
+			copy(slab, scaling)
+			o.scaling = slab
+			o.nominal = cursor.NominalPower()
+			if opts.computeBounds {
+				o.tmLB = cursor.TMLowerBound()
 				o.hasLB = true
 				// Prune only beyond a safety band: the bound is exact
 				// mathematics but inexact floats.
@@ -728,32 +940,36 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	// Deterministic ordered reduction: outcomes are folded in visit order
 	// as soon as their prefix is complete, so the acceptance walk, the
 	// pruned/skipped verdicts and the Progress stream never depend on
-	// worker timing. pending is a reorder ring of at most window entries.
-	pending := make([]*outcome, window)
+	// worker timing. pending is a by-value reorder ring of at most window
+	// entries; ev is the one Progress event reused across every callback.
+	pending := make([]outcome, window)
+	havePending := make([]bool, window)
 	next := 0
 	var firstErr error
 	firstErrPos := total
+	var ev Progress
 	if !cfg.DiscardPerScaling {
 		perScaling = make([]*Design, 0, total)
 	}
 	for o := range results {
-		o := o
 		if o.err != nil {
 			// Keep the lowest-positioned real failure as the verdict
 			// (jobs aborted by the internal cancel report the context
 			// error), then cancel either way: an errored position can
 			// never fold, so without cancellation the dispatcher would
 			// wait on its window token forever.
+			putSlab(o.scaling)
 			if !errors.Is(o.err, context.Canceled) && o.pos < firstErrPos {
 				firstErr, firstErrPos = o.err, o.pos
 			}
 			cancel()
 			continue
 		}
-		pending[o.pos%window] = &o
-		for next < total && pending[next%window] != nil && pending[next%window].pos == next {
-			d := pending[next%window]
-			pending[next%window] = nil
+		pending[o.pos%window] = o
+		havePending[o.pos%window] = true
+		for next < total && havePending[next%window] && pending[next%window].pos == next {
+			d := &pending[next%window]
+			havePending[next%window] = false
 
 			// Authoritative branch-and-bound verdict, decided on the
 			// deterministic fold state alone.
@@ -780,7 +996,7 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					perScaling = append(perScaling, nil)
 				}
 				if cfg.Progress != nil {
-					ev := Progress{Index: next, Total: total, Combination: d.idx,
+					ev = Progress{Index: next, Total: total, Combination: d.idx,
 						Scaling: d.scaling, Pruned: true}
 					fold.annotate(&ev)
 					cfg.Progress(ev)
@@ -790,7 +1006,7 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					perScaling = append(perScaling, nil)
 				}
 				if cfg.Progress != nil {
-					ev := Progress{Index: next, Total: total, Combination: d.idx,
+					ev = Progress{Index: next, Total: total, Combination: d.idx,
 						Scaling: d.scaling, Skipped: true}
 					fold.annotate(&ev)
 					cfg.Progress(ev)
@@ -801,12 +1017,15 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 				}
 				fold.fold(d)
 				if cfg.Progress != nil {
-					ev := Progress{Index: next, Total: total, Combination: d.idx,
+					ev = Progress{Index: next, Total: total, Combination: d.idx,
 						Scaling: d.design.Scaling, Design: d.design}
 					fold.annotate(&ev)
 					cfg.Progress(ev)
 				}
 			}
+			putSlab(d.scaling)
+			d.scaling = nil
+			d.design = nil
 			next++
 			tokens <- struct{}{}
 		}
@@ -825,47 +1044,56 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	return perScaling, prunedCount, nil
 }
 
-// exploreCombo runs one scaling combination on a worker's evaluator: the
-// mapper, the deadline assessment and the shared feasibility probe.
-func exploreCombo(ctx context.Context, eval *metrics.Evaluator, mapper MapperFunc,
-	scaling []int, idx int, cfg Config, probe *ProbeCache) (*Design, bool, error) {
+// exploreCombo runs one scaling combination on a worker's reused MapContext:
+// the shared feasibility probe, the mapper and the deadline assessment. The
+// context's per-combination fields (Ctx, Scaling, Seed) are rebound here;
+// mappers must not retain mc or its fields past their call.
+//
+// The probe runs first: besides fixing step 1's mapper-independent
+// feasibility verdict, a probe-infeasible result can prove the whole mapper
+// run irrelevant — when fold.mapperSkippable() holds, a probe-infeasible
+// combination can never influence the fold, so the mapper is skipped and
+// the combination resolves as a skip candidate (skipped true, design nil).
+// The probe itself is cached by combination index, so reordering it ahead
+// of the mapper changes no verdict, only how often the mapper runs.
+func exploreCombo(ctx context.Context, mc *MapContext, mapper MapperFunc,
+	scaling []int, idx int, cfg Config, probe *ProbeCache,
+	fold streamFold) (d *Design, probed, probeKnown, skipped bool, err error) {
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return nil, false, false, false, err
 	}
-	if err := eval.Bind(scaling); err != nil {
-		return nil, false, err
+	if err := mc.Eval.Bind(scaling); err != nil {
+		return nil, false, false, false, err
 	}
-	mc := &MapContext{
-		Ctx:      ctx,
-		Graph:    eval.Graph(),
-		Platform: eval.Platform(),
-		Scaling:  eval.Scaling(),
-		Eval:     eval,
-		Seed:     comboSeed(cfg.Seed, idx),
-	}
-	m, ev, err := mapper(mc)
-	if err != nil {
-		return nil, false, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
-	}
+	mc.Ctx = ctx
+	mc.Scaling = mc.Eval.Scaling()
+	mc.Seed = comboSeed(cfg.Seed, idx)
 	// Step 1's feasibility decision is mapper-independent: a common
 	// deadline probe decides which scalings are candidates, so every
 	// experiment (Exp:1-4) selects its design from the same scaling
 	// set and differences between them come from mapping alone. If the
 	// probe proves feasibility that the experiment's own mapper missed,
 	// the probe's mapping is the design at this scaling.
-	probeEv, probed, err := probe.feasibleAtScaling(mc, cfg)
+	probeEv, probedFeasible, err := probe.feasibleAtScaling(mc, idx, cfg)
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, false, err
 	}
-	if probed && !ev.MeetsDeadline {
+	if !probedFeasible && fold.mapperSkippable() {
+		return nil, false, true, true, nil
+	}
+	m, ev, err := mapper(mc)
+	if err != nil {
+		return nil, false, false, false, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
+	}
+	if probedFeasible && !ev.MeetsDeadline {
 		// Clone: the cache owns probeEv, and Explore calls sharing the
 		// cache must not hand out aliased mutable Designs.
 		ev = probeEv.Clone()
 		m = ev.Schedule.Mapping
 	}
-	probed = probed && ev.MeetsDeadline
-	d := &Design{Scaling: append([]int(nil), scaling...), Mapping: m, Eval: ev}
-	return d, probed, nil
+	probed = probedFeasible && ev.MeetsDeadline
+	d = &Design{Scaling: append([]int(nil), scaling...), Mapping: m, Eval: ev}
+	return d, probed, true, false, nil
 }
 
 // comboSeed derives the stream seed of combination i from the master seed
@@ -904,35 +1132,61 @@ func betterDesign(a *metrics.Evaluation, aNominal float64, b *metrics.Evaluation
 // ProbeMoves is the hill-climb budget of the common feasibility probe.
 const ProbeMoves = 400
 
+// comboScratch is the per-worker buffer set of the feasibility probe: the
+// LPT seed mapping, the task order, per-core load/frequency accumulators and
+// the hill climb's neighbor/load buffers, all reused across every
+// combination a worker probes.
+type comboScratch struct {
+	order    []taskgraph.TaskID
+	m        sched.Mapping
+	neighbor sched.Mapping
+	loadSec  []float64
+	freq     []float64
+	loads    []int
+}
+
+func newComboScratch(n, cores int) *comboScratch {
+	return &comboScratch{
+		order:    make([]taskgraph.TaskID, n),
+		m:        make(sched.Mapping, n),
+		neighbor: make(sched.Mapping, n),
+		loadSec:  make([]float64, cores),
+		freq:     make([]float64, cores),
+		loads:    make([]int, cores),
+	}
+}
+
 // ProbeCache memoizes the mapper-independent feasibility probe per scaling
-// vector, so a probe verdict computed once is shared by every Explore call
-// driven with the same cache — e.g. the four experiments of Table II probe
-// each scaling once between them instead of once each. It is safe for
-// concurrent use.
+// combination — keyed by the combination's stable enumeration index, which
+// identifies the scaling vector for a fixed platform — so a probe verdict
+// computed once is shared by every Explore call driven with the same cache:
+// e.g. the four experiments of Table II probe each scaling once between
+// them instead of once each, and the ranked incumbent pass's probes are
+// reused by the main stream. It is safe for concurrent use.
 //
 // A cache is only meaningful across Explore calls that share the same
 // graph, platform, deadline, iteration count and seed; do not share one
 // across different workloads.
 type ProbeCache struct {
 	mu sync.Mutex
-	m  map[string]*metrics.Evaluation // nil value = probed infeasible
+	m  map[int]*metrics.Evaluation // nil value = probed infeasible
 }
 
 // NewProbeCache returns an empty probe cache.
 func NewProbeCache() *ProbeCache {
-	return &ProbeCache{m: make(map[string]*metrics.Evaluation)}
+	return &ProbeCache{m: make(map[int]*metrics.Evaluation)}
 }
 
 // feasibleAtScaling is the mapper-independent deadline probe of step 1: a
 // longest-processing-time balanced mapping refined by a short makespan hill
 // climb, with a fixed seed derived from Config.Seed so every experiment
 // sees the same verdict for the same (graph, platform, scaling, deadline).
-// On success it returns the feasible mapping's evaluation (owned by the
+// idx is the combination's stable enumeration index (the cache key). On
+// success it returns the feasible mapping's evaluation (owned by the
 // cache; treat as read-only).
-func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error) {
-	key := fmt.Sprint(mc.Scaling)
+func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, idx int, cfg Config) (*metrics.Evaluation, bool, error) {
 	pc.mu.Lock()
-	ev, hit := pc.m[key]
+	ev, hit := pc.m[idx]
 	pc.mu.Unlock()
 	if hit {
 		return ev, ev != nil, nil
@@ -945,21 +1199,27 @@ func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, cfg Config) (*metrics.Ev
 		ev = nil
 	}
 	pc.mu.Lock()
-	pc.m[key] = ev
+	pc.m[idx] = ev
 	pc.mu.Unlock()
 	return ev, ok, nil
 }
 
 // probeFeasible computes the probe on mc's evaluator; the returned
-// evaluation is owned.
+// evaluation is owned. All intermediate state lives in mc's comboScratch
+// (allocated locally when mc has none), so a cached-out probe costs no
+// allocation beyond the final Clone.
 func probeFeasible(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error) {
 	g, p, e := mc.Graph, mc.Platform, mc.Eval
+	n := g.N()
+	cores := p.Cores()
+	sc := mc.scratch
+	if sc == nil {
+		sc = newComboScratch(n, cores)
+	}
 
 	// LPT seed: heaviest tasks first onto the least-loaded core, weighting
 	// load by the core's clock period (slow cores absorb less work).
-	n := g.N()
-	cores := p.Cores()
-	order := make([]taskgraph.TaskID, n)
+	order := sc.order[:n]
 	for i := range order {
 		order[i] = taskgraph.TaskID(i)
 	}
@@ -970,9 +1230,12 @@ func probeFeasible(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error
 		}
 		return order[a] < order[b]
 	})
-	m := make(sched.Mapping, n)
-	loadSec := make([]float64, cores)
-	freq := make([]float64, cores)
+	m := sc.m[:n]
+	loadSec := sc.loadSec[:cores]
+	freq := sc.freq[:cores]
+	for c := range loadSec {
+		loadSec[c] = 0
+	}
 	for c, s := range mc.Scaling {
 		freq[c] = p.MustCoreLevel(c, s).FreqHz()
 	}
@@ -987,29 +1250,44 @@ func probeFeasible(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error
 		loadSec[bestCore] += float64(g.Task(t).Cycles) / freq[bestCore]
 	}
 
-	ev, err := e.Evaluate(m)
+	// The climb needs only each candidate's T_M and deadline verdict, so it
+	// runs on the makespan-only evaluation path; the one full Evaluate
+	// happens on the mapping that actually proves feasibility. TMSeconds is
+	// bit-identical between the two paths, so the verdict sequence — and
+	// with it every probe-derived decision — is unchanged.
+	tm, meets, err := e.Makespan(m)
 	if err != nil {
 		return nil, false, err
 	}
-	if ev.MeetsDeadline {
+	if meets {
+		ev, err := e.Evaluate(m)
+		if err != nil {
+			return nil, false, err
+		}
 		return ev.Clone(), true, nil
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xFEA51B1E))
-	cur, curTM := m, ev.TMSeconds
+	cur, curTM := m, tm
+	spare := sc.neighbor[:n]
 	for move := 0; move < ProbeMoves; move++ {
 		if err := mc.Ctx.Err(); err != nil {
 			return nil, false, err
 		}
-		neighbor := search.Neighbor(rng, cur, cores)
-		nev, err := e.Evaluate(neighbor)
+		neighbor := search.NeighborInto(rng, spare, cur, cores, sc.loads)
+		ntm, nmeets, err := e.Makespan(neighbor)
 		if err != nil {
 			return nil, false, err
 		}
-		if nev.MeetsDeadline {
+		if nmeets {
+			nev, err := e.Evaluate(neighbor)
+			if err != nil {
+				return nil, false, err
+			}
 			return nev.Clone(), true, nil
 		}
-		if nev.TMSeconds <= curTM {
-			cur, curTM = neighbor, nev.TMSeconds
+		if ntm <= curTM {
+			cur, spare = neighbor, cur
+			curTM = ntm
 		}
 	}
 	return nil, false, nil

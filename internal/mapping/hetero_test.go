@@ -139,19 +139,29 @@ func TestHeterogeneousBnBMatchesExhaustive(t *testing.T) {
 // platform is byte-identical between branch-and-bound and exhaustive at
 // Parallelism 1, 4 and GOMAXPROCS.
 func TestHeterogeneousParetoMatchesExhaustive(t *testing.T) {
+	g64, dl64 := graph64(t)
 	workloads := []struct {
 		name     string
 		g        *taskgraph.Graph
 		p        *arch.Platform
 		deadline float64
 		iters    int
+		moves    int
 	}{
-		{"fig8-mixed3", taskgraph.Fig8(), heteroPlat(t, 1, 1), taskgraph.Fig8Deadline, 1},
-		{"mpeg2-mixed4", taskgraph.MPEG2(), heteroPlat(t, 1, 2), taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames},
+		{"fig8-mixed3", taskgraph.Fig8(), heteroPlat(t, 1, 1), taskgraph.Fig8Deadline, 1, 120},
+		{"mpeg2-mixed4", taskgraph.MPEG2(), heteroPlat(t, 1, 2), taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames, 120},
+		// The flagship-shaped 64-core space (9405 combinations) at the
+		// reduced test budget: the frontier fold's bound-dominance skipping
+		// and deadline pruning must stay byte-identical to exhaustive at
+		// heterogeneous scale, not just on the small mixed platforms.
+		{"hetero64", g64, plat64(t), dl64, 1, 8},
 	}
 	for _, wl := range workloads {
+		if testing.Short() && wl.name == "hetero64" {
+			continue
+		}
 		base := cfg(wl.deadline, wl.iters)
-		base.SearchMoves = 120
+		base.SearchMoves = wl.moves
 
 		exh := base
 		exh.Strategy = StrategyExhaustive

@@ -64,6 +64,19 @@ type Config struct {
 	// SampleBudget bounds StrategySampled's portfolio size; 0 selects
 	// DefaultSampleBudget. Ignored by the other strategies.
 	SampleBudget int
+	// Ranked makes StrategyBranchAndBound seed its dominance incumbent
+	// before the deterministic stream starts: a sequential pass walks
+	// combinations in ascending nominal power (vscale.RankedFrontier),
+	// prunes bound-infeasible ones, and probes the rest until the first
+	// probe-feasible combination; its nominal power — the minimum of any
+	// probe-feasible combination — becomes the dominance threshold from
+	// position zero. The fold order stays the descending-lexicographic
+	// enumeration, so the chosen Design, perScaling and the Progress stream
+	// remain deterministic (and the Design byte-identical to
+	// StrategyExhaustive); only the Pruned/Skipped split can differ from an
+	// unseeded run. Requires StrategyBranchAndBound; ignored by the Pareto
+	// fold.
+	Ranked bool
 	// Objectives selects the objective components of the Pareto fold
 	// (ExploreParetoContext); 0 selects pareto.DefaultObjectives (power,
 	// makespan and Γ). Ignored by the scalar fold.
@@ -107,6 +120,9 @@ func (c Config) Validate() error {
 	}
 	if c.SampleBudget < 0 {
 		return fmt.Errorf("mapping: negative sample budget %d", c.SampleBudget)
+	}
+	if c.Ranked && c.Strategy.withDefault() != StrategyBranchAndBound {
+		return fmt.Errorf("mapping: Ranked incumbent seeding requires StrategyBranchAndBound, got %q", c.Strategy)
 	}
 	if c.Objectives != 0 {
 		if err := c.Objectives.Valid(); err != nil {

@@ -33,6 +33,13 @@ type MapContext struct {
 	// regardless of worker scheduling, and distinct combinations get
 	// decorrelated streams.
 	Seed int64
+
+	// scratch holds the worker-owned feasibility-probe buffers. The Explore
+	// engine reuses one MapContext (and its scratch) per worker across
+	// every combination that worker maps — mappers must not retain the
+	// context or any of its fields past their call. Nil outside the engine;
+	// probeFeasible then allocates per call.
+	scratch *comboScratch
 }
 
 // MapperFunc produces a mapping for one scaling combination. The soft

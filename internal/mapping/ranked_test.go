@@ -1,0 +1,160 @@
+package mapping
+
+import (
+	"runtime"
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+// plat64 builds the flagship-shaped heterogeneous platform: 56 two-level
+// efficiency cores plus 8 four-level performance cores (9405 combinations).
+func plat64(t *testing.T) *arch.Platform {
+	t.Helper()
+	types := []arch.ProcType{
+		{Name: "eff", Levels: arch.ARM7Levels2()},
+		{Name: "perf", Levels: arch.ARM7Levels4()},
+	}
+	coreTypes := make([]int, 64)
+	for i := 56; i < 64; i++ {
+		coreTypes[i] = 1
+	}
+	p, err := arch.NewHeterogeneousPlatform(types, coreTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// graph64 is a reduced-budget stand-in for the flagship benchmark workload:
+// the same §V generator and 64-core-wide layers, fewer tasks so the
+// exhaustive reference stays test-sized.
+func graph64(t *testing.T) (*taskgraph.Graph, float64) {
+	t.Helper()
+	cfg := taskgraph.DefaultRandomConfig(40)
+	cfg.MaxWidth = 16
+	return taskgraph.MustRandom(cfg, 11), taskgraph.RandomDeadline(40) / 5
+}
+
+// TestRankedMatchesExhaustive is the acceptance property of the ranked
+// incumbent-seeding pass: on the paper workloads, a §V random graph and the
+// 64-core heterogeneous platform, StrategyBranchAndBound with Ranked set
+// returns a byte-identical best Design to StrategyExhaustive (and hence to
+// unseeded branch-and-bound) at Parallelism 1, 4 and GOMAXPROCS — while
+// skipping at least as many combinations as it evaluates the moment the
+// space is prunable.
+func TestRankedMatchesExhaustive(t *testing.T) {
+	g64, dl64 := graph64(t)
+	workloads := []struct {
+		name     string
+		g        *taskgraph.Graph
+		p        *arch.Platform
+		deadline float64
+		iters    int
+		moves    int
+	}{
+		{"mpeg2", taskgraph.MPEG2(), plat(4), taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames, 150},
+		{"fig8", taskgraph.Fig8(), heteroPlat(t, 1, 1), taskgraph.Fig8Deadline, 1, 80},
+		{"random30", taskgraph.MustRandom(taskgraph.DefaultRandomConfig(30), 8), plat(3), taskgraph.RandomDeadline(30) * 0.2, 1, 150},
+		{"hetero64", g64, plat64(t), dl64, 1, 12},
+	}
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, wl := range workloads {
+		base := cfg(wl.deadline, wl.iters)
+		base.SearchMoves = wl.moves
+		base.DiscardPerScaling = true
+
+		exh := base
+		exh.Strategy = StrategyExhaustive
+		wantBest, _, err := Explore(wl.g, wl.p, SEAMapper(exh), exh)
+		if err != nil {
+			t.Fatalf("%s exhaustive: %v", wl.name, err)
+		}
+		want := designFingerprint(wantBest)
+
+		for _, par := range parallelisms {
+			ranked := base
+			ranked.Strategy = StrategyBranchAndBound
+			ranked.Ranked = true
+			ranked.Parallelism = par
+			var evaluated, avoided int
+			ranked.Progress = func(pr Progress) {
+				if pr.Pruned || pr.Skipped {
+					avoided++
+				} else {
+					evaluated++
+				}
+			}
+			gotBest, _, err := Explore(wl.g, wl.p, SEAMapper(ranked), ranked)
+			if err != nil {
+				t.Fatalf("%s ranked par=%d: %v", wl.name, par, err)
+			}
+			if got := designFingerprint(gotBest); got != want {
+				t.Errorf("%s par=%d: designs diverged:\n  exhaustive: %s\n  ranked bnb: %s",
+					wl.name, par, want, got)
+			}
+			if avoided == 0 {
+				t.Errorf("%s par=%d: ranked branch-and-bound avoided nothing (evaluated %d)",
+					wl.name, par, evaluated)
+			}
+		}
+	}
+}
+
+// TestRankedSkipsAtLeastAsMuch: seeding the incumbent from the ranked pass
+// can only lower the dominance threshold earlier, so the seeded run must
+// map no more combinations than the unseeded one.
+func TestRankedSkipsAtLeastAsMuch(t *testing.T) {
+	g, dl := graph64(t)
+	p := plat64(t)
+	base := cfg(dl, 1)
+	base.SearchMoves = 12
+	base.DiscardPerScaling = true
+	base.Strategy = StrategyBranchAndBound
+
+	count := func(ranked bool) (evaluated, avoided int) {
+		c := base
+		c.Ranked = ranked
+		c.Progress = func(pr Progress) {
+			if pr.Pruned || pr.Skipped {
+				avoided++
+			} else {
+				evaluated++
+			}
+		}
+		if _, _, err := Explore(g, p, SEAMapper(c), c); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	plainEval, plainAvoid := count(false)
+	rankedEval, rankedAvoid := count(true)
+	t.Logf("unseeded: %d mapped / %d avoided; ranked: %d mapped / %d avoided",
+		plainEval, plainAvoid, rankedEval, rankedAvoid)
+	if rankedEval > plainEval {
+		t.Errorf("ranked seeding mapped %d combinations, unseeded only %d", rankedEval, plainEval)
+	}
+	if rankedEval+rankedAvoid != plainEval+plainAvoid {
+		t.Errorf("event counts diverged: ranked %d, unseeded %d",
+			rankedEval+rankedAvoid, plainEval+plainAvoid)
+	}
+}
+
+// TestRankedRequiresBranchAndBound: the option is a BnB refinement; other
+// strategies must reject it loudly rather than silently ignore it.
+func TestRankedRequiresBranchAndBound(t *testing.T) {
+	for _, s := range []Strategy{StrategyExhaustive, StrategySampled} {
+		c := cfg(1, 1)
+		c.Strategy = s
+		c.Ranked = true
+		if c.Validate() == nil {
+			t.Errorf("Ranked accepted with strategy %q", s)
+		}
+	}
+	ok := cfg(1, 1)
+	ok.Ranked = true // default strategy is branch-and-bound
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Ranked rejected with the default strategy: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"fmt"
+	"sort"
+
 	"seadopt/internal/arch"
 	"seadopt/internal/taskgraph"
 )
@@ -9,9 +12,15 @@ import (
 // engine's branch-and-bound pruning — what the best conceivable mapping
 // could achieve at a scaling vector, without running the mapper.
 //
-// The graph-dependent quantities (critical-path cycles, total work, largest
-// task) are precomputed once in O(V+E); each per-scaling query is then O(C).
-// Two relaxations make the makespan bound admissible:
+// The graph-dependent quantities (critical-path cycles, total work, the
+// descending task-size prefix sums of the partition bound) are precomputed
+// once in O(V + E + n log n). Per-scaling queries reduce a level histogram —
+// one integer count per (symmetry class, level) — in a fixed catalogue
+// order, so every bound value is a pure function of the multiset of level
+// assignments: bit-identical whatever visit order produced the vector, and
+// delta-maintainable in O(changed coefficients) through a Cursor.
+//
+// Three relaxations make the makespan bound admissible:
 //
 //   - infinite-core relaxation: every task runs at the fastest frequency of
 //     the scaling vector with zero communication (colocating an entire
@@ -19,11 +28,19 @@ import (
 //     critical path in cycles over that frequency lower-bounds any
 //     schedule's makespan;
 //   - work conservation: total task cycles cannot drain faster than the
-//     aggregate frequency Σ_c f_c, and some core hosts the largest task.
+//     aggregate frequency Σ_c f_c;
+//   - work partitioning (the load-balance bound): for every j, the j
+//     largest tasks occupy at most min(j, cores) cores, which supply at
+//     most T · F_j cycles by time T, where F_j is the sum of the j highest
+//     core frequencies — so T ≥ max_j S_j / F_j with S_j the descending
+//     task-cycle prefix sums. j = 1 recovers the classic largest-task
+//     bound; the bound strictly dominates it.
 //
-// For pipelined workloads (Iterations > 1) the same two relaxations bound
-// the bottleneck-core busy time, and the pipelined makespan identity
-// T_M = (1-1/F)·bottleneck + makespan/F combines them.
+// For pipelined workloads (Iterations > 1) the same relaxations bound the
+// bottleneck-core busy time (busy_c · f_c is at least the task cycles
+// hosted by c, so B · F_j ≥ S_j for the hosts of the j largest tasks), and
+// the pipelined makespan identity T_M = (1-1/F)·bottleneck + makespan/F
+// combines them.
 type Bounds struct {
 	p          *arch.Platform
 	iterations int
@@ -31,6 +48,29 @@ type Bounds struct {
 	cpCycles    int64 // longest path of task cycles (no communication)
 	totalCycles int64 // Σ task cycles
 	maxCycles   int64 // largest single task
+
+	// prefixCycles[j] = sum of the j largest task cycle counts, for
+	// j ≤ min(tasks, cores) — the partition bound never needs more terms:
+	// beyond n tasks S_j is constant while F_j grows, and beyond C cores
+	// no schedule can add capacity.
+	prefixCycles []float64
+
+	// Level catalogue: one entry per (symmetry class, level) in fixed
+	// class-major order — the single reduction order every per-scaling
+	// aggregate (nominal power, Σ f, fastest frequency, partition walk)
+	// is summed in.
+	class   []int   // per-core symmetry class id
+	entryAt [][]int // entryAt[k][s-1] = catalogue index of (class k, level s)
+	entries []boundEntry
+	byFreq  []int // catalogue indices, frequency descending, index ascending
+	cl      float64
+}
+
+// boundEntry is one (symmetry class, level) operating point of the
+// catalogue.
+type boundEntry struct {
+	hz   float64
+	term float64 // f·V² — nominal power is cl · Σ count·term
 }
 
 // NewBounds precomputes the bound context for g on p. iterations follows
@@ -39,14 +79,16 @@ func NewBounds(g *taskgraph.Graph, p *arch.Platform, iterations int) *Bounds {
 	if iterations < 1 {
 		iterations = 1
 	}
-	b := &Bounds{p: p, iterations: iterations}
+	b := &Bounds{p: p, iterations: iterations, class: p.SymmetryClasses(), cl: p.CL()}
 	n := g.N()
 	// Longest task-cycle path in (reverse) topological order, O(V+E).
 	down := make([]int64, n)
+	cycles := make([]int64, n)
 	topo := g.TopoOrder()
 	for i := n - 1; i >= 0; i-- {
 		t := topo[i]
 		c := g.Task(t).Cycles
+		cycles[t] = c
 		if c > b.maxCycles {
 			b.maxCycles = c
 		}
@@ -62,24 +104,108 @@ func NewBounds(g *taskgraph.Graph, p *arch.Platform, iterations int) *Bounds {
 			b.cpCycles = down[t]
 		}
 	}
+	// Descending task-size prefix sums for the partition bound.
+	sort.Slice(cycles, func(a, c int) bool { return cycles[a] > cycles[c] })
+	terms := n
+	if cores := p.Cores(); cores < terms {
+		terms = cores
+	}
+	b.prefixCycles = make([]float64, terms+1)
+	var sum int64
+	for j := 1; j <= terms; j++ {
+		sum += cycles[j-1]
+		b.prefixCycles[j] = float64(sum)
+	}
+	// Level catalogue: one row per (class, level), class-major.
+	b.entryAt = make([][]int, 0)
+	seen := make(map[int]bool)
+	for c, k := range b.class {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		for len(b.entryAt) <= k {
+			b.entryAt = append(b.entryAt, nil)
+		}
+		levels := p.CoreNumLevels(c)
+		row := make([]int, levels)
+		for s := 1; s <= levels; s++ {
+			l := p.MustCoreLevel(c, s)
+			row[s-1] = len(b.entries)
+			b.entries = append(b.entries, boundEntry{hz: l.FreqHz(), term: l.FreqHz() * l.Vdd * l.Vdd})
+		}
+		b.entryAt[k] = row
+	}
+	b.byFreq = make([]int, len(b.entries))
+	for i := range b.byFreq {
+		b.byFreq[i] = i
+	}
+	sort.SliceStable(b.byFreq, func(a, c int) bool {
+		return b.entries[b.byFreq[a]].hz > b.entries[b.byFreq[c]].hz
+	})
 	return b
 }
 
-// TMLowerBound returns an admissible lower bound on the T_M of every
-// mapping at the given scaling vector: no schedule — and therefore no
-// feasibility probe or mapper search — can beat it. A scaling whose bound
-// exceeds the deadline is provably infeasible.
-func (b *Bounds) TMLowerBound(scaling []int) (float64, error) {
+// histogram counts the (class, level) assignments of a validated scaling
+// vector into a fresh catalogue-indexed array.
+func (b *Bounds) histogram(scaling []int) ([]int, error) {
 	if err := b.p.ValidScaling(scaling); err != nil {
-		return 0, err
+		return nil, err
 	}
-	fastest := 0.0
-	var sumHz float64
+	cnt := make([]int, len(b.entries))
 	for c, s := range scaling {
-		f := b.p.MustCoreLevel(c, s).FreqHz()
-		sumHz += f
-		if f > fastest {
-			fastest = f
+		cnt[b.entryAt[b.class[c]][s-1]]++
+	}
+	return cnt, nil
+}
+
+// nominalFromHist reduces a level histogram to the vector's nominal power in
+// fixed catalogue order.
+func (b *Bounds) nominalFromHist(cnt []int) float64 {
+	var sum float64
+	for i, e := range b.entries {
+		if cnt[i] != 0 {
+			sum += float64(cnt[i]) * e.term
+		}
+	}
+	return b.cl * sum
+}
+
+// tmLowerBoundFromHist reduces a level histogram to the admissible T_M lower
+// bound, again in fixed catalogue order.
+func (b *Bounds) tmLowerBoundFromHist(cnt []int) float64 {
+	var sumHz float64
+	for i, e := range b.entries {
+		if cnt[i] != 0 {
+			sumHz += float64(cnt[i]) * e.hz
+		}
+	}
+	// Partition walk over the present levels, fastest first: F accumulates
+	// core frequencies one core at a time, so F after j steps is the j
+	// highest frequencies of the vector.
+	fastest := 0.0
+	partition := 0.0
+	terms := len(b.prefixCycles) - 1
+	j := 0
+	var f float64
+	for _, ei := range b.byFreq {
+		c := cnt[ei]
+		if c == 0 {
+			continue
+		}
+		hz := b.entries[ei].hz
+		if fastest == 0 {
+			fastest = hz
+		}
+		for ; c > 0 && j < terms; c-- {
+			j++
+			f += hz
+			if r := b.prefixCycles[j] / f; r > partition {
+				partition = r
+			}
+		}
+		if j >= terms {
+			break
 		}
 	}
 	work := float64(b.totalCycles) / sumHz
@@ -87,20 +213,133 @@ func (b *Bounds) TMLowerBound(scaling []int) (float64, error) {
 	if work > makespanLB {
 		makespanLB = work
 	}
+	if partition > makespanLB {
+		makespanLB = partition
+	}
 	if b.iterations <= 1 {
-		return makespanLB, nil
+		return makespanLB
 	}
 	bottleneckLB := float64(b.maxCycles) / fastest
 	if work > bottleneckLB {
 		bottleneckLB = work
 	}
-	f := float64(b.iterations)
-	return (1-1/f)*bottleneckLB + makespanLB/f, nil
+	if partition > bottleneckLB {
+		bottleneckLB = partition
+	}
+	f64 := float64(b.iterations)
+	return (1-1/f64)*bottleneckLB + makespanLB/f64
+}
+
+// TMLowerBound returns an admissible lower bound on the T_M of every
+// mapping at the given scaling vector: no schedule — and therefore no
+// feasibility probe or mapper search — can beat it. A scaling whose bound
+// exceeds the deadline is provably infeasible.
+func (b *Bounds) TMLowerBound(scaling []int) (float64, error) {
+	cnt, err := b.histogram(scaling)
+	if err != nil {
+		return 0, err
+	}
+	return b.tmLowerBoundFromHist(cnt), nil
 }
 
 // NominalPower returns the scaling vector's full-utilization dynamic power
 // (eq. 5 with α ≡ 1) — the exact quantity the step-3 acceptance rule ranks
-// feasible scalings by, available without scheduling anything.
+// feasible scalings by, available without scheduling anything. The value is
+// reduced from the level histogram, so physically equal vectors (any
+// permutation within a symmetry class) produce bit-identical power.
 func (b *Bounds) NominalPower(scaling []int) (float64, error) {
-	return b.p.DynamicPower(scaling, nil)
+	cnt, err := b.histogram(scaling)
+	if err != nil {
+		return 0, err
+	}
+	return b.nominalFromHist(cnt), nil
 }
+
+// Cursor maintains the level histogram of a current scaling vector so the
+// bound queries of a combination stream cost O(changed coefficients) float
+// work per step instead of O(cores): Advance diffs the next vector against
+// the current one and moves only the changed counts; NominalPower and
+// TMLowerBound then reduce the histogram in the catalogue's fixed order.
+// Because every value is a pure function of the histogram — not of the
+// update path — a Cursor's answers are bit-identical to the fresh
+// Bounds.TMLowerBound / Bounds.NominalPower calls at the same vector,
+// whatever enumeration order (lexicographic, ranked, sampled) drives it.
+//
+// A Cursor is not safe for concurrent use; the exploration dispatcher owns
+// one.
+type Cursor struct {
+	b       *Bounds
+	scaling []int
+	cnt     []int
+	primed  bool
+}
+
+// Cursor returns an unprimed cursor over b; the first Advance (or Reset)
+// establishes the initial vector.
+func (b *Bounds) Cursor() *Cursor {
+	return &Cursor{
+		b:       b,
+		scaling: make([]int, len(b.class)),
+		cnt:     make([]int, len(b.entries)),
+	}
+}
+
+// Reset establishes scaling as the cursor's current vector, recounting the
+// histogram from scratch in O(cores).
+func (cu *Cursor) Reset(scaling []int) error {
+	if err := cu.b.p.ValidScaling(scaling); err != nil {
+		return err
+	}
+	for i := range cu.cnt {
+		cu.cnt[i] = 0
+	}
+	copy(cu.scaling, scaling)
+	for c, s := range cu.scaling {
+		cu.cnt[cu.b.entryAt[cu.b.class[c]][s-1]]++
+	}
+	cu.primed = true
+	return nil
+}
+
+// Advance moves the cursor to next, updating the histogram only for the
+// cores whose coefficient differs from the current vector, and reports how
+// many changed. An unprimed cursor treats Advance as Reset. On error the
+// cursor is unchanged.
+func (cu *Cursor) Advance(next []int) (changed int, err error) {
+	if !cu.primed {
+		return len(next), cu.Reset(next)
+	}
+	if len(next) != len(cu.scaling) {
+		return 0, fmt.Errorf("metrics: cursor advance with %d entries, platform has %d cores", len(next), len(cu.scaling))
+	}
+	// Validate the changed coordinates before touching any count, so a bad
+	// vector cannot leave a half-applied histogram behind.
+	for c, s := range next {
+		if s == cu.scaling[c] {
+			continue
+		}
+		if s < 1 || s > len(cu.b.entryAt[cu.b.class[c]]) {
+			return 0, fmt.Errorf("metrics: cursor advance: core %d coefficient %d outside [1,%d]", c, s, len(cu.b.entryAt[cu.b.class[c]]))
+		}
+	}
+	for c, s := range next {
+		old := cu.scaling[c]
+		if s == old {
+			continue
+		}
+		row := cu.b.entryAt[cu.b.class[c]]
+		cu.cnt[row[old-1]]--
+		cu.cnt[row[s-1]]++
+		cu.scaling[c] = s
+		changed++
+	}
+	return changed, nil
+}
+
+// NominalPower returns the current vector's nominal power; see
+// Bounds.NominalPower.
+func (cu *Cursor) NominalPower() float64 { return cu.b.nominalFromHist(cu.cnt) }
+
+// TMLowerBound returns the current vector's admissible T_M lower bound; see
+// Bounds.TMLowerBound.
+func (cu *Cursor) TMLowerBound() float64 { return cu.b.tmLowerBoundFromHist(cu.cnt) }

@@ -44,16 +44,22 @@ type Evaluator struct {
 	regBits  []int64    // width of inventory register i, by index
 
 	// Per-core scratch.
-	coreMask  [][]uint64
-	coreLoads []int
-	util      []float64
+	coreMask    [][]uint64
+	coreLoads   []int
+	coreRegBits []int64
+	util        []float64
 
 	// Bound per-scaling context.
 	bound        bool
 	lambdaSec    []float64
 	lambdaCyc    []float64
+	changed      []int // BindDelta scratch
 	nominalHz    float64
 	baselineBits int64
+
+	// Last-evaluation context for EvaluateDelta.
+	haveEval bool
+	lastM    sched.Mapping
 
 	ev Evaluation
 }
@@ -106,11 +112,14 @@ func NewEvaluator(g *taskgraph.Graph, p *arch.Platform, ser faults.SERModel, opt
 		regBits:      regBits,
 		coreMask:     coreMask,
 		coreLoads:    make([]int, cores),
+		coreRegBits:  make([]int64, cores),
 		util:         make([]float64, cores),
 		lambdaSec:    make([]float64, cores),
 		lambdaCyc:    make([]float64, cores),
+		changed:      make([]int, 0, cores),
 		nominalHz:    p.NominalHz(),
 		baselineBits: p.BaselineBits(),
+		lastM:        make(sched.Mapping, 0, n),
 	}
 	e.ev.PerCore = make([]CoreMetrics, cores)
 	return e, nil
@@ -130,17 +139,51 @@ func (e *Evaluator) SER() faults.SERModel { return e.ser }
 
 // Bind pins the scaling vector for subsequent Evaluate calls, precomputing
 // the per-core λ rates. It invalidates any borrowed Evaluation.
+//
+// A rebind diffs against the current vector and re-derives the frequency
+// and λ rates of the changed cores only — each rate is a pure per-core
+// function of the operating point, so the delta path is bit-identical to a
+// full bind. Successive vectors of a combination stream differ in a few
+// coefficients, making the rebind O(changed) transcendental math instead of
+// O(cores).
 func (e *Evaluator) Bind(scaling []int) error {
-	if err := e.sch.Bind(scaling); err != nil {
+	if !e.bound {
+		if err := e.sch.Bind(scaling); err != nil {
+			return err
+		}
+		e.bound = true
+		e.haveEval = false
+		return e.rebindLambdas(nil)
+	}
+	changed, err := e.sch.BindDelta(scaling, e.changed[:0])
+	e.changed = changed[:0]
+	if err != nil {
 		return err
 	}
-	for c, s := range e.sch.Scaling() {
-		level := e.p.MustCoreLevel(c, s)
-		e.lambdaSec[c] = e.ser.RatePerSec(level.Vdd)
-		e.lambdaCyc[c] = e.ser.RatePerCycle(level.Vdd, level.FreqHz())
+	e.haveEval = false
+	return e.rebindLambdas(changed)
+}
+
+// rebindLambdas re-derives the per-core λ rates for the given cores (nil
+// means all).
+func (e *Evaluator) rebindLambdas(cores []int) error {
+	s := e.sch.Scaling()
+	if cores == nil {
+		for c := range s {
+			e.bindLambda(c, s[c])
+		}
+		return nil
 	}
-	e.bound = true
+	for _, c := range cores {
+		e.bindLambda(c, s[c])
+	}
 	return nil
+}
+
+func (e *Evaluator) bindLambda(c, s int) {
+	level := e.p.MustCoreLevel(c, s)
+	e.lambdaSec[c] = e.ser.RatePerSec(level.Vdd)
+	e.lambdaCyc[c] = e.ser.RatePerCycle(level.Vdd, level.FreqHz())
 }
 
 // Scaling returns the bound scaling vector. The slice is shared; do not
@@ -151,9 +194,96 @@ func (e *Evaluator) Scaling() []int { return e.sch.Scaling() }
 // against eqs. (3), (5), (7), (8). The result is borrowed; see the type
 // comment.
 func (e *Evaluator) Evaluate(m sched.Mapping) (*Evaluation, error) {
+	return e.evaluate(m, false)
+}
+
+// EvaluateDelta re-evaluates the mapping of the most recent Evaluate call
+// after moving the bound scaling from prev to next. prev must equal the
+// currently bound vector (the caller names both ends of the move
+// explicitly, so a stale evaluator is an error rather than a silent
+// mis-evaluation). Only the changed cores' frequency and λ terms are
+// re-derived; the mapping-dependent register-pressure profile — which
+// scaling cannot change — is reused outright. When no changed core hosts a
+// task the schedule provably cannot move either (idle cores never appear
+// as an endpoint of a task or a cross-core token, and their power and Γ
+// terms are exactly zero at every level), so the borrowed Evaluation is
+// patched in O(changed); otherwise the schedule is recomputed. Either way
+// the result is bit-identical to a full Bind(next) + Evaluate(mapping).
+//
+// The returned Evaluation is borrowed under the usual contract, and the
+// evaluator is left bound to next.
+func (e *Evaluator) EvaluateDelta(prev, next []int) (*Evaluation, error) {
+	if !e.bound || !e.haveEval {
+		return nil, fmt.Errorf("metrics: EvaluateDelta called before Evaluate")
+	}
+	cur := e.sch.Scaling()
+	if len(prev) != len(cur) {
+		return nil, fmt.Errorf("metrics: EvaluateDelta prev has %d entries, platform has %d cores", len(prev), len(cur))
+	}
+	for c := range prev {
+		if prev[c] != cur[c] {
+			return nil, fmt.Errorf("metrics: EvaluateDelta prev %v does not match the bound scaling %v", prev, cur)
+		}
+	}
+	changed, err := e.sch.BindDelta(next, e.changed[:0])
+	e.changed = changed[:0]
+	if err != nil {
+		return nil, err
+	}
+	scheduleSafe := true
+	for _, c := range changed {
+		e.bindLambda(c, next[c])
+		if e.coreLoads[c] > 0 {
+			scheduleSafe = false
+		}
+	}
+	if !scheduleSafe {
+		// A loaded core moved: timing can change, so re-schedule — but the
+		// register-pressure profile of the unchanged mapping is reused.
+		return e.evaluate(e.lastM, true)
+	}
+	// Every changed core is idle under the last mapping: the schedule, the
+	// power sum (α = 0 terms are exactly zero at any level) and every Γ
+	// term are untouched; only the idle cores' λ rows need patching.
+	for _, c := range changed {
+		cm := &e.ev.PerCore[c]
+		cm.LambdaPerSec = e.lambdaSec[c]
+		cm.Lambda = e.lambdaCyc[c]
+	}
+	return &e.ev, nil
+}
+
+// Makespan schedules m at the bound scaling and returns only the pipelined
+// makespan T_M and its deadline verdict, skipping the register-pressure,
+// Γ and power pipeline entirely. The value is bit-identical to the
+// TMSeconds/MeetsDeadline an Evaluate of the same mapping would produce —
+// same scheduler, same arithmetic — at roughly the cost of the schedule
+// alone, which is what feasibility probes that discard everything but the
+// verdict want. Like Evaluate, it reuses (and therefore invalidates) the
+// scheduler's borrowed buffers: a subsequent EvaluateDelta is an error
+// until the next full Evaluate.
+func (e *Evaluator) Makespan(m sched.Mapping) (tmSeconds float64, meetsDeadline bool, err error) {
+	if !e.bound {
+		return 0, false, fmt.Errorf("metrics: Makespan called before Bind")
+	}
+	e.haveEval = false
+	s, err := e.sch.Schedule(m)
+	if err != nil {
+		return 0, false, err
+	}
+	tm := s.PipelinedMakespanSeconds(e.opt.Iterations)
+	return tm, e.opt.DeadlineSec <= 0 || tm <= e.opt.DeadlineSec, nil
+}
+
+// evaluate is the shared implementation of Evaluate and EvaluateDelta's
+// re-schedule path. With reuseProfile set, m is the mapping of the previous
+// call and the per-core load counts and register-pressure popcounts are
+// reused instead of recomputed.
+func (e *Evaluator) evaluate(m sched.Mapping, reuseProfile bool) (*Evaluation, error) {
 	if !e.bound {
 		return nil, fmt.Errorf("metrics: Evaluate called before Bind")
 	}
+	e.haveEval = false
 	s, err := e.sch.Schedule(m)
 	if err != nil {
 		return nil, err
@@ -170,21 +300,40 @@ func (e *Evaluator) Evaluate(m sched.Mapping) (*Evaluation, error) {
 	ev.Gamma = 0
 	ev.PowerW = 0
 
-	// Per-core register pressure: OR the footprint bitmasks of the tasks on
-	// each core, then sum the widths of the set bits (eq. 8).
-	for c := 0; c < cores; c++ {
-		e.coreLoads[c] = 0
-		row := e.coreMask[c]
-		for w := range row {
-			row[w] = 0
+	if !reuseProfile {
+		// Per-core register pressure: OR the footprint bitmasks of the
+		// tasks on each core, then sum the widths of the set bits (eq. 8).
+		// The profile depends only on the mapping, so EvaluateDelta's
+		// re-schedule path keeps it.
+		for c := 0; c < cores; c++ {
+			e.coreLoads[c] = 0
+			row := e.coreMask[c]
+			for w := range row {
+				row[w] = 0
+			}
 		}
-	}
-	for t, c := range m {
-		e.coreLoads[c]++
-		row := e.coreMask[c]
-		for w, word := range e.taskMask[t] {
-			row[w] |= word
+		for t, c := range m {
+			e.coreLoads[c]++
+			row := e.coreMask[c]
+			for w, word := range e.taskMask[t] {
+				row[w] |= word
+			}
 		}
+		for c := 0; c < cores; c++ {
+			var rb int64
+			if e.coreLoads[c] > 0 {
+				for w, word := range e.coreMask[c] {
+					base := w * 64
+					for word != 0 {
+						i := bits.TrailingZeros64(word)
+						rb += e.regBits[base+i]
+						word &= word - 1
+					}
+				}
+			}
+			e.coreRegBits[c] = rb
+		}
+		e.lastM = append(e.lastM[:0], m...)
 	}
 
 	horizon := ev.TMSeconds
@@ -206,16 +355,7 @@ func (e *Evaluator) Evaluate(m sched.Mapping) (*Evaluation, error) {
 		}
 		e.util[c] = cm.Utilization
 		if e.coreLoads[c] > 0 {
-			var rb int64
-			for w, word := range e.coreMask[c] {
-				base := w * 64
-				for word != 0 {
-					i := bits.TrailingZeros64(word)
-					rb += e.regBits[base+i]
-					word &= word - 1
-				}
-			}
-			cm.RegBits = rb
+			cm.RegBits = e.coreRegBits[c]
 			cm.BaselineBits = e.baselineBits
 			cm.ExposureSec = ev.TMSeconds
 		}
@@ -230,6 +370,7 @@ func (e *Evaluator) Evaluate(m sched.Mapping) (*Evaluation, error) {
 	}
 	ev.PowerW = pw
 	ev.MeetsDeadline = e.opt.DeadlineSec <= 0 || ev.TMSeconds <= e.opt.DeadlineSec
+	e.haveEval = true
 	return ev, nil
 }
 

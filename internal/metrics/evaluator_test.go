@@ -133,3 +133,74 @@ func TestZeroSERModel(t *testing.T) {
 		t.Error("zero SER degenerated power/timing")
 	}
 }
+
+// TestMakespanMatchesEvaluate: the makespan-only fast path must reproduce
+// Evaluate's TMSeconds and deadline verdict bit-for-bit — the feasibility
+// probe's hill climb runs on it and its accept/reject sequence must not
+// change — and, having clobbered the scheduler's buffers without refreshing
+// the metrics pipeline, it must invalidate EvaluateDelta.
+func TestMakespanMatchesEvaluate(t *testing.T) {
+	graphs := []*taskgraph.Graph{
+		taskgraph.MPEG2(),
+		taskgraph.Fig8(),
+		taskgraph.MustRandom(taskgraph.DefaultRandomConfig(40), 7),
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for _, g := range graphs {
+		p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+		opt := Options{Iterations: 3, DeadlineSec: 0.002}
+		ref, err := NewEvaluator(g, p, ser(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewEvaluator(g, p, ser(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scaling := range [][]int{{1, 1, 1, 1}, {2, 2, 3, 2}, {3, 3, 3, 3}} {
+			if err := ref.Bind(scaling); err != nil {
+				t.Fatal(err)
+			}
+			if err := fast.Bind(scaling); err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 25; trial++ {
+				m := sched.RandomMapping(rng, g.N(), 4)
+				want, err := ref.Evaluate(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tm, meets, err := fast.Makespan(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tm != want.TMSeconds || meets != want.MeetsDeadline {
+					t.Fatalf("%s scaling %v: Makespan (%v, %v) != Evaluate (%v, %v)",
+						g.Name(), scaling, tm, meets, want.TMSeconds, want.MeetsDeadline)
+				}
+			}
+		}
+	}
+
+	// Makespan invalidates the delta path until the next full Evaluate.
+	g := taskgraph.MPEG2()
+	p := arch.MustNewPlatform(4, arch.ARM7Levels3())
+	e, err := NewEvaluator(g, p, ser(), Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []int{2, 2, 2, 2}
+	if err := e.Bind(s); err != nil {
+		t.Fatal(err)
+	}
+	m := sched.RoundRobin(g.N(), 4)
+	if _, err := e.Evaluate(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Makespan(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EvaluateDelta(s, []int{2, 2, 2, 3}); err == nil {
+		t.Fatal("EvaluateDelta after Makespan did not error")
+	}
+}

@@ -16,6 +16,14 @@ type agendaEvent struct {
 	task   taskgraph.TaskID // completing task or token target
 }
 
+// agendaLess is the agenda's strict total order: earliest timestamp first,
+// insertion sequence breaking ties. seq is unique, so the minimum is unique
+// and any correct priority queue yields the same event order — the agenda
+// heap below pops events in exactly the sequence a linear min-scan would.
+func agendaLess(a, b agendaEvent) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
 // Scheduler is a reusable list scheduler pinned to a (graph, platform) pair.
 // Bind selects the per-core scaling vector; Schedule then list-schedules any
 // mapping without allocating: every internal buffer (agenda, ready pools,
@@ -36,7 +44,8 @@ type Scheduler struct {
 	scaling []int
 	freq    []float64
 
-	// Scratch reused across Schedule calls.
+	// Scratch reused across Schedule calls. agenda is a binary min-heap
+	// ordered by agendaLess.
 	remainingPreds []int
 	agenda         []agendaEvent
 	batch          []agendaEvent
@@ -96,6 +105,40 @@ func (s *Scheduler) Bind(scaling []int) error {
 	return nil
 }
 
+// BindDelta rebinds only the cores whose coefficient differs from the
+// currently bound vector, appending their indices to changed (typically a
+// reused buffer) and returning the extended slice. It requires a prior
+// successful Bind; per-core frequency work is done only for the changed
+// cores, so a near-identical successor vector costs O(changed) float math
+// (the diff itself is an O(cores) integer scan). Validation happens before
+// any state is touched, so on error the binding is unchanged. Like Bind, it
+// invalidates any borrowed Schedule.
+func (s *Scheduler) BindDelta(next []int, changed []int) ([]int, error) {
+	if s.freq[0] == 0 {
+		return changed, fmt.Errorf("sched: BindDelta called before Bind")
+	}
+	if len(next) != len(s.scaling) {
+		return changed, fmt.Errorf("sched: scaling vector has %d entries, platform has %d cores", len(next), len(s.scaling))
+	}
+	for c, v := range next {
+		if v == s.scaling[c] {
+			continue
+		}
+		if _, err := s.p.CoreLevel(c, v); err != nil {
+			return changed, err
+		}
+	}
+	for c, v := range next {
+		if v == s.scaling[c] {
+			continue
+		}
+		s.scaling[c] = v
+		s.freq[c] = s.p.MustCoreLevel(c, v).FreqHz()
+		changed = append(changed, c)
+	}
+	return changed, nil
+}
+
 // Scaling returns the bound scaling vector. The slice is shared; do not
 // mutate.
 func (s *Scheduler) Scaling() []int { return s.scaling }
@@ -130,20 +173,8 @@ func (s *Scheduler) Schedule(m Mapping) (*Schedule, error) {
 
 	seq := 0
 	push := func(at float64, isStop bool, task taskgraph.TaskID) {
-		s.agenda = append(s.agenda, agendaEvent{at, seq, isStop, task})
+		s.heapPush(agendaEvent{at, seq, isStop, task})
 		seq++
-	}
-	popEarliest := func() agendaEvent {
-		best := 0
-		for i := 1; i < len(s.agenda); i++ {
-			if s.agenda[i].at < s.agenda[best].at ||
-				(s.agenda[i].at == s.agenda[best].at && s.agenda[i].seq < s.agenda[best].seq) {
-				best = i
-			}
-		}
-		e := s.agenda[best]
-		s.agenda = append(s.agenda[:best], s.agenda[best+1:]...)
-		return e
 	}
 
 	scheduledCount := 0
@@ -186,17 +217,13 @@ func (s *Scheduler) Schedule(m Mapping) (*Schedule, error) {
 
 	for len(s.agenda) > 0 {
 		// Batch all events at the same timestamp before dispatching so a
-		// completion and a token arrival at time t see each other.
-		ev := popEarliest()
-		now := ev.at
-		s.batch = append(s.batch[:0], ev)
-		for len(s.agenda) > 0 {
-			next := popEarliest()
-			if next.at != now {
-				s.agenda = append(s.agenda, next)
-				break
-			}
-			s.batch = append(s.batch, next)
+		// completion and a token arrival at time t see each other. Heap pops
+		// arrive in (at, seq) order, so the batch is seq-ascending within
+		// the timestamp — the same order the old linear min-scan produced.
+		now := s.agenda[0].at
+		s.batch = s.batch[:0]
+		for len(s.agenda) > 0 && s.agenda[0].at == now {
+			s.batch = append(s.batch, s.heapPop())
 		}
 		s.touchedList = s.touchedList[:0]
 		for _, e := range s.batch {
@@ -259,6 +286,48 @@ func (s *Scheduler) Schedule(m Mapping) (*Schedule, error) {
 		sc.busySec[c] = float64(sc.busyCycles[c]) / s.freq[c]
 	}
 	return sc, nil
+}
+
+// heapPush inserts an event into the agenda min-heap. Hand-rolled rather
+// than container/heap: the interface indirection and per-op allocations of
+// the stdlib adapter are measurable at this call frequency, and the agenda
+// is the scheduler's innermost data structure.
+func (s *Scheduler) heapPush(e agendaEvent) {
+	s.agenda = append(s.agenda, e)
+	i := len(s.agenda) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !agendaLess(s.agenda[i], s.agenda[parent]) {
+			break
+		}
+		s.agenda[i], s.agenda[parent] = s.agenda[parent], s.agenda[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the agenda's (at, seq)-minimum event.
+func (s *Scheduler) heapPop() agendaEvent {
+	top := s.agenda[0]
+	last := len(s.agenda) - 1
+	s.agenda[0] = s.agenda[last]
+	s.agenda = s.agenda[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && agendaLess(s.agenda[l], s.agenda[small]) {
+			small = l
+		}
+		if r < last && agendaLess(s.agenda[r], s.agenda[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.agenda[i], s.agenda[small] = s.agenda[small], s.agenda[i]
+		i = small
+	}
+	return top
 }
 
 // Clone returns an independent deep copy of the schedule, safe to retain

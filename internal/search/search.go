@@ -188,6 +188,11 @@ func annealOnce(p Problem) (*Result, error) {
 		return res, nil
 	}
 
+	// Walk scratch: the candidate buffer and load counts are reused across
+	// every move; accepting a move swaps the buffers instead of cloning.
+	scratch := make(sched.Mapping, len(cur))
+	loads := make([]int, p.Cores)
+
 	// Calibrate the temperature scale from sampled neighbor deltas so the
 	// schedule is invariant to affine shifts of the objective; the samples
 	// consume search budget so every objective gets the same total
@@ -204,7 +209,7 @@ func annealOnce(p Problem) (*Result, error) {
 			if err := p.Ctx.Err(); err != nil {
 				return nil, err
 			}
-			nb := Neighbor(rng, cur, p.Cores)
+			nb := NeighborInto(rng, scratch, cur, p.Cores, loads)
 			c, err := p.Evaluate(nb)
 			if err != nil {
 				return nil, err
@@ -235,7 +240,7 @@ func annealOnce(p Problem) (*Result, error) {
 		if err := p.Ctx.Err(); err != nil {
 			return nil, err
 		}
-		neighbor := Neighbor(rng, cur, p.Cores)
+		neighbor := NeighborInto(rng, scratch, cur, p.Cores, loads)
 		c, err := p.Evaluate(neighbor)
 		if err != nil {
 			return nil, err
@@ -249,7 +254,7 @@ func annealOnce(p Problem) (*Result, error) {
 			accept = delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
 		}
 		if accept {
-			cur = neighbor
+			cur, scratch = neighbor, cur
 			curCost = c
 			res.Accepted++
 		}
@@ -269,31 +274,46 @@ func annealOnce(p Problem) (*Result, error) {
 // architecture-allocation premise that every allocated core hosts at least
 // one task (Fig. 6 line 4); swaps preserve it trivially.
 func Neighbor(rng *rand.Rand, m sched.Mapping, cores int) sched.Mapping {
+	return NeighborInto(rng, make(sched.Mapping, len(m)), m, cores, make([]int, cores))
+}
+
+// NeighborInto is the allocation-free core of Neighbor: it writes the
+// neighbor of m into dst (which must have len(m)) using loads (at least
+// cores entries) as per-core load scratch, and returns dst. The random draw
+// sequence is identical to Neighbor's, so swapping one for the other never
+// changes a search trajectory.
+func NeighborInto(rng *rand.Rand, dst, m sched.Mapping, cores int, loads []int) sched.Mapping {
 	n := len(m)
-	neighbor := m.Clone()
+	copy(dst, m)
 	if n < 2 || cores < 2 {
-		return neighbor
+		return dst
 	}
-	loads := neighbor.CoreLoads(cores)
+	loads = loads[:cores]
+	for i := range loads {
+		loads[i] = 0
+	}
+	for _, c := range dst {
+		loads[c]++
+	}
 	mustKeepAll := n >= cores
 	for attempt := 0; attempt < 8; attempt++ {
 		if rng.Intn(2) == 0 {
 			t := rng.Intn(n)
-			if mustKeepAll && loads[neighbor[t]] < 2 {
+			if mustKeepAll && loads[dst[t]] < 2 {
 				continue // moving t would empty its core
 			}
 			c := rng.Intn(cores - 1)
-			if c >= neighbor[t] {
+			if c >= dst[t] {
 				c++
 			}
-			neighbor[t] = c
-			return neighbor
+			dst[t] = c
+			return dst
 		}
 		a, b := rng.Intn(n), rng.Intn(n)
-		if a != b && neighbor[a] != neighbor[b] {
-			neighbor[a], neighbor[b] = neighbor[b], neighbor[a]
-			return neighbor
+		if a != b && dst[a] != dst[b] {
+			dst[a], dst[b] = dst[b], dst[a]
+			return dst
 		}
 	}
-	return neighbor
+	return dst
 }

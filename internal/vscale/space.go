@@ -200,36 +200,87 @@ func (sp *Space) Next(prev []int) (next []int, ok bool) {
 		return nil, false
 	}
 	next = append([]int(nil), prev...)
+	if !sp.advance(next, make([]int, len(sp.classPos))) {
+		return nil, false
+	}
+	return next, true
+}
+
+// advance mutates cur to its successor in place, using last (one slot per
+// class) as scratch; it reports false at the end of the enumeration, leaving
+// cur untouched. cur must be a canonical vector. This is the allocation-free
+// core of Next, Iter and Frontier.
+//
+// The transition rule generalizes Fig. 5(a): find the right-most core whose
+// coefficient exceeds 1, decrement it, and reset every core to its right to
+// the largest coefficient its table and its class's non-increasing
+// constraint admit.
+func (sp *Space) advance(cur []int, last []int) bool {
 	j := -1
-	for i := len(next) - 1; i >= 0; i-- {
-		if next[i] > 1 {
+	for i := len(cur) - 1; i >= 0; i-- {
+		if cur[i] > 1 {
 			j = i
 			break
 		}
 	}
 	if j < 0 {
-		return nil, false
+		return false
 	}
-	next[j]--
+	cur[j]--
 	// Maximal valid completion of the suffix: each core takes its table cap,
 	// clamped by the nearest preceding same-class core.
-	last := make([]int, len(sp.classPos))
 	for i := range last {
 		last[i] = -1
 	}
 	for i := 0; i <= j; i++ {
 		last[sp.class[i]] = i
 	}
-	for i := j + 1; i < len(next); i++ {
+	for i := j + 1; i < len(cur); i++ {
 		v := sp.caps[i]
 		k := sp.class[i]
-		if p := last[k]; p >= 0 && next[p] < v {
-			v = next[p]
+		if p := last[k]; p >= 0 && cur[p] < v {
+			v = cur[p]
 		}
-		next[i] = v
+		cur[i] = v
 		last[k] = i
 	}
-	return next, true
+	return true
+}
+
+// Iter streams the enumeration with a single reusable vector — the
+// allocation-free form of Frontier for hot loops. The slice returned by
+// Next is BORROWED: it is valid only until the following Next call; copy it
+// to retain. Index is the stable enumeration index (equal to the stream
+// position for this full in-order walk).
+type Iter struct {
+	sp        *Space
+	cur, last []int
+	idx       int
+	started   bool
+	done      bool
+}
+
+// Iter returns an iterator positioned before the first vector.
+func (sp *Space) Iter() *Iter {
+	return &Iter{sp: sp, cur: sp.Start(), last: make([]int, len(sp.classPos))}
+}
+
+// Next advances and returns the borrowed current vector and its enumeration
+// index; ok is false when the stream is exhausted.
+func (it *Iter) Next() (scaling []int, idx int, ok bool) {
+	if it.done {
+		return nil, 0, false
+	}
+	if !it.started {
+		it.started = true
+		return it.cur, 0, true
+	}
+	if !it.sp.advance(it.cur, it.last) {
+		it.done = true
+		return nil, 0, false
+	}
+	it.idx++
+	return it.cur, it.idx, true
 }
 
 // multiset returns the number of non-increasing sequences of length n over
@@ -353,25 +404,18 @@ func (sp *Space) Canonical(s []int) []int {
 }
 
 // Frontier streams the whole enumeration in order, with Combo.Index equal to
-// the stream position.
+// the stream position. Each Combo owns its Scaling; use Iter to stream
+// without the per-combination copy.
 func (sp *Space) Frontier() *Frontier {
-	cur := sp.Start()
-	started := false
-	i := -1
+	it := sp.Iter()
 	return &Frontier{
 		size: sp.Count(),
 		next: func() (Combo, bool) {
-			if !started {
-				started = true
-			} else {
-				next, ok := sp.Next(cur)
-				if !ok {
-					return Combo{}, false
-				}
-				cur = next
+			s, i, ok := it.Next()
+			if !ok {
+				return Combo{}, false
 			}
-			i++
-			return Combo{Index: i, Scaling: append([]int(nil), cur...)}, true
+			return Combo{Index: i, Scaling: append([]int(nil), s...)}, true
 		},
 	}
 }
@@ -424,6 +468,14 @@ func (sp *Space) SampledFrontier(budget int, seed int64) (*Frontier, error) {
 // Generation is lazy best-first search over the per-core speed-up lattice
 // from the all-slowest vector; ties are emitted in ascending
 // enumeration-index order.
+//
+// The total is reduced class-major — for each symmetry class in
+// first-occurrence order, count·weight per level in ascending level order —
+// the exact accumulation order of arch.Platform.DynamicPower and the
+// metrics bound histogram. Scaling such a sum by a positive constant is
+// monotone even after float rounding, so "ascending weight" here is
+// bit-consistent with "ascending nominal power" everywhere else in the
+// system, 64 cores or 4.
 func (sp *Space) RankedFrontier(weight [][]float64) (*Frontier, error) {
 	if len(weight) != len(sp.caps) {
 		return nil, fmt.Errorf("vscale: %d weight columns for %d cores", len(weight), len(sp.caps))
@@ -450,8 +502,19 @@ func (sp *Space) RankedFrontier(weight [][]float64) (*Frontier, error) {
 	}
 	weightOf := func(s []int) float64 {
 		var w float64
-		for c, v := range s {
-			w += weight[c][v-1]
+		for _, pos := range sp.classPos {
+			col := weight[pos[0]]
+			for lvl := 1; lvl <= sp.caps[pos[0]]; lvl++ {
+				n := 0
+				for _, c := range pos {
+					if s[c] == lvl {
+						n++
+					}
+				}
+				if n > 0 {
+					w += float64(n) * col[lvl-1]
+				}
+			}
 		}
 		return w
 	}
@@ -466,8 +529,15 @@ func (sp *Space) RankedFrontier(weight [][]float64) (*Frontier, error) {
 		}
 	}
 	start := sp.Start()
-	h := &rankedHeap{{scaling: start, weight: weightOf(start)}}
-	seen := map[string]struct{}{fmt.Sprint(start): {}}
+	startRank, err := sp.Rank(start)
+	if err != nil {
+		return nil, err // unreachable: Start is canonical
+	}
+	h := &rankedHeap{{scaling: start, weight: weightOf(start), rank: startRank}}
+	// Visited vectors are keyed by enumeration index — computed once per
+	// generated node — so deduplication and tie ordering never re-rank or
+	// build string keys.
+	seen := map[int]struct{}{startRank: {}}
 	return &Frontier{
 		size: sp.Count(),
 		next: func() (Combo, bool) {
@@ -480,11 +550,7 @@ func (sp *Space) RankedFrontier(weight [][]float64) (*Frontier, error) {
 			for h.Len() > 0 && (*h)[0].weight <= batch[0].weight {
 				batch = append(batch, heap.Pop(h).(rankedNode))
 			}
-			sort.Slice(batch, func(a, b int) bool {
-				ra, _ := sp.Rank(batch[a].scaling)
-				rb, _ := sp.Rank(batch[b].scaling)
-				return ra < rb
-			})
+			sort.Slice(batch, func(a, b int) bool { return batch[a].rank < batch[b].rank })
 			cur := batch[0]
 			for _, n := range batch[1:] {
 				heap.Push(h, n)
@@ -501,21 +567,20 @@ func (sp *Space) RankedFrontier(weight [][]float64) (*Frontier, error) {
 				}
 				succ := append([]int(nil), cur.scaling...)
 				succ[i]--
-				key := fmt.Sprint(succ)
-				if _, dup := seen[key]; dup {
+				rank, err := sp.Rank(succ)
+				if err != nil {
+					return Combo{}, false // unreachable: successors stay canonical
+				}
+				if _, dup := seen[rank]; dup {
 					continue
 				}
-				seen[key] = struct{}{}
-				// Recompute from scratch so equal vectors reached along
-				// different speed-up paths carry bit-identical weights and
-				// the tie ordering by enumeration index stays exact.
-				heap.Push(h, rankedNode{scaling: succ, weight: weightOf(succ)})
+				seen[rank] = struct{}{}
+				// Recompute the weight from scratch so equal vectors reached
+				// along different speed-up paths carry bit-identical weights
+				// and the tie ordering by enumeration index stays exact.
+				heap.Push(h, rankedNode{scaling: succ, weight: weightOf(succ), rank: rank})
 			}
-			idx, err := sp.Rank(cur.scaling)
-			if err != nil {
-				return Combo{}, false // unreachable: generated vectors are canonical
-			}
-			return Combo{Index: idx, Scaling: cur.scaling}, true
+			return Combo{Index: cur.rank, Scaling: cur.scaling}, true
 		},
 	}, nil
 }

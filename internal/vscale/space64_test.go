@@ -1,0 +1,202 @@
+package vscale
+
+// 64-core-scale guards for the enumeration machinery the flagship benchmark
+// rests on: rank/unrank round-trips over the full 9405-combination space,
+// the Count overflow guard at genuinely astronomical 64-core shapes, and
+// the ranked frontier's ascending-nominal-power order property on a
+// heterogeneous space.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"seadopt/internal/arch"
+)
+
+// space64 is the flagship shape: 56 two-level cores in one symmetry class
+// plus 8 four-level cores in another — C(57,1)·C(11,3) = 57·165 = 9405.
+func space64(t *testing.T) *Space {
+	t.Helper()
+	caps := make([]int, 64)
+	class := make([]int, 64)
+	for c := 0; c < 64; c++ {
+		caps[c], class[c] = 2, 0
+		if c >= 56 {
+			caps[c], class[c] = 4, 1
+		}
+	}
+	sp, err := NewSpace(caps, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func plat64(t *testing.T) *arch.Platform {
+	t.Helper()
+	types := []arch.ProcType{
+		{Name: "eff", Levels: arch.ARM7Levels2()},
+		{Name: "perf", Levels: arch.ARM7Levels4()},
+	}
+	coreTypes := make([]int, 64)
+	for i := 56; i < 64; i++ {
+		coreTypes[i] = 1
+	}
+	p, err := arch.NewHeterogeneousPlatform(types, coreTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSpace64RankUnrankRoundTrip: over the whole flagship space, Unrank is
+// the inverse of Rank, both agree with the enumeration order, and the
+// borrowed iterator visits exactly the same sequence.
+func TestSpace64RankUnrankRoundTrip(t *testing.T) {
+	sp := space64(t)
+	if got := sp.Count(); got != 9405 {
+		t.Fatalf("Count = %d, want 9405", got)
+	}
+	it := sp.Iter()
+	for i := 0; i < sp.Count(); i++ {
+		s, idx, ok := it.Next()
+		if !ok || idx != i {
+			t.Fatalf("iterator ended early or misindexed at %d (idx %d, ok %v)", i, idx, ok)
+		}
+		r, err := sp.Rank(s)
+		if err != nil || r != i {
+			t.Fatalf("Rank(%v) = %d, %v; want %d", s, r, err, i)
+		}
+		u, err := sp.Unrank(i)
+		if err != nil || fmt.Sprint(u) != fmt.Sprint(s) {
+			t.Fatalf("Unrank(%d) = %v, %v; want %v", i, u, err, s)
+		}
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Error("iterator over-produced")
+	}
+}
+
+// TestSpace64CountOverflowGuard: 64-core shapes whose combination count
+// exceeds int must be rejected at construction, while the flagship shape
+// (9405) sails through.
+func TestSpace64CountOverflowGuard(t *testing.T) {
+	space64(t) // the real shape constructs fine
+
+	// 64 singleton classes × 4 levels: 4^64 ≈ 3.4e38 — far beyond MaxInt64.
+	caps := make([]int, 64)
+	class := make([]int, 64)
+	for c := range caps {
+		caps[c], class[c] = 4, c
+	}
+	if _, err := NewSpace(caps, class); err == nil {
+		t.Fatal("4^64 space accepted; Count would overflow int")
+	} else if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("overflow rejection has unhelpful text: %v", err)
+	}
+
+	// 16 classes of 4 cores × 4 levels: C(7,3)^16 = 35^16 ≈ 5e24 > MaxInt64.
+	caps = caps[:0]
+	class = class[:0]
+	for k := 0; k < 16; k++ {
+		for c := 0; c < 4; c++ {
+			caps = append(caps, 4)
+			class = append(class, k)
+		}
+	}
+	if _, err := NewSpace(caps, class); err == nil {
+		t.Fatal("35^16 space accepted; Count would overflow int")
+	}
+}
+
+// TestSpace64RankedFrontierAscendingNominal: on the heterogeneous flagship
+// space, the ranked frontier must emit every combination exactly once, in
+// ascending class-major-reduced weight with ascending enumeration index as
+// the tiebreak — and, because the platform's nominal power is that weight
+// scaled by a positive constant (a rounding-monotone map), the stream's
+// DynamicPower must never decrease, bit-exactly.
+func TestSpace64RankedFrontierAscendingNominal(t *testing.T) {
+	p := plat64(t)
+	sp, err := PlatformSpace(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := make([][]float64, p.Cores())
+	for c := range weight {
+		levels := p.Levels(c)
+		weight[c] = make([]float64, len(levels))
+		for i, l := range levels {
+			weight[c][i] = l.FreqHz() * l.Vdd * l.Vdd
+		}
+	}
+	// groupedWeight replicates the documented reduction order: per symmetry
+	// class in first-occurrence order, count·weight per level ascending.
+	groupedWeight := func(s []int) float64 {
+		var w float64
+		for _, pos := range sp.classPos {
+			col := weight[pos[0]]
+			for lvl := 1; lvl <= sp.caps[pos[0]]; lvl++ {
+				n := 0
+				for _, c := range pos {
+					if s[c] == lvl {
+						n++
+					}
+				}
+				if n > 0 {
+					w += float64(n) * col[lvl-1]
+				}
+			}
+		}
+		return w
+	}
+
+	// Independent reference: materialize the space and sort by
+	// (grouped weight, index).
+	type ref struct {
+		idx int
+		w   float64
+	}
+	refs := make([]ref, 0, sp.Count())
+	it := sp.Iter()
+	for {
+		s, idx, ok := it.Next()
+		if !ok {
+			break
+		}
+		refs = append(refs, ref{idx: idx, w: groupedWeight(s)})
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].w != refs[j].w {
+			return refs[i].w < refs[j].w
+		}
+		return refs[i].idx < refs[j].idx
+	})
+
+	f, err := sp.RankedFrontier(weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPow := -1.0
+	for i, want := range refs {
+		c, ok := f.Next()
+		if !ok {
+			t.Fatalf("ranked frontier ended at %d of %d", i, len(refs))
+		}
+		if c.Index != want.idx {
+			t.Fatalf("ranked[%d] = index %d, want %d", i, c.Index, want.idx)
+		}
+		pow, err := p.DynamicPower(c.Scaling, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pow < prevPow {
+			t.Fatalf("ranked[%d]: nominal power decreased (%x after %x)", i, pow, prevPow)
+		}
+		prevPow = pow
+	}
+	if _, ok := f.Next(); ok {
+		t.Error("ranked frontier over-produced")
+	}
+}

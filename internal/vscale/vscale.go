@@ -290,19 +290,28 @@ func NewSampledFrontier(cores, levels, budget int, seed int64) (*Frontier, error
 	return sp.SampledFrontier(budget, seed)
 }
 
-// rankedNode is one frontier entry of the ranked generation heap.
+// rankedNode is one frontier entry of the ranked generation heap. rank is
+// the vector's stable enumeration index, computed once at generation; it
+// deduplicates lattice paths and orders weight ties without re-ranking or
+// string keys.
 type rankedNode struct {
 	scaling []int
 	weight  float64
+	rank    int
 }
 
 type rankedHeap []rankedNode
 
-func (h rankedHeap) Len() int           { return len(h) }
-func (h rankedHeap) Less(i, j int) bool { return h[i].weight < h[j].weight }
-func (h rankedHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *rankedHeap) Push(x any)        { *h = append(*h, x.(rankedNode)) }
-func (h *rankedHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h rankedHeap) Len() int { return len(h) }
+func (h rankedHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].rank < h[j].rank
+}
+func (h rankedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankedHeap) Push(x any)   { *h = append(*h, x.(rankedNode)) }
+func (h *rankedHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
 // NewRankedFrontier streams the enumeration in ascending total weight,
 // where a vector's weight is Σ_c levelWeight[s_c-1] (pass per-level dynamic
