@@ -137,6 +137,30 @@ type ExploreProgress = mapping.Progress
 // enumeration; see the strategy constants.
 type ExploreStrategy = mapping.Strategy
 
+// Exploration telemetry types, re-exported for OptimizeOptions.Stats
+// consumers. All are observe-only snapshots: filling them never changes the
+// chosen Design or frontier.
+type (
+	// ExploreStats is the per-run telemetry snapshot — phase clocks,
+	// verdict counters, probe-cache and evaluator statistics, incumbent /
+	// bound / frontier events, and per-worker busy spans.
+	ExploreStats = mapping.ExploreStats
+	// ExplorePhaseStats breaks the run into overlapping per-phase busy
+	// clocks (bounds precompute, enumeration, probe, mapper, fold).
+	ExplorePhaseStats = mapping.PhaseStats
+	// ExploreComboStats counts combination verdicts (evaluated / pruned /
+	// skipped) and mapper invocations.
+	ExploreComboStats = mapping.ComboStats
+	// ExploreEvent is one timestamped incumbent / bound-tightening /
+	// frontier-admission / prune event.
+	ExploreEvent = mapping.ExploreEvent
+	// ExploreWorkerStats is one worker's busy time and combination spans.
+	ExploreWorkerStats = mapping.WorkerStats
+	// EvalStats counts evaluator work (full vs delta re-binds, schedule
+	// patches vs rebuilds).
+	EvalStats = metrics.EvalStats
+)
+
 // Exploration strategies.
 const (
 	// StrategyBranchAndBound (the default) streams the full enumeration
@@ -230,6 +254,12 @@ type OptimizeOptions struct {
 	// exploration's dominance tests (OptimizePareto); 0 selects all three
 	// (power, makespan, Γ). Ignored by the scalar optimizations.
 	Objectives ParetoObjectives
+	// Stats, when non-nil, receives an exploration-telemetry snapshot
+	// after the run: per-phase busy clocks, verdict counters, probe-cache
+	// and evaluator statistics, incumbent/bound events and per-worker
+	// spans. Telemetry is observe-only — the chosen Design/frontier is
+	// byte-identical with Stats set or nil.
+	Stats *ExploreStats
 }
 
 func (o OptimizeOptions) mappingConfig() mapping.Config {
@@ -256,6 +286,18 @@ func (o OptimizeOptions) mappingConfig() mapping.Config {
 		Objectives:        o.Objectives,
 		DiscardPerScaling: true,
 	}
+}
+
+// telemetry installs a collector into cfg when o.Stats is non-nil and
+// returns a snapshot function to run once the exploration finishes. The
+// no-op fast path keeps telemetry-off runs allocation-free.
+func (o OptimizeOptions) telemetry(cfg *mapping.Config) func() {
+	if o.Stats == nil {
+		return func() {}
+	}
+	tel := mapping.NewTelemetry()
+	cfg.Telemetry = tel
+	return func() { *o.Stats = *tel.Stats() }
 }
 
 // Design is an optimized design point.
@@ -302,10 +344,12 @@ func (s *System) Optimize(opts OptimizeOptions) (*Design, error) {
 // exploration stops promptly and returns ctx.Err().
 func (s *System) OptimizeContext(ctx context.Context, opts OptimizeOptions) (*Design, error) {
 	cfg := opts.mappingConfig()
+	snap := opts.telemetry(&cfg)
 	best, _, err := mapping.ExploreContext(ctx, s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg)
 	if err != nil {
 		return nil, err
 	}
+	snap()
 	return &Design{Scaling: best.Scaling, Mapping: best.Mapping, Eval: best.Eval}, nil
 }
 
@@ -332,10 +376,12 @@ func (s *System) OptimizePareto(opts OptimizeOptions) ([]*Design, error) {
 // cancelled the exploration stops promptly and returns ctx.Err().
 func (s *System) OptimizeParetoContext(ctx context.Context, opts OptimizeOptions) ([]*Design, error) {
 	cfg := opts.mappingConfig()
+	snap := opts.telemetry(&cfg)
 	frontier, err := mapping.ExploreParetoContext(ctx, s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg)
 	if err != nil {
 		return nil, err
 	}
+	snap()
 	out := make([]*Design, len(frontier))
 	for i, d := range frontier {
 		out[i] = &Design{Scaling: d.Scaling, Mapping: d.Mapping, Eval: d.Eval}
@@ -374,6 +420,7 @@ func (s *System) OptimizeBaseline(obj BaselineObjective, opts OptimizeOptions) (
 // OptimizeBaselineContext is OptimizeBaseline with cancellation.
 func (s *System) OptimizeBaselineContext(ctx context.Context, obj BaselineObjective, opts OptimizeOptions) (*Design, error) {
 	cfg := opts.mappingConfig()
+	snap := opts.telemetry(&cfg)
 	acfg := anneal.Config{
 		Objective:   obj,
 		SER:         cfg.SER,
@@ -386,6 +433,7 @@ func (s *System) OptimizeBaselineContext(ctx context.Context, obj BaselineObject
 	if err != nil {
 		return nil, err
 	}
+	snap()
 	return &Design{Scaling: best.Scaling, Mapping: best.Mapping, Eval: best.Eval}, nil
 }
 

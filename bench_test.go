@@ -495,6 +495,89 @@ func BenchmarkExplore64CoreBnBRanked(b *testing.B) {
 	benchSystem(b, sys, opts)
 }
 
+// benchTelemetry measures one exploration workload with the telemetry
+// collector attached or absent. With telemetry on it also reports the
+// per-phase wall-clock breakdown the collector recorded, so the benchmark
+// output doubles as the flagship phase profile in BENCH_scale.json.
+func benchTelemetry(b *testing.B, sys *System, opts OptimizeOptions, withTel bool) {
+	b.Helper()
+	var agg ExplorePhaseStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := opts
+		var st *ExploreStats
+		if withTel {
+			st = new(ExploreStats)
+			o.Stats = st
+		}
+		if _, err := sys.Optimize(o); err != nil {
+			b.Fatal(err)
+		}
+		if withTel {
+			agg.BoundsNanos += st.Phases.BoundsNanos
+			agg.RankedSeedNanos += st.Phases.RankedSeedNanos
+			agg.EnumerationNanos += st.Phases.EnumerationNanos
+			agg.ProbeNanos += st.Phases.ProbeNanos
+			agg.MapperNanos += st.Phases.MapperNanos
+			agg.FoldNanos += st.Phases.FoldNanos
+		}
+	}
+	b.StopTimer()
+	if withTel {
+		ms := func(ns int64) float64 { return float64(ns) / float64(b.N) / 1e6 }
+		b.ReportMetric(ms(agg.BoundsNanos), "bounds-ms/op")
+		b.ReportMetric(ms(agg.RankedSeedNanos), "ranked-ms/op")
+		b.ReportMetric(ms(agg.EnumerationNanos), "enum-ms/op")
+		b.ReportMetric(ms(agg.ProbeNanos), "probe-ms/op")
+		b.ReportMetric(ms(agg.MapperNanos), "mapper-ms/op")
+		b.ReportMetric(ms(agg.FoldNanos), "fold-ms/op")
+	}
+}
+
+// BenchmarkTelemetryOverhead16Core pins the observability cost on the
+// 16-core workload: /off is the plain exploration, /on attaches the
+// collector and must stay within the telemetry budget (<2% wall clock).
+func BenchmarkTelemetryOverhead16Core(b *testing.B) {
+	for _, tel := range []bool{false, true} {
+		name := "off"
+		if tel {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			g, dl := bench16Graph(b)
+			sys, err := NewARM7System(g, 16, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchTelemetry(b, sys, OptimizeOptions{
+				DeadlineSec: dl,
+				SearchMoves: 200,
+				Seed:        1,
+				Strategy:    StrategyBranchAndBound,
+			}, tel)
+		})
+	}
+}
+
+// BenchmarkTelemetryFlagship64Core is the flagship phase profile: the
+// ranked 64-core BnB walk of BENCH_scale.json with the collector attached,
+// reporting where its wall clock actually goes (probe vs mapper vs fold).
+// Compare /on against /off at -benchtime 1x for the recorded overhead.
+func BenchmarkTelemetryFlagship64Core(b *testing.B) {
+	for _, tel := range []bool{false, true} {
+		name := "off"
+		if tel {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys, opts := bench64System(b)
+			opts.Strategy = StrategyBranchAndBound
+			opts.Ranked = true
+			benchTelemetry(b, sys, opts, tel)
+		})
+	}
+}
+
 // BenchmarkAblations runs the three design-choice ablation studies
 // (exposure model, greedy seeding, scaling enumeration).
 func BenchmarkAblations(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"seadopt"
+	"seadopt/internal/buildinfo"
 	"seadopt/internal/trace"
 )
 
@@ -53,7 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 2010, "random seed")
 		baseline  = fs.String("baseline", "", "run a soft error-unaware baseline instead: reg, makespan or regtime")
 		gantt     = fs.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
-		stats     = fs.Bool("stats", false, "print structural statistics of the workload graph")
+		stats     = fs.Bool("stats", false, "print structural statistics of the workload graph and, after the run, the exploration telemetry (phase timings, prune/cache counters)")
+		version   = fs.Bool("version", false, "print build version information and exit")
 		traceOut  = fs.String("trace", "", "write a Chrome-tracing JSON of the design's simulation to this file")
 		inject    = fs.Bool("inject", true, "run fault injection on the chosen design")
 		jsonOut   = fs.Bool("json", false, "print the chosen design as wire JSON (the encoding seadoptd serves) instead of text")
@@ -68,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "seadopt:", err)
 		return 1
+	}
+	if *version {
+		fmt.Fprintln(stdout, "seadopt", buildinfo.Read())
+		return 0
 	}
 	// Human-facing narration (progress lines, trace and fault-injection
 	// notices) moves to stderr when stdout is reserved for the
@@ -137,6 +143,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *objs != "" && !*paretoRun {
 		return fail(fmt.Errorf("-objectives needs -pareto"))
 	}
+	// Under -stats the run also collects exploration telemetry; it is
+	// observe-only, so the chosen design is identical either way.
+	var exploreStats *seadopt.ExploreStats
+	if *stats {
+		exploreStats = new(seadopt.ExploreStats)
+	}
 	opts := seadopt.OptimizeOptions{
 		SER:              serOpt,
 		DeadlineSec:      dl,
@@ -148,6 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SampleBudget:     *budget,
 		Ranked:           *ranked,
 		Objectives:       objectives,
+		Stats:            exploreStats,
 	}
 	if *progress {
 		opts.Progress = func(p seadopt.ExploreProgress) {
@@ -194,6 +207,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "[%d] %s", i, d.Summary())
 			}
 		}
+		printExploreStats(narration, exploreStats)
 		if !frontier[0].Eval.MeetsDeadline {
 			fmt.Fprintln(stderr, "warning: no deadline-meeting design exists for this configuration")
 			return 2
@@ -234,6 +248,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, design.Gantt(100))
 		}
 	}
+	printExploreStats(narration, exploreStats)
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, sys, design, iters); err != nil {
 			return fail(err)
@@ -268,6 +283,31 @@ func loadWorkload(name string, tasks int, seed int64) (g *seadopt.Graph, deadlin
 		return g, seadopt.RandomGraphDeadline(tasks), 1, nil
 	default:
 		return nil, 0, 0, fmt.Errorf("unknown graph %q (want mpeg2, fig8 or random)", name)
+	}
+}
+
+// printExploreStats narrates the telemetry snapshot after a run (values are
+// timing-dependent, so this is narration, never golden-compared output).
+func printExploreStats(w io.Writer, st *seadopt.ExploreStats) {
+	if st == nil || st.Passes == 0 {
+		return
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Fprintf(w, "exploration telemetry (%s, parallelism %d, %d pass(es)):\n",
+		st.Strategy, st.Parallelism, st.Passes)
+	fmt.Fprintf(w, "  wall %.1f ms  |  bounds %.1f  ranked %.1f  enum %.1f  probe %.1f  mapper %.1f  fold %.1f ms busy\n",
+		ms(st.WallNanos), ms(st.Phases.BoundsNanos), ms(st.Phases.RankedSeedNanos),
+		ms(st.Phases.EnumerationNanos), ms(st.Phases.ProbeNanos),
+		ms(st.Phases.MapperNanos), ms(st.Phases.FoldNanos))
+	fmt.Fprintf(w, "  combinations: %d total = %d evaluated + %d pruned + %d skipped (mapper ran %d, spared %d)\n",
+		st.Combos.Total, st.Combos.Evaluated, st.Combos.Pruned, st.Combos.Skipped,
+		st.Combos.MapperRuns, st.Combos.MapperSpared)
+	fmt.Fprintf(w, "  probe cache: %d hits / %d misses (%.0f%% hit rate)  delta evals: %d patched / %d rescheduled\n",
+		st.ProbeCache.Hits, st.ProbeCache.Misses, 100*st.ProbeCache.HitRate(),
+		st.Eval.DeltaPatched, st.Eval.DeltaRescheduled)
+	for _, ws := range st.Workers {
+		fmt.Fprintf(w, "  worker %d: %d combinations, %.1f ms busy\n",
+			ws.Worker, ws.Combinations, ms(ws.BusyNanos))
 	}
 }
 

@@ -13,8 +13,13 @@
 //	GET    /v1/jobs/{id}          status + result
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/progress SSE progress stream
-//	GET    /healthz               liveness (503 while draining)
-//	GET    /metrics               Prometheus text metrics
+//	GET    /v1/jobs/{id}/stats    engine telemetry (phase timings, counters)
+//	GET    /v1/jobs/{id}/trace    worker-timeline Chrome trace (perfetto)
+//	GET    /healthz               liveness (503 while draining) + build info
+//	GET    /metrics               Prometheus text metrics (incl. latency histograms)
+//
+// Logs are structured (log/slog) on stderr; -log-format selects text or
+// json and -log-level the minimum severity.
 //
 // On SIGTERM/SIGINT the daemon stops accepting jobs, drains in-flight work
 // for up to -drain-timeout, then aborts whatever remains and exits.
@@ -25,7 +30,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"seadopt"
+	"seadopt/internal/buildinfo"
 	"seadopt/internal/service"
 )
 
@@ -65,8 +72,19 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		objectives   = fs.String("objectives", "", "default pareto objectives for jobs that don't set them: comma-separated subset of power,makespan,gamma")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		pprofOn      = fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
+		logFormat    = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version      = fs.Bool("version", false, "print build version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Println("seadoptd", buildinfo.Read())
+		return nil
+	}
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		return err
 	}
 	if _, err := seadopt.ParseExploreStrategy(*strategy); err != nil {
@@ -93,7 +111,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		if err != nil {
 			return fmt.Errorf("-platform %s: %w", *platformFile, err)
 		}
-		log.Printf("seadoptd default platform: %d cores from %s", defaultPlatform.Cores(), *platformFile)
+		logger.Info("default platform loaded", "cores", defaultPlatform.Cores(), "file", *platformFile)
 	}
 
 	svc := service.New(service.Config{
@@ -106,6 +124,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		DefaultMode:       defaultMode,
 		DefaultObjectives: *objectives,
 		DefaultPlatform:   defaultPlatform,
+		Logger:            logger,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -124,10 +143,11 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		log.Printf("seadoptd profiling endpoints enabled at /debug/pprof/")
+		logger.Info("profiling endpoints enabled", "path", "/debug/pprof/")
 	}
 	hs := &http.Server{Handler: handler}
-	log.Printf("seadoptd listening on %s (%d workers, cache %d entries)", ln.Addr(), *workers, *cacheSize)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", *workers, "cache_entries", *cacheSize, "build", buildinfo.Read().String())
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -145,18 +165,36 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("seadoptd draining (up to %v)...", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Stop accepting HTTP first, then drain the job queue. Both share the
 	// drain budget; Close aborts whatever is still running when it expires.
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("seadoptd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
 	}
 	if err := svc.Close(drainCtx); err != nil {
-		log.Printf("seadoptd: drain deadline exceeded; in-flight jobs were aborted")
+		logger.Warn("drain deadline exceeded; in-flight jobs were aborted")
 		return nil
 	}
-	log.Printf("seadoptd drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
+}
+
+// newLogger builds the daemon's structured logger from the -log-format and
+// -log-level flags.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q (want text or json)", format)
+	}
 }

@@ -135,6 +135,20 @@
 // content-addressed result cache, SSE progress — on these two surfaces; the
 // server core lives in internal/service.
 //
+// # Observability
+//
+// OptimizeOptions.Stats attaches a telemetry collector to any exploration:
+// the run fills the pointed-to ExploreStats with per-phase wall clock
+// (bounds, ranked seeding, enumeration, probe, mapper, fold), combination
+// verdict counters, probe-cache and delta-evaluation hit rates,
+// incumbent/frontier events and per-worker busy spans. Telemetry is
+// observe-only — results and progress are byte-identical with it on or
+// off, at any parallelism. The daemon serves the same snapshot per job
+// (GET /v1/jobs/{id}/stats), renders it as a perfetto-loadable worker
+// timeline (GET /v1/jobs/{id}/trace, internal/trace), aggregates service
+// latencies into Prometheus histograms on /metrics, and logs structured
+// records via log/slog (-log-format, -log-level).
+//
 // The experiment harness regenerating every table and figure of the paper's
 // evaluation lives in cmd/experiments; see EXPERIMENTS.md for the recorded
 // paper-vs-measured comparison.

@@ -1,0 +1,66 @@
+// Package buildinfo exposes the binary's build identity — module version,
+// VCS revision and Go toolchain — read once from the build metadata the Go
+// linker embeds (runtime/debug.ReadBuildInfo). It backs the CLIs' -version
+// flags, the daemon's /healthz payload and the seadoptd_build_info metric.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the binary's build identity.
+type Info struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, suffixed
+	// "+dirty" when the working tree was modified; "unknown" when the
+	// build carried no VCS stamp.
+	Revision string `json:"revision"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// String renders the identity as a one-line -version banner body.
+func (i Info) String() string {
+	return fmt.Sprintf("version %s revision %s (%s)", i.Version, i.Revision, i.Go)
+}
+
+var read = sync.OnceValue(func() Info {
+	info := Info{Version: "(devel)", Revision: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.Go = bi.GoVersion
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		info.Revision = rev
+	}
+	return info
+})
+
+// Read returns the binary's build identity, computed once.
+func Read() Info { return read() }

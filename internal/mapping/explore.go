@@ -392,6 +392,7 @@ func (b *incumbentBoard) unregister(pos int) {
 type scalarFold struct {
 	prune bool
 	board *incumbentBoard
+	tel   *Telemetry // incumbent/bound event sink; nil when detached
 
 	best        *Design
 	bestNominal float64 // the incumbent's own nominal (acceptance rule)
@@ -418,6 +419,9 @@ func (s *scalarFold) seed(nominal float64) {
 	s.domNominal = nominal
 	if s.prune {
 		s.board.publish(nominal)
+	}
+	if s.tel != nil {
+		s.tel.event(EventBound, -1, -1, nominal, 0)
 	}
 }
 
@@ -474,12 +478,20 @@ func (s *scalarFold) fold(o *outcome) {
 	if better {
 		s.best = o.design
 		s.bestNominal = o.nominal
+		tightened := false
 		if o.probed && (!(s.bestProbed || s.seeded) || o.nominal < s.domNominal) {
 			s.domNominal = o.nominal
+			tightened = true
 		}
 		s.bestProbed = o.probed
 		if s.prune && s.bestProbed {
 			s.board.publish(s.domNominal)
+		}
+		if s.tel != nil {
+			s.tel.event(EventIncumbent, o.pos, o.idx, o.nominal, 0)
+			if tightened {
+				s.tel.event(EventBound, o.pos, o.idx, s.domNominal, 0)
+			}
 		}
 	}
 }
@@ -503,6 +515,8 @@ type paretoFold struct {
 	// without a second pass whenever no combination was bound-pruned.
 	scalar *scalarFold
 
+	tel *Telemetry // admission event sink; nil when detached
+
 	mu       sync.RWMutex
 	fold_    *pareto.Fold[*Design]
 	admitted bool // whether annotate's outcome joined the frontier
@@ -513,11 +527,15 @@ func newParetoFold(cfg Config) (*paretoFold, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The embedded scalar fold tracks only the degenerate all-infeasible
+	// verdict; it stays detached from telemetry so its internal acceptance
+	// walk does not masquerade as incumbent events in a Pareto run.
 	return &paretoFold{
 		objectives:  cfg.Objectives,
 		deadlineSec: cfg.DeadlineSec,
 		scalar:      newScalarFold(false),
 		fold_:       f,
+		tel:         cfg.Telemetry,
 	}, nil
 }
 
@@ -567,7 +585,11 @@ func (p *paretoFold) fold(o *outcome) {
 	v := pareto.Vector{Power: o.nominal, Makespan: ev.TMSeconds, Gamma: ev.Gamma}
 	p.mu.Lock()
 	p.admitted = p.fold_.Offer(v, o.idx, o.design)
+	size := p.fold_.Size()
 	p.mu.Unlock()
+	if p.admitted && p.tel != nil {
+		p.tel.event(EventAdmitted, o.pos, o.idx, o.nominal, size)
+	}
 }
 
 func (p *paretoFold) annotate(ev *Progress) {
@@ -644,6 +666,11 @@ func newComboSource(p *arch.Platform, cfg Config, strategy Strategy) (*comboSour
 // pass ran. ok is false when nothing probe-feasible exists; the stream then
 // runs unseeded and the usual degenerate fallback applies.
 func seedRankedIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platform, cfg Config) (nominal float64, ok bool, err error) {
+	tel := cfg.Telemetry
+	if tel != nil {
+		start := tel.now()
+		defer func() { tel.addRanked(tel.now() - start) }()
+	}
 	space, err := vscale.PlatformSpace(p)
 	if err != nil {
 		return 0, false, err
@@ -676,6 +703,9 @@ func seedRankedIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platfo
 	if err != nil {
 		return 0, false, err
 	}
+	if tel != nil {
+		defer func() { tel.addEvalStats(eval.Stats()) }()
+	}
 	mc := &MapContext{Graph: g, Platform: p, Eval: eval, scratch: newComboScratch(g.N(), cores)}
 	for {
 		combo, more := fr.Next()
@@ -697,7 +727,14 @@ func seedRankedIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platfo
 		mc.Ctx = ctx
 		mc.Scaling = eval.Scaling()
 		mc.Seed = comboSeed(cfg.Seed, combo.Index)
-		_, feasible, err := cfg.Probe.feasibleAtScaling(mc, combo.Index, cfg)
+		var t0 int64
+		if tel != nil {
+			t0 = tel.now()
+		}
+		_, feasible, hit, err := cfg.Probe.feasibleAtScaling(mc, combo.Index, cfg)
+		if tel != nil {
+			tel.observeProbe(tel.now()-t0, hit)
+		}
 		if err != nil {
 			return 0, false, err
 		}
@@ -714,6 +751,7 @@ func seedRankedIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platfo
 func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	mapper MapperFunc, cfg Config, prune bool) (best *Design, perScaling []*Design, prunedCount int, err error) {
 	fold := newScalarFold(prune)
+	fold.tel = cfg.Telemetry
 	if prune && cfg.Ranked && cfg.Strategy.withDefault() == StrategyBranchAndBound {
 		if cfg.Probe == nil {
 			cfg.Probe = NewProbeCache()
@@ -792,8 +830,17 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		probe = NewProbeCache()
 	}
 	cores := p.Cores()
+	tel := cfg.Telemetry
+	var t0 int64
+	if tel != nil {
+		tel.beginPass(strategy, workers, workers)
+		t0 = tel.now()
+	}
 	bounds := metrics.NewBounds(g, p, cfg.Iterations)
 	cursor := bounds.Cursor()
+	if tel != nil {
+		tel.addBounds(tel.now() - t0)
+	}
 
 	// Slab pool for per-combination scaling vectors: the token window bounds
 	// outcomes in flight, so at most `window` slabs circulate — taken by the
@@ -839,7 +886,7 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	// so dominated work can be abandoned mid-search.
 	for w := 0; w < workers; w++ {
 		producers.Add(1)
-		go func() {
+		go func(w int) {
 			defer producers.Done()
 			eval, evErr := metrics.NewEvaluator(g, p, cfg.SER,
 				metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
@@ -847,6 +894,9 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 			if evErr == nil {
 				mc = &MapContext{Graph: g, Platform: p, Eval: eval,
 					scratch: newComboScratch(g.N(), cores)}
+				if tel != nil {
+					defer func() { tel.addEvalStats(eval.Stats()) }()
+				}
 			}
 			for o := range jobs {
 				if evErr != nil {
@@ -863,6 +913,10 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					results <- o
 					continue
 				}
+				var spanStart int64
+				if tel != nil {
+					spanStart = tel.now()
+				}
 				o.design, o.probed, o.probeKnown, o.skipCand, o.err = exploreCombo(jctx, mc, mapper, o.scaling, o.idx, cfg, probe, fold)
 				if opts.prune {
 					fold.unregister(o.pos)
@@ -874,9 +928,16 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					o.skipCand = true
 				}
 				jcancel(nil)
+				if tel != nil {
+					kind := "map"
+					if o.design == nil {
+						kind = "skip"
+					}
+					tel.workerSpan(w, spanStart, tel.now(), o.idx, kind)
+				}
 				results <- o
 			}
-		}()
+		}(w)
 	}
 
 	// Dispatcher: streams the combination source in visit order, resolving
@@ -890,7 +951,17 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		defer producers.Done()
 		defer close(jobs)
 		for pos := 0; ; pos++ {
+			// Enumeration-phase clock: only the dispatcher's own work is
+			// timed; waiting on the token window or a worker slot is idle
+			// backpressure, not enumeration.
+			var et0 int64
+			if tel != nil {
+				et0 = tel.now()
+			}
 			scaling, idx, more := src.next()
+			if tel != nil {
+				tel.addEnum(tel.now() - et0)
+			}
 			if !more {
 				return
 			}
@@ -898,6 +969,9 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 			case <-tokens:
 			case <-wctx.Done():
 				return
+			}
+			if tel != nil {
+				et0 = tel.now()
 			}
 			o := outcome{pos: pos, idx: idx}
 			if _, err := cursor.Advance(scaling); err != nil {
@@ -916,14 +990,23 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 				// mathematics but inexact floats.
 				if opts.prune && cfg.DeadlineSec > 0 && o.tmLB > cfg.DeadlineSec*(1+1e-9) {
 					o.pruned = true
+					if tel != nil {
+						tel.addEnum(tel.now() - et0)
+					}
 					results <- o
 					continue
 				}
 			}
 			if opts.prune && fold.dispatchSkip(&o) {
 				o.skipCand = true
+				if tel != nil {
+					tel.addEnum(tel.now() - et0)
+				}
 				results <- o
 				continue
+			}
+			if tel != nil {
+				tel.addEnum(tel.now() - et0)
 			}
 			select {
 			case jobs <- o:
@@ -970,6 +1053,10 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		for next < total && havePending[next%window] && pending[next%window].pos == next {
 			d := &pending[next%window]
 			havePending[next%window] = false
+			var ft0 int64
+			if tel != nil {
+				ft0 = tel.now()
+			}
 
 			// Authoritative branch-and-bound verdict, decided on the
 			// deterministic fold state alone.
@@ -992,6 +1079,9 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 			switch {
 			case d.pruned:
 				prunedCount++
+				if tel != nil {
+					tel.comboVerdict(EventPruned, next, d.idx, d.nominal)
+				}
 				if !cfg.DiscardPerScaling {
 					perScaling = append(perScaling, nil)
 				}
@@ -1002,6 +1092,9 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					cfg.Progress(ev)
 				}
 			case skipped:
+				if tel != nil {
+					tel.comboVerdict(EventSkipped, next, d.idx, d.nominal)
+				}
 				if !cfg.DiscardPerScaling {
 					perScaling = append(perScaling, nil)
 				}
@@ -1012,6 +1105,9 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 					cfg.Progress(ev)
 				}
 			default:
+				if tel != nil {
+					tel.comboVerdict("", next, d.idx, d.nominal)
+				}
 				if !cfg.DiscardPerScaling {
 					perScaling = append(perScaling, d.design)
 				}
@@ -1026,6 +1122,9 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 			putSlab(d.scaling)
 			d.scaling = nil
 			d.design = nil
+			if tel != nil {
+				tel.addFold(tel.now() - ft0)
+			}
 			next++
 			tokens <- struct{}{}
 		}
@@ -1074,14 +1173,31 @@ func exploreCombo(ctx context.Context, mc *MapContext, mapper MapperFunc,
 	// set and differences between them come from mapping alone. If the
 	// probe proves feasibility that the experiment's own mapper missed,
 	// the probe's mapping is the design at this scaling.
-	probeEv, probedFeasible, err := probe.feasibleAtScaling(mc, idx, cfg)
+	tel := cfg.Telemetry
+	var t0 int64
+	if tel != nil {
+		t0 = tel.now()
+	}
+	probeEv, probedFeasible, probeHit, err := probe.feasibleAtScaling(mc, idx, cfg)
+	if tel != nil {
+		tel.observeProbe(tel.now()-t0, probeHit)
+	}
 	if err != nil {
 		return nil, false, false, false, err
 	}
 	if !probedFeasible && fold.mapperSkippable() {
+		if tel != nil {
+			tel.mapperSpared()
+		}
 		return nil, false, true, true, nil
 	}
+	if tel != nil {
+		t0 = tel.now()
+	}
 	m, ev, err := mapper(mc)
+	if tel != nil {
+		tel.observeMapper(tel.now() - t0)
+	}
 	if err != nil {
 		return nil, false, false, false, fmt.Errorf("mapping: scaling %v: %w", scaling, err)
 	}
@@ -1183,17 +1299,20 @@ func NewProbeCache() *ProbeCache {
 // sees the same verdict for the same (graph, platform, scaling, deadline).
 // idx is the combination's stable enumeration index (the cache key). On
 // success it returns the feasible mapping's evaluation (owned by the
-// cache; treat as read-only).
-func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, idx int, cfg Config) (*metrics.Evaluation, bool, error) {
+// cache; treat as read-only). hit reports whether the verdict came from
+// the cache — telemetry only; two callers racing on an uncached index may
+// both miss, so hit totals can vary with worker timing while the verdict
+// itself never does.
+func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, idx int, cfg Config) (*metrics.Evaluation, bool, bool, error) {
 	pc.mu.Lock()
-	ev, hit := pc.m[idx]
+	ev, cached := pc.m[idx]
 	pc.mu.Unlock()
-	if hit {
-		return ev, ev != nil, nil
+	if cached {
+		return ev, ev != nil, true, nil
 	}
 	ev, ok, err := probeFeasible(mc, cfg)
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
 	if !ok {
 		ev = nil
@@ -1201,7 +1320,7 @@ func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, idx int, cfg Config) (*m
 	pc.mu.Lock()
 	pc.m[idx] = ev
 	pc.mu.Unlock()
-	return ev, ok, nil
+	return ev, ok, false, nil
 }
 
 // probeFeasible computes the probe on mc's evaluator; the returned

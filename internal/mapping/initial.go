@@ -85,6 +85,12 @@ type Config struct {
 	// huge enumerations don't retain one Design per combination; callers
 	// that only need the best design (the facade, the service) set it.
 	DiscardPerScaling bool
+	// Telemetry, when non-nil, collects observe-only instrumentation —
+	// per-phase busy clocks, verdict counters, probe-cache and evaluator
+	// stats, incumbent/bound events and per-worker spans — snapshotted via
+	// Telemetry.Stats after the exploration returns. It never influences
+	// any engine decision: results are byte-identical with or without it.
+	Telemetry *Telemetry
 }
 
 // DefaultSearchMoves is the per-scaling neighborhood budget when

@@ -1,0 +1,236 @@
+package mapping
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"seadopt/internal/taskgraph"
+)
+
+// progressFingerprint renders one Progress event byte-comparably. It must
+// run inside the callback: the engine recycles the Scaling slab as soon as
+// the callback returns.
+func progressFingerprint(ev Progress) string {
+	return fmt.Sprintf("i=%d t=%d c=%d s=%v pruned=%v skipped=%v adm=%v fs=%d d=%s",
+		ev.Index, ev.Total, ev.Combination, ev.Scaling, ev.Pruned, ev.Skipped,
+		ev.Admitted, ev.FrontierSize, designFingerprint(ev.Design))
+}
+
+// TestExploreDeterministicTelemetryOnOff is the observability contract:
+// attaching a Telemetry collector changes nothing observable — the chosen
+// design, the perScaling list and the whole Progress stream are
+// byte-identical with telemetry on or off, at parallelism 1, 4 and NumCPU.
+func TestExploreDeterministicTelemetryOnOff(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+
+	type run struct {
+		best string
+		per  []string
+		prog []string
+	}
+	runAt := func(par int, tel *Telemetry) run {
+		c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+		c.SearchMoves = 300
+		c.Parallelism = par
+		c.Telemetry = tel
+		var evs []string
+		c.Progress = func(pr Progress) { evs = append(evs, progressFingerprint(pr)) }
+		best, per, err := Explore(g, p, SEAMapper(c), c)
+		if err != nil {
+			t.Fatalf("parallelism %d telemetry=%v: %v", par, tel != nil, err)
+		}
+		r := run{best: designFingerprint(best), prog: evs}
+		for _, d := range per {
+			r.per = append(r.per, designFingerprint(d))
+		}
+		return r
+	}
+
+	ref := runAt(1, nil)
+	for _, par := range []int{1, 4, runtime.NumCPU()} {
+		got := runAt(par, NewTelemetry())
+		if got.best != ref.best {
+			t.Errorf("parallelism %d with telemetry: best diverged:\n  off: %s\n  on:  %s",
+				par, ref.best, got.best)
+		}
+		if fmt.Sprint(got.per) != fmt.Sprint(ref.per) {
+			t.Errorf("parallelism %d with telemetry: perScaling diverged", par)
+		}
+		if len(got.prog) != len(ref.prog) {
+			t.Fatalf("parallelism %d with telemetry: %d progress events, want %d",
+				par, len(got.prog), len(ref.prog))
+		}
+		for i := range ref.prog {
+			if got.prog[i] != ref.prog[i] {
+				t.Errorf("parallelism %d with telemetry: progress[%d] diverged:\n  off: %s\n  on:  %s",
+					par, i, ref.prog[i], got.prog[i])
+			}
+		}
+	}
+}
+
+// TestExploreDeterministicTelemetryPareto repeats the on/off contract for
+// the Pareto fold: the frontier and its Progress stream (admissions,
+// frontier sizes) are unchanged by an attached collector.
+func TestExploreDeterministicTelemetryPareto(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+
+	runAt := func(par int, tel *Telemetry) (string, []string) {
+		c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+		c.SearchMoves = 300
+		c.Parallelism = par
+		c.Telemetry = tel
+		var evs []string
+		c.Progress = func(pr Progress) { evs = append(evs, progressFingerprint(pr)) }
+		frontier, err := ExplorePareto(g, p, SEAMapper(c), c)
+		if err != nil {
+			t.Fatalf("parallelism %d telemetry=%v: %v", par, tel != nil, err)
+		}
+		fp := ""
+		for _, d := range frontier {
+			fp += designFingerprint(d) + "\n"
+		}
+		return fp, evs
+	}
+
+	refFront, refProg := runAt(1, nil)
+	for _, par := range []int{1, 4, runtime.NumCPU()} {
+		gotFront, gotProg := runAt(par, NewTelemetry())
+		if gotFront != refFront {
+			t.Errorf("parallelism %d with telemetry: frontier diverged:\n  off:\n%s  on:\n%s",
+				par, refFront, gotFront)
+		}
+		if fmt.Sprint(gotProg) != fmt.Sprint(refProg) {
+			t.Errorf("parallelism %d with telemetry: pareto progress stream diverged", par)
+		}
+	}
+}
+
+// TestTelemetryAccounting checks the snapshot's internal consistency: the
+// verdict counters partition the fold total, phase clocks and worker spans
+// are non-negative and within the wall clock's order of magnitude, and the
+// deterministic counters match across parallelism.
+func TestTelemetryAccounting(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+
+	statsAt := func(par int) *ExploreStats {
+		c := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+		c.SearchMoves = 300
+		c.Parallelism = par
+		tel := NewTelemetry()
+		c.Telemetry = tel
+		if _, _, err := Explore(g, p, SEAMapper(c), c); err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return tel.Stats()
+	}
+
+	seq := statsAt(1)
+	if seq.Passes < 1 {
+		t.Fatalf("Passes = %d, want >= 1", seq.Passes)
+	}
+	if got := seq.Combos.Evaluated + seq.Combos.Pruned + seq.Combos.Skipped; got != seq.Combos.Total {
+		t.Errorf("verdicts don't partition: %d+%d+%d != %d",
+			seq.Combos.Evaluated, seq.Combos.Pruned, seq.Combos.Skipped, seq.Combos.Total)
+	}
+	if seq.Combos.Total != 15 { // MPEG2 on 4 cores × 3 levels: C(3+4-1,4) = 15
+		t.Errorf("Combos.Total = %d, want 15", seq.Combos.Total)
+	}
+	if seq.Combos.MapperRuns == 0 {
+		t.Error("MapperRuns = 0: the mapper must have run for the chosen design")
+	}
+	for _, ns := range []int64{
+		seq.WallNanos, seq.Phases.BoundsNanos, seq.Phases.RankedSeedNanos,
+		seq.Phases.EnumerationNanos, seq.Phases.ProbeNanos,
+		seq.Phases.MapperNanos, seq.Phases.FoldNanos,
+	} {
+		if ns < 0 {
+			t.Errorf("negative phase clock: %+v", seq.Phases)
+		}
+	}
+	if seq.Phases.MapperNanos > seq.WallNanos {
+		t.Errorf("sequential mapper busy %d ns exceeds wall %d ns", seq.Phases.MapperNanos, seq.WallNanos)
+	}
+	if len(seq.Workers) != 1 {
+		t.Fatalf("sequential run has %d workers, want 1", len(seq.Workers))
+	}
+	var spanned int64
+	for _, sp := range seq.Workers[0].Spans {
+		if sp.EndNanos < sp.StartNanos {
+			t.Errorf("span ends before it starts: %+v", sp)
+		}
+		spanned++
+	}
+	if spanned != seq.Workers[0].Combinations {
+		t.Errorf("recorded %d spans but counted %d combinations (none should be dropped here)",
+			spanned, seq.Workers[0].Combinations)
+	}
+	if seq.Eval.Evaluations == 0 {
+		t.Error("evaluator stats empty: expected merged per-worker EvalStats")
+	}
+
+	par := statsAt(4)
+	// Fold-time verdict counters are deterministic; MapperRuns/MapperSpared
+	// are worker-side and legitimately vary with dispatch timing (a
+	// combination can be dispatched before the skip that would spare it).
+	det := func(c ComboStats) [4]int64 { return [4]int64{c.Total, c.Evaluated, c.Pruned, c.Skipped} }
+	if det(par.Combos) != det(seq.Combos) {
+		t.Errorf("deterministic combo counters diverged across parallelism:\n  seq: %+v\n  par: %+v",
+			seq.Combos, par.Combos)
+	}
+	var parCombos int64
+	for _, ws := range par.Workers {
+		parCombos += ws.Combinations
+	}
+	// Workers only see dispatched combinations (the dispatcher resolves
+	// pruned/skipped ones itself), and every mapper run rode a worker span.
+	if parCombos > par.Combos.Total || parCombos < par.Combos.MapperRuns {
+		t.Errorf("worker combination sum %d outside [MapperRuns %d, Total %d]",
+			parCombos, par.Combos.MapperRuns, par.Combos.Total)
+	}
+	// Incumbent events are decided on the fold goroutine: identical streams.
+	kinds := func(st *ExploreStats) string {
+		s := ""
+		for _, ev := range st.Events {
+			s += fmt.Sprintf("%s@%d;", ev.Kind, ev.Index)
+		}
+		return s
+	}
+	if kinds(par) != kinds(seq) {
+		t.Errorf("event sequence diverged across parallelism:\n  seq: %s\n  par: %s",
+			kinds(seq), kinds(par))
+	}
+}
+
+// TestTelemetryAccumulatesAcrossPasses: an impossible deadline makes the
+// engine re-fold the space (all-infeasible fallback); the collector must
+// count both passes rather than resetting.
+func TestTelemetryAccumulatesAcrossPasses(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	c := cfg(1e-6, taskgraph.MPEG2Frames) // unmeetable deadline
+	c.SearchMoves = 100
+	tel := NewTelemetry()
+	c.Telemetry = tel
+	best, _, err := Explore(g, p, SEAMapper(c), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil {
+		t.Fatal("fallback must still choose a least-infeasible design")
+	}
+	st := tel.Stats()
+	if st.Passes < 2 {
+		t.Fatalf("Passes = %d, want >= 2 (all-infeasible fallback re-folds)", st.Passes)
+	}
+	if got := st.Combos.Evaluated + st.Combos.Pruned + st.Combos.Skipped; got != st.Combos.Total {
+		t.Errorf("verdicts don't partition across passes: %+v", st.Combos)
+	}
+	if st.Combos.Total < 30 {
+		t.Errorf("Combos.Total = %d, want >= 30 (two passes over 15 combinations)", st.Combos.Total)
+	}
+}

@@ -61,8 +61,53 @@ type Evaluator struct {
 	haveEval bool
 	lastM    sched.Mapping
 
+	stats EvalStats
+
 	ev Evaluation
 }
+
+// EvalStats counts the work an Evaluator has done since construction. The
+// counters are observe-only — they never influence an evaluation — and are
+// plain fields because an Evaluator is single-goroutine by contract;
+// aggregate across workers with Merge.
+type EvalStats struct {
+	// Evaluations counts full metric evaluations (Evaluate and
+	// EvaluateDelta's re-schedule path).
+	Evaluations int64 `json:"evaluations"`
+	// Makespans counts makespan-only evaluations (the probe fast path).
+	Makespans int64 `json:"makespans"`
+	// BindsFull counts first-time scaling binds (O(cores) λ derivation).
+	BindsFull int64 `json:"binds_full"`
+	// BindsDelta counts incremental rebinds (O(changed) λ derivation).
+	BindsDelta int64 `json:"binds_delta"`
+	// DeltaPatched counts EvaluateDelta calls resolved by the O(changed)
+	// idle-core patch; DeltaRescheduled counts the re-schedule fallback.
+	DeltaPatched     int64 `json:"delta_patched"`
+	DeltaRescheduled int64 `json:"delta_rescheduled"`
+}
+
+// Merge accumulates other into s.
+func (s *EvalStats) Merge(other EvalStats) {
+	s.Evaluations += other.Evaluations
+	s.Makespans += other.Makespans
+	s.BindsFull += other.BindsFull
+	s.BindsDelta += other.BindsDelta
+	s.DeltaPatched += other.DeltaPatched
+	s.DeltaRescheduled += other.DeltaRescheduled
+}
+
+// DeltaBindRate is the fraction of Bind calls served by the O(changed)
+// delta path (0 when no binds happened).
+func (s EvalStats) DeltaBindRate() float64 {
+	total := s.BindsFull + s.BindsDelta
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BindsDelta) / float64(total)
+}
+
+// Stats snapshots the evaluator's work counters.
+func (e *Evaluator) Stats() EvalStats { return e.stats }
 
 // NewEvaluator builds an evaluator for g on p under the given SER model and
 // options. Bind must be called before Evaluate.
@@ -153,6 +198,7 @@ func (e *Evaluator) Bind(scaling []int) error {
 		}
 		e.bound = true
 		e.haveEval = false
+		e.stats.BindsFull++
 		return e.rebindLambdas(nil)
 	}
 	changed, err := e.sch.BindDelta(scaling, e.changed[:0])
@@ -161,6 +207,7 @@ func (e *Evaluator) Bind(scaling []int) error {
 		return err
 	}
 	e.haveEval = false
+	e.stats.BindsDelta++
 	return e.rebindLambdas(changed)
 }
 
@@ -240,8 +287,10 @@ func (e *Evaluator) EvaluateDelta(prev, next []int) (*Evaluation, error) {
 	if !scheduleSafe {
 		// A loaded core moved: timing can change, so re-schedule — but the
 		// register-pressure profile of the unchanged mapping is reused.
+		e.stats.DeltaRescheduled++
 		return e.evaluate(e.lastM, true)
 	}
+	e.stats.DeltaPatched++
 	// Every changed core is idle under the last mapping: the schedule, the
 	// power sum (α = 0 terms are exactly zero at any level) and every Γ
 	// term are untouched; only the idle cores' λ rows need patching.
@@ -266,6 +315,7 @@ func (e *Evaluator) Makespan(m sched.Mapping) (tmSeconds float64, meetsDeadline 
 	if !e.bound {
 		return 0, false, fmt.Errorf("metrics: Makespan called before Bind")
 	}
+	e.stats.Makespans++
 	e.haveEval = false
 	s, err := e.sch.Schedule(m)
 	if err != nil {
@@ -283,6 +333,7 @@ func (e *Evaluator) evaluate(m sched.Mapping, reuseProfile bool) (*Evaluation, e
 	if !e.bound {
 		return nil, fmt.Errorf("metrics: Evaluate called before Bind")
 	}
+	e.stats.Evaluations++
 	e.haveEval = false
 	s, err := e.sch.Schedule(m)
 	if err != nil {

@@ -1,15 +1,20 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+
+	"seadopt"
+)
 
 // cacheEntry is a finished optimization result, content-addressed by its
-// ProblemKey: the wire-encoded Design plus the human summary and the size
-// of the exploration that produced it.
+// ProblemKey: the wire-encoded Design plus the human summary, the size of
+// the exploration that produced it and its telemetry snapshot.
 type cacheEntry struct {
 	key     string
 	result  []byte // Design wire JSON (seadopt.Design.MarshalJSON)
 	summary string
 	total   int // scaling combinations explored
+	stats   *seadopt.ExploreStats
 }
 
 // lruCache is a fixed-capacity LRU over finished results. It is not

@@ -1,0 +1,82 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// histogram is a fixed-bucket latency histogram in the Prometheus style:
+// observations land in the first bucket whose upper bound is >= the value,
+// with an implicit +Inf overflow bucket, and the exposition renders
+// cumulative bucket counts plus _sum and _count. Buckets are fixed at
+// construction so concurrent observers only touch counters under a mutex.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds (exclusive of +Inf)
+	counts []uint64  // len(bounds)+1; the last slot is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot copies the histogram state for rendering.
+func (h *histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts aligned with Bounds, plus the +Inf overflow in the
+// final Counts slot.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// expBuckets returns n log-spaced upper bounds start, start*factor,
+// start*factor², ... — the fixed bucket layout every service histogram uses.
+func expBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("expBuckets(%v, %v, %d): need start>0, factor>1, n>=1", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// latencyBuckets is the shared layout for the queue-wait, engine-execution
+// and HTTP-latency histograms: 100 µs to ~105 s in ×2 steps.
+func latencyBuckets() []float64 { return expBuckets(100e-6, 2, 21) }

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// A value exactly on a bound lands IN that bucket (le is inclusive).
+	h.Observe(1)        // bucket le=1
+	h.Observe(2)        // bucket le=2
+	h.Observe(1.5)      // bucket le=2
+	h.Observe(4)        // bucket le=4
+	h.Observe(4.000001) // +Inf overflow
+	h.Observe(0)        // le=1
+	h.Observe(-3)       // le=1 (clamped low, still counted in sum)
+
+	s := h.Snapshot()
+	want := []uint64{3, 2, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d: count %d, want %d (all: %v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("Count = %d, want 7", s.Count)
+	}
+	if got := 1 + 2 + 1.5 + 4 + 4.000001 + 0 - 3; math.Abs(s.Sum-got) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", s.Sum, got)
+	}
+}
+
+func TestHistogramSnapshotIsolation(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.5)
+	s := h.Snapshot()
+	h.Observe(0.5)
+	if s.Counts[0] != 1 || s.Count != 1 {
+		t.Errorf("snapshot mutated by later observations: %+v", s)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newHistogram accepted non-ascending bounds")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := expBuckets(100e-6, 2, 4)
+	want := []float64{100e-6, 200e-6, 400e-6, 800e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d: %v, want %v", i, b[i], want[i])
+		}
+	}
+	lb := latencyBuckets()
+	if len(lb) != 21 {
+		t.Errorf("latencyBuckets: %d bounds, want 21", len(lb))
+	}
+	if lb[len(lb)-1] < 100 {
+		t.Errorf("latencyBuckets top bound %v too small to cover long explorations", lb[len(lb)-1])
+	}
+}
+
+// sampleMetrics builds a fully-populated snapshot so the render tests cover
+// every family, including the per-route HTTP histograms.
+func sampleMetrics() Metrics {
+	hist := func(vals ...float64) HistogramSnapshot {
+		h := newHistogram(latencyBuckets())
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h.Snapshot()
+	}
+	return Metrics{
+		QueueDepth: 1, Workers: 2, CacheEntries: 3, CacheCapacity: 256,
+		CacheHits: 4, CacheMisses: 5, Coalesced: 6, EngineExecutions: 7,
+		Submitted: 8, CombinationsExplored: 900, CombinationsPruned: 100,
+		ParetoExecutions: 2, ParetoFrontierSize: 5,
+		Jobs:      map[State]int64{StateDone: 7, StateQueued: 1},
+		QueueWait: hist(0.0001, 0.5),
+		ExecTime:  hist(1.25, 91.0),
+		HTTP: map[string]HistogramSnapshot{
+			"POST /v1/jobs":     hist(0.002),
+			"GET /metrics":      hist(0.0005, 0.0007),
+			"GET /v1/jobs/{id}": hist(0.001),
+		},
+		Goroutines: 12, HeapAllocBytes: 1 << 20, HeapSysBytes: 1 << 22,
+		GCCycles: 3, GCPauseTotalSec: 0.00125,
+		BuildVersion: "(devel)", BuildRevision: "abc123", BuildGo: "go1.24.0",
+	}
+}
+
+// TestRenderMetricsLints feeds the full rendering through the strict
+// exposition-format parser: every histogram must be well-formed (cumulative
+// buckets, +Inf, _sum/_count) and no family duplicated or sample-less.
+func TestRenderMetricsLints(t *testing.T) {
+	var buf bytes.Buffer
+	renderMetrics(&buf, sampleMetrics())
+	if err := LintMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("rendered metrics fail exposition lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"seadoptd_job_queue_wait_seconds_bucket{le=\"+Inf\"} 2",
+		"seadoptd_engine_exec_seconds_count 2",
+		"seadoptd_http_request_duration_seconds_count{route=\"GET /metrics\"} 2",
+		"seadoptd_build_info{version=\"(devel)\",revision=\"abc123\",go=\"go1.24.0\"} 1",
+		"seadoptd_gc_pause_seconds_total 0.00125",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in rendered metrics", want)
+		}
+	}
+	if histCount := strings.Count(out, "# TYPE") - strings.Count(out, "gauge") - strings.Count(out, "counter"); histCount < 3 {
+		t.Errorf("want >= 3 histogram families, got %d", histCount)
+	}
+}
+
+// TestRenderMetricsDeterministic pins the ordering contract: a fixed
+// snapshot renders byte-identically every time, per-state job gauges appear
+// in the fixed lifecycle order, and map-derived route series are sorted.
+func TestRenderMetricsDeterministic(t *testing.T) {
+	m := sampleMetrics()
+	var a, b bytes.Buffer
+	renderMetrics(&a, m)
+	renderMetrics(&b, m)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("renderMetrics is not deterministic for a fixed snapshot")
+	}
+
+	out := a.String()
+	stateOrder := []string{
+		`seadoptd_jobs{state="queued"}`,
+		`seadoptd_jobs{state="running"}`,
+		`seadoptd_jobs{state="done"}`,
+		`seadoptd_jobs{state="failed"}`,
+		`seadoptd_jobs{state="canceled"}`,
+	}
+	last := -1
+	for _, s := range stateOrder {
+		i := strings.Index(out, s)
+		if i < 0 {
+			t.Fatalf("missing per-state gauge %q", s)
+		}
+		if i < last {
+			t.Errorf("per-state gauge %q out of order", s)
+		}
+		last = i
+	}
+
+	routeOrder := []string{
+		`route="GET /metrics"`,
+		`route="GET /v1/jobs/{id}"`,
+		`route="POST /v1/jobs"`,
+	}
+	last = -1
+	for _, s := range routeOrder {
+		i := strings.Index(out, s)
+		if i < 0 {
+			t.Fatalf("missing HTTP route series %q", s)
+		}
+		if i < last {
+			t.Errorf("HTTP route %q not in sorted order", s)
+		}
+		last = i
+	}
+}
+
+// TestRenderMetricsNoHTTPSamples: before any request is instrumented the
+// HTTP family must be absent entirely (a declared family with no samples is
+// an exposition error).
+func TestRenderMetricsNoHTTPSamples(t *testing.T) {
+	m := sampleMetrics()
+	m.HTTP = nil
+	var buf bytes.Buffer
+	renderMetrics(&buf, m)
+	if strings.Contains(buf.String(), "seadoptd_http_request_duration_seconds") {
+		t.Error("HTTP family declared with no samples")
+	}
+	if err := LintMetrics(buf.Bytes()); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestLintMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without HELP/TYPE": "foo 1\n",
+		"duplicate TYPE":           "# HELP foo x\n# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"bad type":                 "# HELP foo x\n# TYPE foo widget\nfoo 1\n",
+		"missing +Inf bucket": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative buckets": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"out-of-order le": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"missing _count": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"malformed labels":    "# HELP foo x\n# TYPE foo gauge\nfoo{bad-label=\"1\"} 1\n",
+		"non-numeric value":   "# HELP foo x\n# TYPE foo gauge\nfoo banana\n",
+		"declared but absent": "# HELP foo x\n# TYPE foo gauge\n",
+	}
+	for name, text := range cases {
+		if err := LintMetrics([]byte(text)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", name, text)
+		}
+	}
+	valid := "# HELP foo x\n# TYPE foo gauge\nfoo{a=\"1\",b=\"two words\"} 1\n"
+	if err := LintMetrics([]byte(valid)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"strings"
 
 	"seadopt/internal/arch"
+	"seadopt/internal/buildinfo"
 	"seadopt/internal/ingest"
+	"seadopt/internal/trace"
 )
 
 // submitRequest is the JSON envelope of POST /v1/jobs. The graph field is
@@ -92,8 +94,13 @@ func (req *submitRequest) buildPlatform(fallback *arch.Platform) (*arch.Platform
 //	GET    /v1/jobs/{id}          job status + result
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/progress Server-Sent-Events progress stream
-//	GET    /healthz               liveness/readiness
+//	GET    /v1/jobs/{id}/stats    engine telemetry (phase timings, counters)
+//	GET    /v1/jobs/{id}/trace    worker-timeline Chrome trace (perfetto)
+//	GET    /healthz               liveness/readiness + build info
 //	GET    /metrics               Prometheus text metrics
+//
+// Every request is instrumented: it gets an X-Request-Id, its latency lands
+// in the per-route histogram, and it is logged through Config.Logger.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -101,9 +108,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with request IDs, per-route latency histograms
+// and structured request logs. The route label is the mux pattern (not the
+// raw path), so path parameters don't explode the label space.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", reqID)
+		route := "none"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := s.cfg.Now()
+		mux.ServeHTTP(sw, r)
+		dur := s.cfg.Now().Sub(start).Seconds()
+		s.httpHist(route).Observe(dur)
+		s.cfg.Logger.Info("http request",
+			"request_id", reqID, "method", r.Method, "route", route,
+			"path", r.URL.Path, "status", sw.code, "duration_sec", dur)
+	})
+}
+
+// statusWriter captures the response code for the request log. It forwards
+// Flush so SSE streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -294,10 +343,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs = filtered
 	}
-	// The list view elides result payloads; fetch a single job for those.
+	// The list view elides result and telemetry payloads; fetch a single
+	// job (or its /stats) for those.
 	for i := range jobs {
 		jobs[i].Result = nil
 		jobs[i].Summary = ""
+		jobs[i].Stats = nil
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
@@ -372,6 +423,46 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleStats serves a finished job's engine-telemetry snapshot. Jobs that
+// have not produced one yet (queued/running) answer 409; jobs that never
+// will (canceled/failed) also 409, with the state in the message.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if st.Stats == nil {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("job %s has no engine stats (state %s)", st.ID, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": st.ID, "state": st.State, "engine_stats": st.Stats,
+	})
+}
+
+// handleTrace serves a finished job's worker timeline as a Chrome trace
+// (load it at https://ui.perfetto.dev): one row per engine worker plus an
+// events row for incumbent updates and prunes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	if st.Stats == nil {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("job %s has no engine stats to trace (state %s)", st.ID, st.State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", st.ID+"-trace.json"))
+	w.WriteHeader(http.StatusOK)
+	_ = trace.WriteExploration(w, "seadopt exploration: "+st.Graph+" ("+st.ID+")", st.Stats)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -379,7 +470,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]string{"status": status})
+	writeJSON(w, code, map[string]any{"status": status, "build": buildinfo.Read()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -3,15 +3,21 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 )
 
 // allStates fixes the /metrics rendering order so every per-state gauge is
 // always present (a state with zero jobs still exports 0 — scrapers should
-// never see series appear and disappear).
+// never see series appear and disappear) and always in this order, so
+// scrape-diff tooling sees byte-stable output.
 var allStates = []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
 
 // renderMetrics writes the snapshot in the Prometheus text exposition
-// format under the seadoptd_ namespace.
+// format (v0.0.4) under the seadoptd_ namespace: the operational
+// counters/gauges, the latency histograms, Go runtime health and the build
+// identity. All map-derived series are emitted in sorted label order so the
+// output is deterministic for a fixed snapshot.
 func renderMetrics(w io.Writer, m Metrics) {
 	gauge := func(name, help string, value int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, value)
@@ -43,4 +49,76 @@ func renderMetrics(w io.Writer, m Metrics) {
 	for _, st := range allStates {
 		fmt.Fprintf(w, "seadoptd_jobs{state=%q} %d\n", st, m.Jobs[st])
 	}
+
+	renderHistogram(w, "seadoptd_job_queue_wait_seconds",
+		"Time flights spent queued before a worker picked them up.",
+		"", m.QueueWait)
+	renderHistogram(w, "seadoptd_engine_exec_seconds",
+		"Wall-clock duration of engine executions.",
+		"", m.ExecTime)
+	renderHTTPHistograms(w, m.HTTP)
+
+	gauge("seadoptd_goroutines", "Live goroutines.", int64(m.Goroutines))
+	gauge("seadoptd_heap_alloc_bytes", "Bytes of allocated heap objects.", int64(m.HeapAllocBytes))
+	gauge("seadoptd_heap_sys_bytes", "Bytes of heap obtained from the OS.", int64(m.HeapSysBytes))
+	counter("seadoptd_gc_cycles_total", "Completed GC cycles.", int64(m.GCCycles))
+	fmt.Fprintf(w, "# HELP seadoptd_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n"+
+		"# TYPE seadoptd_gc_pause_seconds_total counter\nseadoptd_gc_pause_seconds_total %s\n",
+		formatFloat(m.GCPauseTotalSec))
+
+	fmt.Fprintf(w, "# HELP seadoptd_build_info Build identity of the running binary; the value is always 1.\n"+
+		"# TYPE seadoptd_build_info gauge\nseadoptd_build_info{version=%q,revision=%q,go=%q} 1\n",
+		m.BuildVersion, m.BuildRevision, m.BuildGo)
+}
+
+// renderHistogram writes one Prometheus histogram family: cumulative
+// _bucket series ending at le="+Inf", then _sum and _count. labels, when
+// non-empty, is a pre-rendered `name="value"` list applied to every series.
+// Passing help == "" suppresses the HELP/TYPE header (the multi-series HTTP
+// family prints it once itself).
+func renderHistogram(w io.Writer, name, help, labels string, h HistogramSnapshot) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	sep := ""
+	suffix := ""
+	if labels != "" {
+		sep = ","
+		suffix = "{" + labels + "}"
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(bound), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count)
+}
+
+// renderHTTPHistograms writes the per-route request-latency family with
+// routes in sorted order.
+func renderHTTPHistograms(w io.Writer, byRoute map[string]HistogramSnapshot) {
+	const name = "seadoptd_http_request_duration_seconds"
+	if len(byRoute) == 0 {
+		return // a family must not be declared without samples
+	}
+	fmt.Fprintf(w, "# HELP %s HTTP request latency by route pattern.\n# TYPE %s histogram\n", name, name)
+	routes := make([]string, 0, len(byRoute))
+	for route := range byRoute {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		renderHistogram(w, name, "", fmt.Sprintf("route=%q", route), byRoute[route])
+	}
+}
+
+// formatFloat renders a float the shortest way that round-trips, matching
+// Prometheus client conventions ("0.0001", not "1e-04", for bucket bounds
+// in our range).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
 }

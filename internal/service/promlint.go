@@ -1,0 +1,274 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintMetrics validates a Prometheus text-format (v0.0.4) exposition
+// strictly: every sample must belong to a family that declared both # HELP
+// and # TYPE before its first sample, family declarations must not repeat,
+// declared families must emit at least one sample, label syntax and sample
+// values must parse, and histogram families must carry cumulative
+// non-decreasing le buckets ending at +Inf plus matching _sum/_count series.
+// The service's own tests and the CI integration step run every /metrics
+// scrape through it.
+func LintMetrics(data []byte) error {
+	var (
+		metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelRe    = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	)
+	type family struct {
+		help, typ string
+		samples   int
+		buckets   map[string][]float64 // histogram: label-set (minus le) -> le bounds in order
+		cums      map[string]float64   // histogram: label-set -> last cumulative bucket count
+		sums      map[string]bool
+		counts    map[string]bool
+	}
+	families := map[string]*family{}
+	get := func(name string) *family {
+		f := families[name]
+		if f == nil {
+			f = &family{buckets: map[string][]float64{}, cums: map[string]float64{}, sums: map[string]bool{}, counts: map[string]bool{}}
+			families[name] = f
+		}
+		return f
+	}
+	// baseOf maps a sample name to its family name for typed suffixes.
+	baseOf := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := families[base]; ok && f.typ == "histogram" {
+					return base, suf
+				}
+			}
+		}
+		return name, ""
+	}
+
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !metricName.MatchString(name) {
+				return fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			f := get(name)
+			if f.help != "" {
+				return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			if f.samples > 0 {
+				return fmt.Errorf("line %d: HELP for %s after its samples", lineNo, name)
+			}
+			f.help = rest[len(name)+1:]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !metricName.MatchString(fields[0]) {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+			}
+			f := get(name)
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if f.samples > 0 {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		name, labels, value, ok := splitSample(line)
+		if !ok || !metricName.MatchString(name) {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: sample value %q: %v", lineNo, value, err)
+		}
+		var le string
+		var rest []string
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				lm := labelRe.FindStringSubmatch(pair)
+				if lm == nil {
+					return fmt.Errorf("line %d: malformed label %q", lineNo, pair)
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				} else {
+					rest = append(rest, pair)
+				}
+			}
+		}
+		base, suf := baseOf(name)
+		f, ok := families[base]
+		if !ok || f.typ == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+		if f.help == "" {
+			return fmt.Errorf("line %d: sample %s has no HELP", lineNo, name)
+		}
+		f.samples++
+		if f.typ != "histogram" {
+			continue
+		}
+		sort.Strings(rest)
+		series := strings.Join(rest, ",")
+		switch suf {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, name)
+			}
+			bound, err := parseLE(le)
+			if err != nil {
+				return fmt.Errorf("line %d: %s le=%q: %v", lineNo, name, le, err)
+			}
+			bounds := f.buckets[series]
+			if len(bounds) > 0 && bound <= bounds[len(bounds)-1] {
+				return fmt.Errorf("line %d: %s le=%q out of order", lineNo, name, le)
+			}
+			cum, _ := strconv.ParseFloat(value, 64)
+			if len(bounds) > 0 && cum < f.cums[series] {
+				return fmt.Errorf("line %d: %s le=%q count %s below previous bucket %v (buckets must be cumulative)",
+					lineNo, name, le, value, f.cums[series])
+			}
+			f.cums[series] = cum
+			f.buckets[series] = append(bounds, bound)
+		case "_sum":
+			f.sums[series] = true
+		case "_count":
+			f.counts[series] = true
+		default:
+			return fmt.Errorf("line %d: bare sample %s for histogram family %s", lineNo, name, base)
+		}
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		switch {
+		case f.typ == "":
+			return fmt.Errorf("family %s has HELP but no TYPE", name)
+		case f.help == "":
+			return fmt.Errorf("family %s has TYPE but no HELP", name)
+		case f.samples == 0:
+			return fmt.Errorf("family %s declared but emitted no samples", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		for series, bounds := range f.buckets {
+			if len(bounds) == 0 || !isInf(bounds[len(bounds)-1]) {
+				return fmt.Errorf("histogram %s{%s} missing +Inf bucket", name, series)
+			}
+			if !f.sums[series] || !f.counts[series] {
+				return fmt.Errorf("histogram %s{%s} missing _sum or _count", name, series)
+			}
+		}
+		if len(f.buckets) == 0 {
+			return fmt.Errorf("histogram %s emitted no buckets", name)
+		}
+	}
+	return nil
+}
+
+// splitSample tears one sample line into name, label body and value. It
+// scans the optional {...} block quote-aware, because label values may
+// legally contain '{', '}' or spaces (e.g. route="GET /v1/jobs/{id}").
+func splitSample(line string) (name, labels, value string, ok bool) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		inQuote, escaped := false, false
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\' && inQuote:
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", "", false
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value plus optional timestamp
+		return "", "", "", false
+	}
+	return name, labels, fields[0], true
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\' && inQuote:
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+			continue
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }

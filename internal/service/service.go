@@ -38,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
@@ -46,6 +47,7 @@ import (
 
 	"seadopt"
 	"seadopt/internal/arch"
+	"seadopt/internal/buildinfo"
 	"seadopt/internal/ingest"
 )
 
@@ -115,6 +117,13 @@ type Config struct {
 	// heterogeneous) by default. Nil selects 4 ARM7 cores × Table I.
 	// Submissions that do name a platform are unaffected.
 	DefaultPlatform *arch.Platform
+	// Now supplies the clock behind job timestamps, queue-wait and
+	// execution durations and the latency histograms. Nil selects
+	// time.Now; tests inject a fake clock to assert exact durations.
+	Now func() time.Time
+	// Logger receives structured job-lifecycle, worker-pool and HTTP
+	// request logs. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +144,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention == 0 {
 		c.JobRetention = 4096
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -180,7 +195,9 @@ type Job struct {
 	result    []byte
 	summary   string
 	total     int // exploration size, for flight-less (cache-hit) jobs
+	stats     *seadopt.ExploreStats
 	submitted time.Time
+	started   time.Time // when the job's flight was dequeued (zero while queued)
 	finished  time.Time
 	flight    *flight
 	// detached flips when the job is individually canceled, so progress
@@ -204,21 +221,30 @@ type JobStatus struct {
 	Result      json.RawMessage `json:"result,omitempty"`
 	SubmittedAt time.Time       `json:"submitted_at"`
 	FinishedAt  time.Time       `json:"finished_at,omitzero"`
+	// QueueWaitSec is how long the job waited for a worker; RunSec how
+	// long its engine execution took (running jobs report the elapsed
+	// time so far). Cache-hit jobs report neither.
+	QueueWaitSec float64 `json:"queue_wait_sec,omitempty"`
+	RunSec       float64 `json:"run_sec,omitempty"`
+	// Stats is the engine's exploration-telemetry snapshot, available
+	// once the job is done (and served from cache with the result).
+	Stats *seadopt.ExploreStats `json:"engine_stats,omitempty"`
 }
 
 // flight is one underlying engine execution, shared by every job whose
 // problem hashes to the same key while it is queued or running.
 type flight struct {
-	key     string
-	problem *ingest.Problem
-	seq     int64
-	prio    int
-	index   int // heap index; -1 once popped
-	refs    int // attached (non-canceled) jobs
-	jobs    []*Job
-	running bool
-	ctx     context.Context
-	cancel  context.CancelFunc
+	key      string
+	problem  *ingest.Problem
+	seq      int64
+	prio     int
+	index    int // heap index; -1 once popped
+	refs     int // attached (non-canceled) jobs
+	jobs     []*Job
+	running  bool
+	enqueued time.Time
+	ctx      context.Context
+	cancel   context.CancelFunc
 
 	// The progress log has its own lock so SSE streaming never contends
 	// with the scheduler. Lock ordering: Server.mu may be held when taking
@@ -303,6 +329,19 @@ type Server struct {
 
 	wg sync.WaitGroup
 
+	// Latency histograms (internally locked; never taken under s.mu
+	// ordering constraints — they are leaf locks).
+	queueWaitHist *histogram
+	execHist      *histogram
+	httpMu        sync.Mutex
+	httpHists     map[string]*histogram // by route pattern
+	reqSeq        atomic.Int64          // HTTP request IDs
+
+	// hookExecute, when non-nil, runs at the top of every engine
+	// execution; timing tests use it to hold a flight open while they
+	// advance a fake clock.
+	hookExecute func(*flight)
+
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
 	coalesced    atomic.Int64
@@ -319,12 +358,15 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		ctx:     ctx,
-		cancel:  cancel,
-		jobs:    make(map[string]*Job),
-		flights: make(map[string]*flight),
-		cache:   newLRUCache(cfg.CacheEntries),
+		cfg:           cfg,
+		ctx:           ctx,
+		cancel:        cancel,
+		jobs:          make(map[string]*Job),
+		flights:       make(map[string]*flight),
+		cache:         newLRUCache(cfg.CacheEntries),
+		queueWaitHist: newHistogram(latencyBuckets()),
+		execHist:      newHistogram(latencyBuckets()),
+		httpHists:     make(map[string]*histogram),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < cfg.Workers; w++ {
@@ -371,7 +413,7 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 		key:       key,
 		graph:     p.Graph.Name(),
 		priority:  priority,
-		submitted: time.Now(),
+		submitted: s.cfg.Now(),
 	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
@@ -384,9 +426,13 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 		j.result = e.result
 		j.summary = e.summary
 		j.total = e.total
+		j.stats = e.stats
 		j.finished = j.submitted
 		s.terminal++
 		s.pruneLocked()
+		s.cfg.Logger.Info("job submitted",
+			"job", j.id, "key", key, "graph", j.graph, "priority", priority,
+			"state", j.state, "cache_hit", true)
 		return s.statusLocked(j), nil
 	}
 	s.cacheMisses.Add(1)
@@ -397,8 +443,12 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 		j.flight = f
 		f.refs++
 		f.jobs = append(f.jobs, j)
+		s.cfg.Logger.Info("job submitted",
+			"job", j.id, "key", key, "graph", j.graph, "priority", priority,
+			"state", StateQueued, "coalesced", true)
 		if f.running {
 			j.state = StateRunning
+			j.started = s.cfg.Now()
 		} else {
 			j.state = StateQueued
 			// A high-priority submission drags its shared flight forward.
@@ -413,14 +463,15 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 	fctx, fcancel := context.WithCancel(s.ctx)
 	s.flightSeq++
 	f := &flight{
-		key:     key,
-		problem: p,
-		seq:     s.flightSeq,
-		prio:    priority,
-		refs:    1,
-		jobs:    []*Job{j},
-		ctx:     fctx,
-		cancel:  fcancel,
+		key:      key,
+		problem:  p,
+		seq:      s.flightSeq,
+		prio:     priority,
+		refs:     1,
+		jobs:     []*Job{j},
+		enqueued: j.submitted,
+		ctx:      fctx,
+		cancel:   fcancel,
 	}
 	f.logCond = sync.NewCond(&f.logMu)
 	j.state = StateQueued
@@ -428,6 +479,9 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 	s.flights[key] = f
 	heap.Push(&s.queue, f)
 	s.cond.Signal()
+	s.cfg.Logger.Info("job submitted",
+		"job", j.id, "key", key, "graph", j.graph, "priority", priority,
+		"state", StateQueued)
 	return s.statusLocked(j), nil
 }
 
@@ -489,9 +543,10 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		return s.statusLocked(j), fmt.Errorf("%w (%s is %s)", ErrFinished, id, j.state)
 	}
 	j.state = StateCanceled
-	j.finished = time.Now()
+	j.finished = s.cfg.Now()
 	j.detached.Store(true)
 	s.terminal++
+	s.cfg.Logger.Info("job canceled", "job", j.id, "key", j.key)
 	if f := j.flight; f != nil {
 		f.refs--
 		if f.refs == 0 {
@@ -582,19 +637,28 @@ func (s *Server) worker() {
 			continue
 		}
 		f.running = true
+		started := s.cfg.Now()
 		for _, j := range f.jobs {
 			if j.state == StateQueued {
 				j.state = StateRunning
+				j.started = started
 			}
 		}
+		wait := started.Sub(f.enqueued).Seconds()
 		s.mu.Unlock()
+		s.queueWaitHist.Observe(wait)
+		s.cfg.Logger.Info("flight started",
+			"key", f.key, "jobs", len(f.jobs), "queue_wait_sec", wait)
 		s.run(f)
 	}
 }
 
 // run executes a flight and fans its outcome out to every attached job.
 func (s *Server) run(f *flight) {
-	result, summary, err := s.execute(f)
+	execStart := s.cfg.Now()
+	result, summary, stats, err := s.execute(f)
+	execSec := s.cfg.Now().Sub(execStart).Seconds()
+	s.execHist.Observe(execSec)
 	s.mu.Lock()
 	// Retire only our own entry: a cancellation may already have
 	// unpublished this flight and let a fresh one claim the key.
@@ -608,9 +672,10 @@ func (s *Server) run(f *flight) {
 			total = f.events[n-1].Total
 		}
 		f.logMu.Unlock()
-		s.cache.Add(&cacheEntry{key: f.key, result: result, summary: summary, total: total})
+		s.cache.Add(&cacheEntry{key: f.key, result: result, summary: summary, total: total, stats: stats})
 	}
-	now := time.Now()
+	now := s.cfg.Now()
+	finished := 0
 	for _, j := range f.jobs {
 		if j.state != StateRunning {
 			continue // individually canceled while we ran
@@ -621,6 +686,7 @@ func (s *Server) run(f *flight) {
 			j.state = StateDone
 			j.result = result
 			j.summary = summary
+			j.stats = stats
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			j.state = StateCanceled
 			j.errMsg = "canceled"
@@ -629,35 +695,53 @@ func (s *Server) run(f *flight) {
 			j.errMsg = err.Error()
 		}
 		s.terminal++
+		finished++
 	}
 	s.pruneLocked()
 	s.mu.Unlock()
 	f.close()
+	outcome := "done"
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "canceled"
+	case err != nil:
+		outcome = "failed"
+	}
+	logArgs := []any{"key", f.key, "outcome", outcome, "jobs", finished, "exec_sec", execSec}
+	if err != nil {
+		logArgs = append(logArgs, "error", err.Error())
+	}
+	s.cfg.Logger.Info("flight finished", logArgs...)
 }
 
 // execute runs the engine for a flight. This is the only place the service
 // calls into the optimizer; the engine-execution counter around it is what
 // the single-flight and cache tests assert on.
-func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
+func (s *Server) execute(f *flight) (result []byte, summary string, stats *seadopt.ExploreStats, err error) {
+	if hook := s.hookExecute; hook != nil {
+		hook(f)
+	}
 	sys, err := seadopt.NewSystem(f.problem.Graph, f.problem.Platform)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	o := f.problem.Options
 	strategy, err := seadopt.ParseExploreStrategy(o.Strategy)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	mode, err := ingest.ParseMode(o.Mode)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	objectives, err := seadopt.ParseParetoObjectives(o.Objectives)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
+	stats = new(seadopt.ExploreStats)
 	prunedSoFar := 0 // engine Progress callbacks are serialized in order
 	opts := seadopt.OptimizeOptions{
+		Stats:            stats,
 		SER:              o.SER,
 		DeadlineSec:      o.DeadlineSec,
 		StreamIterations: o.StreamIterations,
@@ -700,10 +784,11 @@ func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
 		s.paretoJobs.Add(1)
 		frontier, err := sys.OptimizeParetoContext(f.ctx, opts)
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		s.frontierSize.Store(int64(len(frontier)))
-		return marshalFrontier(frontier, objectives)
+		result, summary, err = marshalFrontier(frontier, objectives)
+		return result, summary, stats, err
 	}
 	var d *seadopt.Design
 	switch o.Baseline {
@@ -716,16 +801,16 @@ func (s *Server) execute(f *flight) (result []byte, summary string, err error) {
 	case "regtime":
 		d, err = sys.OptimizeBaselineContext(f.ctx, seadopt.MinimizeRegTime, opts)
 	default:
-		return nil, "", fmt.Errorf("service: unknown baseline %q", o.Baseline)
+		return nil, "", nil, fmt.Errorf("service: unknown baseline %q", o.Baseline)
 	}
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
 	result, err = json.Marshal(d)
 	if err != nil {
-		return nil, "", err
+		return nil, "", nil, err
 	}
-	return result, d.Summary(), nil
+	return result, d.Summary(), stats, nil
 }
 
 // marshalFrontier renders a Pareto frontier result: a wrapper object
@@ -793,8 +878,17 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		SubmittedAt: j.submitted,
 		FinishedAt:  j.finished,
 	}
+	if !j.started.IsZero() {
+		st.QueueWaitSec = j.started.Sub(j.submitted).Seconds()
+		end := j.finished
+		if end.IsZero() {
+			end = s.cfg.Now() // still running: elapsed so far
+		}
+		st.RunSec = end.Sub(j.started).Seconds()
+	}
 	if j.state == StateDone {
 		st.Result = j.result
+		st.Stats = j.stats
 	}
 	if f := j.flight; f != nil {
 		f.logMu.Lock()
@@ -826,6 +920,23 @@ type Metrics struct {
 	ParetoExecutions     int64           `json:"pareto_executions"`
 	ParetoFrontierSize   int64           `json:"pareto_frontier_size"`
 	Jobs                 map[State]int64 `json:"jobs"`
+
+	// Latency distributions.
+	QueueWait HistogramSnapshot            `json:"queue_wait_seconds"`
+	ExecTime  HistogramSnapshot            `json:"engine_exec_seconds"`
+	HTTP      map[string]HistogramSnapshot `json:"http_request_seconds"`
+
+	// Go runtime health, read at snapshot time.
+	Goroutines      int     `json:"goroutines"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64  `json:"heap_sys_bytes"`
+	GCCycles        uint32  `json:"gc_cycles"`
+	GCPauseTotalSec float64 `json:"gc_pause_total_sec"`
+
+	// Build identity (buildinfo.Read).
+	BuildVersion  string `json:"build_version"`
+	BuildRevision string `json:"build_revision"`
+	BuildGo       string `json:"build_go"`
 }
 
 // Metrics snapshots the server counters, including jobs-per-state gauges.
@@ -852,7 +963,41 @@ func (s *Server) Metrics() Metrics {
 	for _, j := range s.jobs {
 		m.Jobs[j.state]++
 	}
+	m.QueueWait = s.queueWaitHist.Snapshot()
+	m.ExecTime = s.execHist.Snapshot()
+	m.HTTP = make(map[string]HistogramSnapshot)
+	s.httpMu.Lock()
+	for route, h := range s.httpHists {
+		m.HTTP[route] = h.Snapshot()
+	}
+	s.httpMu.Unlock()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.Goroutines = runtime.NumGoroutine()
+	m.HeapAllocBytes = ms.HeapAlloc
+	m.HeapSysBytes = ms.HeapSys
+	m.GCCycles = ms.NumGC
+	m.GCPauseTotalSec = float64(ms.PauseTotalNs) / 1e9
+
+	info := buildinfo.Read()
+	m.BuildVersion = info.Version
+	m.BuildRevision = info.Revision
+	m.BuildGo = info.Go
 	return m
+}
+
+// httpHist returns (creating on first use) the latency histogram for a
+// route pattern.
+func (s *Server) httpHist(route string) *histogram {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	h, ok := s.httpHists[route]
+	if !ok {
+		h = newHistogram(latencyBuckets())
+		s.httpHists[route] = h
+	}
+	return h
 }
 
 // Draining reports whether Close has begun.
@@ -871,6 +1016,7 @@ func (s *Server) Close(ctx context.Context) error {
 	s.draining = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.cfg.Logger.Info("server draining")
 
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,337 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seadopt"
+)
+
+// fakeClock is an injectable Config.Now: tests advance it explicitly and
+// assert exact queue-wait and run durations with no sleeping or slack.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestExactJobTiming drives the job lifecycle against a fake clock: the
+// execution hook holds the single worker inside a flight while the test
+// advances time, so QueueWaitSec/RunSec and the latency histograms must
+// come out exact, not approximate.
+func TestExactJobTiming(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	s := newTestServer(t, Config{Workers: 1, Now: clk.Now})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.hookExecute = func(*flight) {
+		entered <- struct{}{}
+		<-release
+	}
+
+	// Job A is picked up at T+0 and blocks inside the hook.
+	a, err := s.Submit(mpeg2Problem(t, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// Job B (distinct problem) queues behind it at T+2s.
+	clk.Advance(2 * time.Second)
+	b, err := s.Submit(mpeg2Problem(t, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(3 * time.Second) // now T+5s
+	st, err := s.Job(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning {
+		t.Fatalf("job A in state %s, want running", st.State)
+	}
+	if st.QueueWaitSec != 0 || st.RunSec != 5 {
+		t.Errorf("running job A: queue_wait=%v run=%v, want 0 and 5", st.QueueWaitSec, st.RunSec)
+	}
+	if st, err := s.Job(b.ID); err != nil || st.State != StateQueued || st.RunSec != 0 {
+		t.Errorf("job B: state=%v run=%v err=%v, want queued with no run time", st.State, st.RunSec, err)
+	}
+
+	release <- struct{}{} // A finishes at T+5s
+	aDone := waitState(t, s, a.ID, StateDone)
+	if aDone.QueueWaitSec != 0 || aDone.RunSec != 5 {
+		t.Errorf("done job A: queue_wait=%v run=%v, want 0 and 5", aDone.QueueWaitSec, aDone.RunSec)
+	}
+
+	<-entered // B dequeued at T+5s after waiting 3s
+	clk.Advance(1 * time.Second)
+	release <- struct{}{} // B finishes at T+6s
+	bDone := waitState(t, s, b.ID, StateDone)
+	if bDone.QueueWaitSec != 3 || bDone.RunSec != 1 {
+		t.Errorf("done job B: queue_wait=%v run=%v, want 3 and 1", bDone.QueueWaitSec, bDone.RunSec)
+	}
+
+	m := s.Metrics()
+	if m.QueueWait.Count != 2 || m.QueueWait.Sum != 3 {
+		t.Errorf("queue-wait histogram: count=%d sum=%v, want 2 and 3", m.QueueWait.Count, m.QueueWait.Sum)
+	}
+	if m.ExecTime.Count != 2 || m.ExecTime.Sum != 6 {
+		t.Errorf("exec-time histogram: count=%d sum=%v, want 2 and 6", m.ExecTime.Count, m.ExecTime.Sum)
+	}
+}
+
+// statsResponse is the wire shape of GET /v1/jobs/{id}/stats.
+type statsResponse struct {
+	ID          string                `json:"id"`
+	State       State                 `json:"state"`
+	EngineStats *seadopt.ExploreStats `json:"engine_stats"`
+}
+
+func getStats(t *testing.T, base, id string) (int, statsResponse) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr statsResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sr
+}
+
+func checkEngineStats(t *testing.T, label string, st *seadopt.ExploreStats) {
+	t.Helper()
+	if st == nil {
+		t.Fatalf("%s: no engine stats", label)
+	}
+	if st.WallNanos <= 0 {
+		t.Errorf("%s: wall clock %d ns", label, st.WallNanos)
+	}
+	if st.Combos.Total == 0 {
+		t.Errorf("%s: zero combinations", label)
+	}
+	if got := st.Combos.Evaluated + st.Combos.Pruned + st.Combos.Skipped; got != st.Combos.Total {
+		t.Errorf("%s: verdicts don't partition: %+v", label, st.Combos)
+	}
+	if st.Combos.MapperRuns == 0 {
+		t.Errorf("%s: mapper never ran", label)
+	}
+	if len(st.Workers) == 0 {
+		t.Errorf("%s: no per-worker stats", label)
+	}
+	if st.Phases.MapperNanos <= 0 {
+		t.Errorf("%s: mapper phase clock %d ns", label, st.Phases.MapperNanos)
+	}
+}
+
+// TestHTTPStatsAndTrace covers the two telemetry endpoints for a scalar and
+// a pareto job: 404 for unknown jobs, per-phase stats for done jobs, a
+// perfetto-loadable trace with one named row per engine worker, and the SSE
+// terminal event carrying the same engine stats.
+func TestHTTPStatsAndTrace(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 2})
+
+	for _, path := range []string{"/v1/jobs/nope/stats", "/v1/jobs/nope/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	scalar := postJob(t, ts.URL, mpeg2Envelope(t))
+	waitJobHTTP(t, ts.URL, scalar.ID, StateDone)
+
+	code, sr := getStats(t, ts.URL, scalar.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET stats for done scalar job = %d", code)
+	}
+	if sr.ID != scalar.ID || sr.State != StateDone {
+		t.Errorf("stats envelope: id=%s state=%s", sr.ID, sr.State)
+	}
+	checkEngineStats(t, "scalar", sr.EngineStats)
+
+	// The SSE terminal event carries the same stats inline.
+	_, done := readSSE(t, ts.URL, scalar.ID)
+	if done.Stats == nil || done.Stats.Combos.Total != sr.EngineStats.Combos.Total {
+		t.Error("SSE done event does not carry the job's engine stats")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + scalar.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, scalar.ID) {
+		t.Errorf("trace content disposition %q does not name the job", cd)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	rows := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			rows[ev.TID] = true
+		}
+	}
+	// One row per engine worker plus the exploration-events row.
+	if want := len(sr.EngineStats.Workers) + 1; len(rows) != want {
+		t.Errorf("trace has %d named rows, want %d (one per worker + events)", len(rows), want)
+	}
+
+	// Pareto jobs expose the same telemetry surface.
+	env := mpeg2Envelope(t)
+	env = []byte(strings.Replace(string(env), `"options":{`, `"options":{"mode":"pareto",`, 1))
+	pareto := postJob(t, ts.URL, env)
+	waitJobHTTP(t, ts.URL, pareto.ID, StateDone)
+	code, pr := getStats(t, ts.URL, pareto.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET stats for done pareto job = %d", code)
+	}
+	checkEngineStats(t, "pareto", pr.EngineStats)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + pareto.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET trace for pareto job = %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPStatsConflictWhileRunning: stats and trace answer 409 until the
+// job actually has a telemetry snapshot.
+func TestHTTPStatsConflictWhileRunning(t *testing.T) {
+	s, ts := newHTTPServer(t, Config{Workers: 1})
+	release := make(chan struct{})
+	s.hookExecute = func(*flight) { <-release }
+
+	st := postJob(t, ts.URL, mpeg2Envelope(t))
+	for _, path := range []string{"/stats", "/trace"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("GET %s before completion = %d, want 409", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "no engine stats") {
+			t.Errorf("conflict body %q does not explain the missing stats", body)
+		}
+	}
+	close(release)
+	waitJobHTTP(t, ts.URL, st.ID, StateDone)
+	if code, _ := getStats(t, ts.URL, st.ID); code != http.StatusOK {
+		t.Errorf("GET stats after completion = %d", code)
+	}
+}
+
+// TestHTTPMetricsLint scrapes /metrics from a live server that has run a
+// job and validates the whole exposition with the strict parser — the same
+// check the CI integration step performs against a real daemon.
+func TestHTTPMetricsLint(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{Workers: 1})
+	st := postJob(t, ts.URL, mpeg2Envelope(t))
+	waitJobHTTP(t, ts.URL, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if err := LintMetrics(raw); err != nil {
+		t.Fatalf("live /metrics fails exposition lint: %v", err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE seadoptd_job_queue_wait_seconds histogram",
+		"# TYPE seadoptd_engine_exec_seconds histogram",
+		"# TYPE seadoptd_http_request_duration_seconds histogram",
+		"seadoptd_build_info{",
+		"seadoptd_goroutines ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The engine ran once, so its histogram must hold one observation.
+	if !strings.Contains(out, "seadoptd_engine_exec_seconds_count 1") {
+		t.Error("engine exec histogram did not record the execution")
+	}
+}
+
+// TestHTTPRequestIDHeader: every instrumented response carries a request id.
+func TestHTTPRequestIDHeader(t *testing.T) {
+	_, ts := newHTTPServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("response missing X-Request-Id header")
+	}
+	var hb struct {
+		Status string `json:"status"`
+		Build  struct {
+			Version string `json:"version"`
+			Go      string `json:"go"`
+		} `json:"build"`
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&hb); err != nil {
+		t.Fatal(err)
+	}
+	if hb.Build.Go == "" || hb.Build.Version == "" {
+		t.Errorf("healthz build info incomplete: %+v", hb.Build)
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"seadopt/internal/mapping"
+)
+
+// WriteExploration exports an exploration-telemetry snapshot as a Chrome
+// trace: one thread row per worker carrying a duration event for every
+// recorded combination span, plus a dedicated "exploration" row carrying
+// instant events for incumbent updates, bound tightenings, frontier
+// admissions and prune/skip marks. Timestamps are nanoseconds since the run
+// start, rendered in microseconds as the format requires. Every worker gets
+// a named row even when its span recording was capped (WorkerStats.Dropped
+// reports the loss in the row's metadata).
+func WriteExploration(w io.Writer, title string, st *mapping.ExploreStats) error {
+	if st == nil {
+		return fmt.Errorf("trace: nil exploration stats")
+	}
+	doc := document{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = []event{{
+		Name: "process_name", Phase: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": title},
+	}}
+	// One row per worker, named and ordered, present even with zero spans.
+	for _, ws := range st.Workers {
+		doc.TraceEvents = append(doc.TraceEvents, event{
+			Name: "thread_name", Phase: "M", PID: pid, TID: ws.Worker,
+			Args: map[string]any{
+				"name": fmt.Sprintf("worker %d (%d combinations, %.1f ms busy)",
+					ws.Worker, ws.Combinations, float64(ws.BusyNanos)/1e6),
+			},
+		})
+	}
+	eventRow := len(st.Workers)
+	doc.TraceEvents = append(doc.TraceEvents, event{
+		Name: "thread_name", Phase: "M", PID: pid, TID: eventRow,
+		Args: map[string]any{"name": "exploration events"},
+	})
+	for _, ws := range st.Workers {
+		for _, sp := range ws.Spans {
+			doc.TraceEvents = append(doc.TraceEvents, event{
+				Name:  fmt.Sprintf("%s c%d", sp.Kind, sp.Combination),
+				Phase: "X",
+				TS:    float64(sp.StartNanos) / 1e3,
+				Dur:   float64(sp.EndNanos-sp.StartNanos) / 1e3,
+				PID:   pid,
+				TID:   ws.Worker,
+				Args: map[string]any{
+					"combination": sp.Combination,
+					"kind":        sp.Kind,
+				},
+			})
+		}
+	}
+	for _, ev := range st.Events {
+		args := map[string]any{
+			"index":       ev.Index,
+			"combination": ev.Combination,
+		}
+		if ev.NominalW != 0 {
+			args["nominal_power_w"] = ev.NominalW
+		}
+		if ev.FrontierSize != 0 {
+			args["frontier_size"] = ev.FrontierSize
+		}
+		doc.TraceEvents = append(doc.TraceEvents, event{
+			Name:  ev.Kind,
+			Phase: "i",
+			TS:    float64(ev.AtNanos) / 1e3,
+			PID:   pid,
+			TID:   eventRow,
+			Scope: "t",
+			Args:  args,
+		})
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

@@ -22,6 +22,7 @@ type event struct {
 	Dur   float64        `json:"dur,omitempty"` // microseconds
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope ("t")
 	Args  map[string]any `json:"args,omitempty"`
 }
 
