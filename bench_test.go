@@ -607,3 +607,59 @@ func BenchmarkOptimalityGap(b *testing.B) {
 		}
 	}
 }
+
+// benchSweepDeadlines is the 8-point deadline sweep of BENCH_sweep.json:
+// deadlines clustered just above the 16-core workload's pruning deadline,
+// so every point is feasible but the scalar winner moves with the
+// constraint.
+func benchSweepDeadlines() []float64 {
+	base := RandomGraphDeadline(40) * 0.5
+	dls := make([]float64, 8)
+	for i := range dls {
+		dls[i] = base * (1 + 0.01*float64(i))
+	}
+	return dls
+}
+
+// BenchmarkSweepWarmVsCold is the warm-start measurement of
+// BENCH_sweep.json: /Cold runs the 8-point deadline sweep as 8 independent
+// Optimize calls (fresh probe work, cold incumbent, per-run bounds);
+// /Warm runs the same 8 points as ONE OptimizeSweep batch — one bounds
+// precompute, one probe-trajectory climb shared across all points, and
+// ranked warm incumbents — and must return byte-identical designs roughly
+// an order of magnitude faster (cmd/benchgate gates the Cold/Warm ratio).
+func BenchmarkSweepWarmVsCold(b *testing.B) {
+	g, _ := bench16Graph(b)
+	deadlines := benchSweepDeadlines()
+	sys, err := NewARM7System(g, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := OptimizeOptions{
+		StreamIterations: 1,
+		SearchMoves:      200,
+		Seed:             1,
+	}
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, dl := range deadlines {
+				o := base
+				o.DeadlineSec = dl
+				if _, err := sys.Optimize(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		points := make([]SweepPoint, len(deadlines))
+		for i, dl := range deadlines {
+			points[i] = SweepPoint{DeadlineSec: dl}
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.OptimizeSweep(points, SweepOptions{Options: base}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,7 +1,8 @@
 // Command benchgate is the CI benchmark-regression gate: it parses raw
 // `go test -bench` output (typically run with -count=5 -benchmem) and
 // compares it against the repository's committed benchmark baselines
-// (BENCH_explore.json, BENCH_prune.json, BENCH_scale.json), failing the
+// (BENCH_explore.json, BENCH_prune.json, BENCH_scale.json,
+// BENCH_sweep.json), failing the
 // build when a machine-independent quantity regresses beyond the
 // tolerance. Baseline files are given positionally or via repeated
 // -baseline flags, interchangeably.
@@ -18,11 +19,12 @@
 //     deterministic property of the code, so the per-op minimum across
 //     -count repetitions must stay within -tol of the committed value
 //     (improvements always pass);
-//   - wall-clock *ratios* of paired strategy benchmarks: for every
-//     "<X>Exhaustive"/"<X>BnB" pair in the baselines, the measured speedup
-//     (exhaustive ns/op ÷ branch-and-bound ns/op, best-of-count) must stay
-//     within -tol of the committed speedup — pruning wins are relative, so
-//     the ratio is comparable on any host.
+//   - wall-clock *ratios* of paired benchmarks: for every
+//     "<X>Exhaustive"/"<X>BnB" strategy pair and every "<X>/Cold"/"<X>/Warm"
+//     warm-start pair in the baselines, the measured speedup (slow ns/op ÷
+//     fast ns/op, best-of-count) must stay within -tol of the committed
+//     speedup — pruning and warm-start wins are relative, so the ratio is
+//     comparable on any host.
 //
 // A benchmark named in the baselines but absent from the measured output
 // FAILS the gate with the file that names it: a renamed or deleted
@@ -282,40 +284,49 @@ func evaluate(baseline map[string]benchRecord, source map[string]string, got map
 			status, name, m.allocsPerOp, rec.AllocsPerOp, limit, m.samples))
 	}
 
-	// Ratio gate: every Exhaustive/BnB pair's measured speedup must hold.
-	for _, name := range names {
-		if !strings.HasSuffix(name, "Exhaustive") {
-			continue
+	// Ratio gate: for every baselined slow/fast suffix pair — strategy
+	// pairs ("...Exhaustive" vs "...BnB") and warm-start pairs (".../Cold"
+	// vs ".../Warm") — the measured speedup (slow ns/op ÷ fast ns/op,
+	// best-of-count) must hold within tolerance.
+	ratioPairs := []struct{ slow, fast, label string }{
+		{"Exhaustive", "BnB", " speedup"},
+		{"Cold", "Warm", " warm speedup"},
+	}
+	for _, rp := range ratioPairs {
+		for _, name := range names {
+			if !strings.HasSuffix(name, rp.slow) {
+				continue
+			}
+			stem := strings.TrimSuffix(name, rp.slow)
+			pair := stem + rp.fast
+			recSlow := baseline[name]
+			recFast, ok := baseline[pair]
+			if !ok || recFast.NsPerOp <= 0 || recSlow.NsPerOp <= 0 {
+				continue
+			}
+			mSlow, ok1 := got[name]
+			mFast, ok2 := got[pair]
+			checkName := strings.TrimSuffix(stem, "/") + rp.label
+			if !ok1 || !ok2 {
+				lines = append(lines, fmt.Sprintf("SKIP  %-36s pair not fully measured", checkName))
+				continue
+			}
+			if mFast.nsPerOp <= 0 {
+				lines = append(lines, fmt.Sprintf("FAIL  %-36s %s measured 0 ns/op", checkName, rp.fast))
+				failures++
+				continue
+			}
+			want := recSlow.NsPerOp / recFast.NsPerOp
+			gotRatio := mSlow.nsPerOp / mFast.nsPerOp
+			floor := want * (1 - tol)
+			status := "PASS"
+			if gotRatio < floor {
+				status = "FAIL"
+				failures++
+			}
+			lines = append(lines, fmt.Sprintf("%s  %-36s %.2fx (baseline %.2fx, floor %.2fx)",
+				status, checkName, gotRatio, want, floor))
 		}
-		pair := strings.TrimSuffix(name, "Exhaustive") + "BnB"
-		recExh, okB := baseline[name], false
-		recBnB, ok := baseline[pair]
-		okB = ok
-		if !okB || recBnB.NsPerOp <= 0 || recExh.NsPerOp <= 0 {
-			continue
-		}
-		mExh, ok1 := got[name]
-		mBnB, ok2 := got[pair]
-		checkName := strings.TrimSuffix(name, "Exhaustive") + " speedup"
-		if !ok1 || !ok2 {
-			lines = append(lines, fmt.Sprintf("SKIP  %-36s pair not fully measured", checkName))
-			continue
-		}
-		if mBnB.nsPerOp <= 0 {
-			lines = append(lines, fmt.Sprintf("FAIL  %-36s BnB measured 0 ns/op", checkName))
-			failures++
-			continue
-		}
-		want := recExh.NsPerOp / recBnB.NsPerOp
-		gotRatio := mExh.nsPerOp / mBnB.nsPerOp
-		floor := want * (1 - tol)
-		status := "PASS"
-		if gotRatio < floor {
-			status = "FAIL"
-			failures++
-		}
-		lines = append(lines, fmt.Sprintf("%s  %-36s %.2fx (baseline %.2fx, floor %.2fx)",
-			status, checkName, gotRatio, want, floor))
 	}
 	return lines, failures
 }

@@ -15,6 +15,7 @@ func repoBaselines(t *testing.T) []string {
 	paths := []string{
 		filepath.Join("..", "..", "BENCH_explore.json"),
 		filepath.Join("..", "..", "BENCH_prune.json"),
+		filepath.Join("..", "..", "BENCH_sweep.json"),
 	}
 	for _, p := range paths {
 		if _, err := os.Stat(p); err != nil {
@@ -44,6 +45,8 @@ func healthyBench() string {
 		{"BenchmarkExploreMPEG2BnB", 896104, 448},
 		{"BenchmarkExplore16CoreExhaustive", 397196066, 69837},
 		{"BenchmarkExplore16CoreBnB", 61809175, 7959},
+		{"BenchmarkSweepWarmVsCold/Cold", 487193877, 71288},
+		{"BenchmarkSweepWarmVsCold/Warm", 40892894, 10516},
 	}
 	for _, l := range lines {
 		for rep := 0; rep < 3; rep++ {
@@ -81,6 +84,7 @@ func TestGatePassesOnHealthyRun(t *testing.T) {
 		"PASS  OptimizeMPEG2",
 		"PASS  ExploreMPEG2 speedup",
 		"PASS  Explore16Core speedup",
+		"PASS  SweepWarmVsCold warm speedup",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -115,6 +119,35 @@ func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 	}
 	if !strings.Contains(out, "FAIL  ExploreMPEG2 speedup") || !strings.Contains(out, "FAIL  Explore16Core speedup") {
 		t.Errorf("slowdown not attributed to the speedup checks:\n%s", out)
+	}
+}
+
+// TestGateFailsOnWarmRatioCollapse: tripling the warm-start sweep's wall
+// clock collapses the Cold/Warm speedup, which the warm-speedup ratio
+// check must reject even while both allocation gates still pass.
+func TestGateFailsOnWarmRatioCollapse(t *testing.T) {
+	slowed := healthyBench()
+	var sb strings.Builder
+	for _, line := range strings.Split(slowed, "\n") {
+		if strings.Contains(line, "SweepWarmVsCold/Warm") {
+			fields := strings.Fields(line)
+			var ns float64
+			fmt.Sscanf(fields[2], "%f", &ns)
+			fmt.Fprintf(&sb, "%s  \t%s\t  %.0f ns/op\t  %s B/op\t  %s allocs/op\n",
+				fields[0], fields[1], ns*3, fields[4], fields[6])
+			continue
+		}
+		sb.WriteString(line + "\n")
+	}
+	code, out := runGate(t, sb.String())
+	if code == 0 {
+		t.Fatalf("3x warm-sweep slowdown passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL  SweepWarmVsCold warm speedup") {
+		t.Errorf("slowdown not attributed to the warm speedup check:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL  SweepWarmVsCold/Warm ") {
+		t.Errorf("wall-clock slowdown tripped the allocation gate:\n%s", out)
 	}
 }
 

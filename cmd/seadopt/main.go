@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"seadopt"
 	"seadopt/internal/buildinfo"
@@ -48,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		strategy  = fs.String("strategy", "", "exploration strategy: bnb (default; same answer as exhaustive, prunes provably irrelevant scalings), exhaustive, or sampled (approximate)")
 		budget    = fs.Int("sample-budget", 0, "combinations the sampled strategy maps (0 = default)")
 		ranked    = fs.Bool("ranked", false, "seed the bnb incumbent via a ranked (cheapest-nominal-first) pass before the stream; same answer, often much faster")
+		dlSweep   = fs.String("deadline-sweep", "", "evaluate a lo:hi:step deadline sweep (seconds) over one shared reuse layer instead of a single run; honors -pareto/-objectives per point")
+		sweepSpec = fs.String("sweep-spec", "", "JSON sweep-spec file {\"deadlines\":[..],\"point_mode\":\"scalar|pareto\",\"objective_sets\":[..],\"no_warm_start\":false}; overrides -deadline-sweep/-pareto/-objectives")
+		coldSweep = fs.Bool("cold-sweep", false, "run sweep points without warm-starting (same designs, byte-identical per-point progress to independent runs)")
 		paretoRun = fs.Bool("pareto", false, "return the Pareto frontier of feasible designs instead of the single minimum-power one")
 		objs      = fs.String("objectives", "", "pareto objectives, comma-separated subset of power,makespan,gamma (default all three)")
 		progress  = fs.Bool("progress", false, "print one line per resolved scaling combination")
@@ -183,6 +188,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *dlSweep != "" || *sweepSpec != "" {
+		if *baseline != "" {
+			return fail(fmt.Errorf("sweeps support only the proposed mapper, not -baseline %s", *baseline))
+		}
+		code, err := runSweep(sys, g.Name(), platformDesc, opts, sweepParams{
+			rangeSpec: *dlSweep, specFile: *sweepSpec, pareto: *paretoRun,
+			objectives: objectives, cold: *coldSweep, progress: *progress,
+			jsonOut: *jsonOut,
+		}, stdout, narration)
+		if err != nil {
+			return fail(err)
+		}
+		printExploreStats(narration, exploreStats)
+		return code
+	}
+
 	if *paretoRun {
 		if *baseline != "" {
 			return fail(fmt.Errorf("-pareto supports only the proposed mapper, not -baseline %s", *baseline))
@@ -267,6 +288,204 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// sweepParams collects the sweep-defining CLI inputs.
+type sweepParams struct {
+	rangeSpec  string // lo:hi:step, from -deadline-sweep
+	specFile   string // JSON sweep-spec path, from -sweep-spec
+	pareto     bool
+	objectives seadopt.ParetoObjectives
+	cold       bool
+	progress   bool
+	jsonOut    bool
+}
+
+// sweepSpecDoc is the -sweep-spec file format: the deadline points, the
+// per-point reduction, optional Pareto objective sets to cross the deadlines
+// with, and whether to disable warm-starting.
+type sweepSpecDoc struct {
+	Deadlines     []float64 `json:"deadlines"`
+	PointMode     string    `json:"point_mode"`
+	ObjectiveSets []string  `json:"objective_sets"`
+	NoWarmStart   bool      `json:"no_warm_start"`
+}
+
+// parseDeadlineRange expands a lo:hi:step spec into an inclusive deadline
+// list (hi is included when it lands on the grid, up to rounding).
+func parseDeadlineRange(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-deadline-sweep %q: want lo:hi:step", spec)
+	}
+	vals := make([]float64, 3)
+	for i, s := range parts {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-deadline-sweep %q: %q is not a number", spec, s)
+		}
+		vals[i] = v
+	}
+	lo, hi, step := vals[0], vals[1], vals[2]
+	if lo < 0 || hi < lo || step <= 0 {
+		return nil, fmt.Errorf("-deadline-sweep %q: need 0 <= lo <= hi and step > 0", spec)
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		d := lo + step*float64(i)
+		if d > hi+step*1e-9 {
+			break
+		}
+		if len(out) >= 10000 {
+			return nil, fmt.Errorf("-deadline-sweep %q: more than 10000 points", spec)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// runSweep evaluates a deadline sweep over one shared reuse layer: one
+// bounds precompute, one probe-trajectory cache and one evaluator pool for
+// every point, with each point's result byte-identical to an independent
+// run at that deadline. Exit code 2 means no point admitted a
+// deadline-meeting design.
+func runSweep(sys *seadopt.System, graphName, platformDesc string, opts seadopt.OptimizeOptions,
+	p sweepParams, stdout, narration io.Writer) (int, error) {
+	var deadlines []float64
+	pareto := p.pareto
+	var objSets []seadopt.ParetoObjectives
+	cold := p.cold
+	if p.specFile != "" {
+		data, err := os.ReadFile(p.specFile)
+		if err != nil {
+			return 1, err
+		}
+		var doc sweepSpecDoc
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&doc); err != nil {
+			return 1, fmt.Errorf("parsing sweep spec %s: %w", p.specFile, err)
+		}
+		deadlines = doc.Deadlines
+		switch doc.PointMode {
+		case "", "scalar":
+			pareto = false
+			if len(doc.ObjectiveSets) > 0 {
+				return 1, fmt.Errorf("sweep spec objective_sets need point_mode \"pareto\"")
+			}
+		case "pareto":
+			pareto = true
+			sets := doc.ObjectiveSets
+			if len(sets) == 0 {
+				sets = []string{""}
+			}
+			for _, s := range sets {
+				o, err := seadopt.ParseParetoObjectives(s)
+				if err != nil {
+					return 1, err
+				}
+				objSets = append(objSets, o)
+			}
+		default:
+			return 1, fmt.Errorf("sweep spec point_mode %q (want scalar or pareto)", doc.PointMode)
+		}
+		cold = cold || doc.NoWarmStart
+	} else {
+		var err error
+		deadlines, err = parseDeadlineRange(p.rangeSpec)
+		if err != nil {
+			return 1, err
+		}
+		if pareto {
+			objSets = []seadopt.ParetoObjectives{p.objectives}
+		}
+	}
+	if len(deadlines) == 0 {
+		return 1, fmt.Errorf("sweep has no deadline points")
+	}
+	var points []seadopt.SweepPoint
+	for _, d := range deadlines {
+		if pareto {
+			for _, o := range objSets {
+				points = append(points, seadopt.SweepPoint{DeadlineSec: d, Pareto: true, Objectives: o})
+			}
+		} else {
+			points = append(points, seadopt.SweepPoint{DeadlineSec: d})
+		}
+	}
+	sopts := seadopt.SweepOptions{Options: opts, NoWarmStart: cold}
+	if p.progress {
+		sopts.PointProgress = func(point int, ev seadopt.ExploreProgress) {
+			switch {
+			case ev.Pruned:
+				fmt.Fprintf(narration, "  [pt %d %2d/%2d] scaling %v  pruned\n",
+					point+1, ev.Index+1, ev.Total, ev.Scaling)
+			case ev.Skipped:
+				fmt.Fprintf(narration, "  [pt %d %2d/%2d] scaling %v  skipped\n",
+					point+1, ev.Index+1, ev.Total, ev.Scaling)
+			default:
+				fmt.Fprintf(narration, "  [pt %d %2d/%2d] scaling %v  P=%.3f mW  Γ=%.4g\n",
+					point+1, ev.Index+1, ev.Total, ev.Scaling,
+					ev.Design.Eval.PowerW*1e3, ev.Design.Eval.Gamma)
+			}
+		}
+	}
+	if !p.jsonOut {
+		fmt.Fprintf(stdout, "sweeping %d point(s) (%d deadline(s)) of %s on %s...\n",
+			len(points), len(deadlines), graphName, platformDesc)
+	}
+	results, err := sys.OptimizeSweep(points, sopts)
+	if err != nil {
+		return 1, err
+	}
+	if p.jsonOut {
+		type pointJSON struct {
+			Point       int               `json:"point"`
+			DeadlineSec float64           `json:"deadline_sec"`
+			Objectives  string            `json:"objectives,omitempty"`
+			Design      *seadopt.Design   `json:"design,omitempty"`
+			Frontier    []*seadopt.Design `json:"frontier,omitempty"`
+		}
+		out := make([]pointJSON, len(results))
+		for i, r := range results {
+			out[i] = pointJSON{Point: i + 1, DeadlineSec: r.Spec.DeadlineSec}
+			if r.Spec.Pareto {
+				out[i].Objectives = r.Spec.Objectives.String()
+				out[i].Frontier = r.Frontier
+			} else {
+				out[i].Design = r.Design
+			}
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			return 1, err
+		}
+		stdout.Write(append(data, '\n'))
+	} else {
+		for i, r := range results {
+			if r.Spec.Pareto {
+				fmt.Fprintf(stdout, "[%d] deadline %.4fs (%s): frontier of %d design(s)\n",
+					i+1, r.Spec.DeadlineSec, r.Spec.Objectives, len(r.Frontier))
+				for j, d := range r.Frontier {
+					fmt.Fprintf(stdout, "  [%d.%d] %s", i+1, j, d.Summary())
+				}
+			} else {
+				fmt.Fprintf(stdout, "[%d] deadline %.4fs: %s", i+1, r.Spec.DeadlineSec, r.Design.Summary())
+			}
+		}
+	}
+	// Exit 2 only when NO point admits a deadline-meeting design — a sweep
+	// deliberately probing past the feasibility knee is not an error.
+	for _, r := range results {
+		if r.Design != nil && r.Design.Eval.MeetsDeadline {
+			return 0, nil
+		}
+		if len(r.Frontier) > 0 && r.Frontier[0].Eval.MeetsDeadline {
+			return 0, nil
+		}
+	}
+	fmt.Fprintln(narration, "warning: no deadline-meeting design exists at any sweep point")
+	return 2, nil
 }
 
 func loadWorkload(name string, tasks int, seed int64) (g *seadopt.Graph, deadlineSec float64, streamIters int, err error) {

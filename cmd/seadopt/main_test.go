@@ -113,6 +113,67 @@ func TestGoldenDumpGraph(t *testing.T) {
 	checkGolden(t, "fig8_dump", stdout)
 }
 
+// TestGoldenMPEG2DeadlineSweep: the -deadline-sweep range form evaluates
+// every point over one shared reuse layer and lists one design per
+// deadline; the text output must stay byte-stable.
+func TestGoldenMPEG2DeadlineSweep(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"-graph", "mpeg2", "-seed", "2010",
+		"-deadline-sweep", "13:15:1", "-inject=false")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "mpeg2_sweep", stdout)
+
+	// -cold-sweep disables warm-starting but must not change any design.
+	coldOut, stderr, code := runCLI(t,
+		"-graph", "mpeg2", "-seed", "2010",
+		"-deadline-sweep", "13:15:1", "-cold-sweep", "-inject=false")
+	if code != 0 {
+		t.Fatalf("cold sweep exit code %d, stderr:\n%s", code, stderr)
+	}
+	if coldOut != stdout {
+		t.Errorf("-cold-sweep changed the sweep output:\n--- warm ---\n%s--- cold ---\n%s", stdout, coldOut)
+	}
+}
+
+// TestCLISweepSpecJSON drives a Pareto sweep from a -sweep-spec file and
+// checks the machine-readable output: one frontier per (deadline ×
+// objective set) point.
+func TestCLISweepSpecJSON(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "sweep.json")
+	doc := `{"deadlines": [14, 14.581], "point_mode": "pareto", "objective_sets": ["", "power,makespan"]}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runCLI(t,
+		"-graph", "mpeg2", "-seed", "2010",
+		"-sweep-spec", spec, "-json", "-inject=false")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	var points []struct {
+		Point       int             `json:"point"`
+		DeadlineSec float64         `json:"deadline_sec"`
+		Objectives  string          `json:"objectives"`
+		Frontier    json.RawMessage `json:"frontier"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &points); err != nil {
+		t.Fatalf("stdout is not a JSON point array: %v\n%s", err, stdout)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points for 2 deadlines x 2 objective sets, want 4", len(points))
+	}
+	for i, pt := range points {
+		if pt.Point != i+1 {
+			t.Errorf("point %d numbered %d, want 1-based order", i, pt.Point)
+		}
+		if len(pt.Frontier) == 0 {
+			t.Errorf("point %d has no frontier", pt.Point)
+		}
+	}
+}
+
 // TestCLIErrors: flag and input mistakes exit 1 with a message, without
 // touching the golden files.
 func TestCLIErrors(t *testing.T) {
@@ -124,6 +185,11 @@ func TestCLIErrors(t *testing.T) {
 		{"-graph", "mpeg2", "-platform", "testdata/absent.json"},
 		{"-graph", "mpeg2", "-pareto", "-baseline", "reg"},
 		{"-graph", "mpeg2", "-strategy", "nonsense"},
+		{"-graph", "mpeg2", "-deadline-sweep", "15:13:1"}, // hi < lo
+		{"-graph", "mpeg2", "-deadline-sweep", "13:15:0"}, // zero step
+		{"-graph", "mpeg2", "-deadline-sweep", "13:15"},   // not lo:hi:step
+		{"-graph", "mpeg2", "-deadline-sweep", "13:15:1", "-baseline", "reg"},
+		{"-graph", "mpeg2", "-sweep-spec", "testdata/absent.json"},
 	}
 	for _, args := range cases {
 		stdout, stderr, code := runCLI(t, args...)

@@ -21,6 +21,10 @@ const (
 	// ModePareto returns the ordered Pareto frontier of deadline-feasible
 	// designs over the problem's objectives instead of one scalar optimum.
 	ModePareto = "pareto"
+	// ModeSweep evaluates a batch of problem variants — a deadline sweep,
+	// optionally crossed with extra platforms and per-point objective sets
+	// — over one shared reuse layer, returning per-point results.
+	ModeSweep = "sweep"
 )
 
 // ParseMode resolves a user-facing mode name (CLI flag, job option); the
@@ -31,8 +35,10 @@ func ParseMode(name string) (string, error) {
 		return ModeScalar, nil
 	case ModePareto, "frontier", "multi":
 		return ModePareto, nil
+	case ModeSweep, "batch":
+		return ModeSweep, nil
 	}
-	return "", fmt.Errorf("ingest: unknown mode %q (want scalar or pareto)", name)
+	return "", fmt.Errorf("ingest: unknown mode %q (want scalar, pareto or sweep)", name)
 }
 
 // Options are the result-affecting knobs of an optimization problem. They
@@ -73,6 +79,23 @@ type Options struct {
 	// canonical rendering, and zeroed for the scalar mode, which ignores
 	// it.
 	Objectives string `json:"objectives"`
+	// SweepDeadlines lists the sweep mode's deadline points, in submission
+	// order (the order per-point results stream in — deliberately NOT
+	// sorted or deduplicated by normalization). Required for mode=sweep,
+	// forbidden otherwise. DeadlineSec is ignored (and normalized away) in
+	// sweep mode. omitempty keeps pre-sweep canonical encodings
+	// byte-identical, so problemKeyVersion needs no bump.
+	SweepDeadlines []float64 `json:"sweep_deadlines,omitempty"`
+	// SweepObjectiveSets crosses the deadline sweep with Pareto objective
+	// selections (one frontier per deadline × set). Only valid with
+	// SweepPointMode "pareto"; each entry follows the Objectives syntax and
+	// normalizes to its canonical rendering. Empty with a pareto point mode
+	// means one default (all-objectives) set per deadline.
+	SweepObjectiveSets []string `json:"sweep_objective_sets,omitempty"`
+	// SweepPointMode selects each sweep point's reduction: "" or "scalar"
+	// (one minimum-power design per point) or "pareto" (one frontier per
+	// point).
+	SweepPointMode string `json:"sweep_point_mode,omitempty"`
 }
 
 // Validate rejects option values the engine cannot run.
@@ -97,6 +120,33 @@ func (o Options) Validate() error {
 	}
 	if mode != ModePareto && o.Objectives != "" {
 		return fmt.Errorf("ingest: objectives %q need mode=pareto", o.Objectives)
+	}
+	if mode == ModeSweep {
+		if len(o.SweepDeadlines) == 0 {
+			return fmt.Errorf("ingest: mode=sweep needs at least one sweep deadline")
+		}
+		if o.Baseline != "" {
+			return fmt.Errorf("ingest: sweep mode supports only the proposed mapper (baseline %q given)", o.Baseline)
+		}
+		for _, d := range o.SweepDeadlines {
+			if d < 0 {
+				return fmt.Errorf("ingest: negative sweep deadline %v", d)
+			}
+		}
+		pm, err := ParseMode(o.SweepPointMode)
+		if err != nil || pm == ModeSweep {
+			return fmt.Errorf("ingest: sweep point mode %q (want scalar or pareto)", o.SweepPointMode)
+		}
+		if pm != ModePareto && len(o.SweepObjectiveSets) > 0 {
+			return fmt.Errorf("ingest: sweep objective sets need sweep_point_mode=pareto")
+		}
+		for _, set := range o.SweepObjectiveSets {
+			if _, err := pareto.ParseObjectives(set); err != nil {
+				return fmt.Errorf("ingest: sweep objective set: %w", err)
+			}
+		}
+	} else if len(o.SweepDeadlines) > 0 || len(o.SweepObjectiveSets) > 0 || o.SweepPointMode != "" {
+		return fmt.Errorf("ingest: sweep options need mode=sweep")
 	}
 	if o.SampleBudget < 0 {
 		return fmt.Errorf("ingest: negative sample budget %d", o.SampleBudget)
@@ -151,6 +201,39 @@ func (o Options) normalize() Options {
 		return o
 	}
 	o.Mode = mode
+	if mode == ModeSweep {
+		// Per-point deadlines replace the scalar one; don't let a stray
+		// DeadlineSec split keys of otherwise identical sweeps.
+		o.DeadlineSec = 0
+		pm, err := ParseMode(o.SweepPointMode)
+		if err != nil || pm == ModeSweep {
+			o.SweepPointMode = "invalid:" + o.SweepPointMode
+			return o
+		}
+		o.SweepPointMode = pm
+		if pm == ModePareto {
+			sets := o.SweepObjectiveSets
+			if len(sets) == 0 {
+				sets = []string{""}
+			}
+			canon := make([]string, len(sets))
+			for i, set := range sets {
+				obj, err := pareto.ParseObjectives(set)
+				if err != nil {
+					canon[i] = "invalid:" + set
+					continue
+				}
+				canon[i] = obj.String()
+			}
+			o.SweepObjectiveSets = canon
+		} else {
+			o.SweepObjectiveSets = nil
+		}
+	} else {
+		o.SweepDeadlines = nil
+		o.SweepObjectiveSets = nil
+		o.SweepPointMode = ""
+	}
 	if mode == ModePareto {
 		// Canonical objective rendering: "gamma, power" and "power,gamma"
 		// are the same problem; the default and its explicit spelling too.
@@ -173,6 +256,10 @@ type Problem struct {
 	Graph    *taskgraph.Graph
 	Platform *arch.Platform
 	Options  Options
+	// SweepPlatforms crosses a sweep's deadline points with extra
+	// platforms: each sweep point is evaluated on Platform and on every
+	// platform listed here, in order. Only valid with mode=sweep.
+	SweepPlatforms []*arch.Platform
 }
 
 // problemKeyVersion is bumped whenever the canonical encoding or the
@@ -193,6 +280,9 @@ type canonicalProblem struct {
 	Graph    json.RawMessage   `json:"graph"`
 	Platform canonicalPlatform `json:"platform"`
 	Options  Options           `json:"options"`
+	// SweepPlatforms participates only for sweep problems; omitempty keeps
+	// every pre-sweep encoding byte-identical under problemKeyVersion 4.
+	SweepPlatforms []canonicalPlatform `json:"sweep_platforms,omitempty"`
 }
 
 // canonicalPlatform encodes the physical platform only: per-core indices
@@ -214,6 +304,30 @@ type canonicalLevel struct {
 	Vdd     float64 `json:"vdd"`
 }
 
+// canonicalizePlatform renders one platform in the canonical wire form:
+// per-core symmetry-class ids plus one DVS table per class, in class-id
+// (first-occurrence) order.
+func canonicalizePlatform(p *arch.Platform) canonicalPlatform {
+	cp := canonicalPlatform{
+		CoreTypes:    p.SymmetryClasses(),
+		CL:           p.CL(),
+		BaselineBits: p.BaselineBits(),
+	}
+	seen := make(map[int]bool)
+	for core, cls := range cp.CoreTypes {
+		if seen[cls] {
+			continue
+		}
+		seen[cls] = true
+		var levels []canonicalLevel
+		for _, l := range p.Levels(core) {
+			levels = append(levels, canonicalLevel{S: l.S, FreqMHz: l.FreqMHz, Vdd: l.Vdd})
+		}
+		cp.Types = append(cp.Types, levels)
+	}
+	return cp
+}
+
 // CanonicalEncoding returns the stable byte encoding of the problem that
 // Key hashes. Two problems with equal encodings produce identical designs.
 func (p *Problem) CanonicalEncoding() ([]byte, error) {
@@ -223,32 +337,25 @@ func (p *Problem) CanonicalEncoding() ([]byte, error) {
 	if err := p.Options.Validate(); err != nil {
 		return nil, err
 	}
+	mode, _ := ParseMode(p.Options.Mode)
+	if len(p.SweepPlatforms) > 0 && mode != ModeSweep {
+		return nil, fmt.Errorf("ingest: sweep platforms need mode=sweep")
+	}
 	gj, err := p.Graph.MarshalJSON()
 	if err != nil {
 		return nil, fmt.Errorf("ingest: encoding graph for problem key: %w", err)
 	}
 	cp := canonicalProblem{
-		V:     problemKeyVersion,
-		Graph: gj,
-		Platform: canonicalPlatform{
-			CoreTypes:    p.Platform.SymmetryClasses(),
-			CL:           p.Platform.CL(),
-			BaselineBits: p.Platform.BaselineBits(),
-		},
-		Options: p.Options.normalize(),
+		V:        problemKeyVersion,
+		Graph:    gj,
+		Platform: canonicalizePlatform(p.Platform),
+		Options:  p.Options.normalize(),
 	}
-	// One table per symmetry class, in class-id (first-occurrence) order.
-	seen := make(map[int]bool)
-	for core, cls := range cp.Platform.CoreTypes {
-		if seen[cls] {
-			continue
+	for _, sp := range p.SweepPlatforms {
+		if sp == nil {
+			return nil, fmt.Errorf("ingest: nil sweep platform")
 		}
-		seen[cls] = true
-		var levels []canonicalLevel
-		for _, l := range p.Platform.Levels(core) {
-			levels = append(levels, canonicalLevel{S: l.S, FreqMHz: l.FreqMHz, Vdd: l.Vdd})
-		}
-		cp.Platform.Types = append(cp.Platform.Types, levels)
+		cp.SweepPlatforms = append(cp.SweepPlatforms, canonicalizePlatform(sp))
 	}
 	return json.Marshal(cp)
 }
@@ -266,4 +373,85 @@ func (p *Problem) Key() (string, error) {
 	}
 	sum := sha256.Sum256(enc)
 	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalFingerprint is the workload-only slice of the canonical problem:
+// graph and platform, no options. Its own version tag moves independently of
+// problemKeyVersion, since it only gates warm-start and probe reuse, never
+// result-cache identity.
+type canonicalFingerprint struct {
+	V        int               `json:"v"`
+	Graph    json.RawMessage   `json:"graph"`
+	Platform canonicalPlatform `json:"platform"`
+}
+
+const fingerprintVersion = 1
+
+// Fingerprint is the content identity of the problem's workload alone —
+// graph and platform, no options — in the form "fp-sha256:<hex>". Problems
+// sharing a fingerprint describe the same hardware running the same
+// application under different optimization options; the service's
+// warm-start registry keys on it, so a prior result can seed a
+// fingerprint-matching submission whose deadline or objectives differ.
+// Together with OptionKey it splits Key: two problems are the same problem
+// iff fingerprint AND option key (and sweep platform list) match.
+func (p *Problem) Fingerprint() (string, error) {
+	if p.Graph == nil || p.Platform == nil {
+		return "", fmt.Errorf("ingest: problem needs both a graph and a platform")
+	}
+	gj, err := p.Graph.MarshalJSON()
+	if err != nil {
+		return "", fmt.Errorf("ingest: encoding graph for fingerprint: %w", err)
+	}
+	enc, err := json.Marshal(canonicalFingerprint{
+		V:        fingerprintVersion,
+		Graph:    gj,
+		Platform: canonicalizePlatform(p.Platform),
+	})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(enc)
+	return "fp-sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// OptionKey is the content identity of the normalized options alone, in the
+// form "opt-sha256:<hex>". See Fingerprint.
+func (o Options) OptionKey() (string, error) {
+	if err := o.Validate(); err != nil {
+		return "", err
+	}
+	enc, err := json.Marshal(o.normalize())
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(enc)
+	return "opt-sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// ProbeKey identifies the problem's probe-trajectory universe: the
+// fingerprint plus the two options the probe depends on — Seed and the
+// normalized stream-iteration count. The probe's climb is independent of
+// deadline, SER, strategy, mode and search budgets (see mapping.ProbeCache),
+// so every submission sharing a ProbeKey may share one reuse bundle, however
+// much those options differ. Form: "probe-sha256:<hex>".
+func (p *Problem) ProbeKey() (string, error) {
+	fp, err := p.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	iters := p.Options.StreamIterations
+	if iters < 1 {
+		iters = 1
+	}
+	enc, err := json.Marshal(struct {
+		FP    string `json:"fp"`
+		Seed  int64  `json:"seed"`
+		Iters int    `json:"iters"`
+	}{fp, p.Options.Seed, iters})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(enc)
+	return "probe-sha256:" + hex.EncodeToString(sum[:]), nil
 }

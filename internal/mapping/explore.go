@@ -4,16 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 
 	"seadopt/internal/arch"
 	"seadopt/internal/metrics"
 	"seadopt/internal/pareto"
 	"seadopt/internal/sched"
-	"seadopt/internal/search"
 	"seadopt/internal/taskgraph"
 	"seadopt/internal/vscale"
 )
@@ -127,8 +124,13 @@ func ExploreContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	if cfg.Probe == nil {
 		// Materialize the per-call probe cache here rather than inside the
 		// stream, so the all-infeasible fallback pass below reuses every
-		// probe verdict the first pass computed.
-		cfg.Probe = NewProbeCache()
+		// probe verdict the first pass computed. A Reuse bundle supplies its
+		// shared cache instead.
+		if cfg.Reuse != nil {
+			cfg.Probe = cfg.Reuse.Probe()
+		} else {
+			cfg.Probe = NewProbeCache()
+		}
 	}
 	strategy := cfg.Strategy.withDefault()
 	best, perScaling, pruned, err := exploreStream(ctx, g, p, mapper, cfg, strategy != StrategyExhaustive)
@@ -196,7 +198,11 @@ func ExploreParetoContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platf
 		ctx = context.Background()
 	}
 	if cfg.Probe == nil {
-		cfg.Probe = NewProbeCache()
+		if cfg.Reuse != nil {
+			cfg.Probe = cfg.Reuse.Probe()
+		} else {
+			cfg.Probe = NewProbeCache()
+		}
 	}
 	// The frontier owns per-combination Designs; never retain the full
 	// per-combination list on top of it.
@@ -207,6 +213,13 @@ func ExploreParetoContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platf
 		return nil, err
 	}
 	prune := cfg.Strategy.withDefault() != StrategyExhaustive
+	if prune && len(cfg.WarmFrontier) > 0 && cfg.Strategy.withDefault() == StrategyBranchAndBound {
+		ghosts, err := warmGhostFold(g, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fold.ghosts = ghosts
+	}
 	// T_M lower bounds feed both deadline pruning and the frontier's
 	// bound-dominance test, so the Pareto core computes them under every
 	// strategy (the exhaustive reference ignores them).
@@ -224,8 +237,12 @@ func ExploreParetoContext(ctx context.Context, g *taskgraph.Graph, p *arch.Platf
 		// the scalar "least infeasible" verdict. When every combination was
 		// resolved — no skip can fire against an empty frontier — the
 		// embedded scalar fold already walked the identical acceptance
-		// sequence; only a pass with bound-pruned gaps must be re-run.
-		if prunedCount == 0 {
+		// sequence; only a pass with bound-pruned gaps must be re-run. Warm
+		// ghosts CAN skip against an empty realized frontier, so a
+		// ghost-seeded run always takes the exhaustive re-run (in practice
+		// unreachable: ghosts exist only when the warm source found a
+		// feasible frontier at this deadline, which this run then refinds).
+		if prunedCount == 0 && fold.ghosts == nil {
 			return []*Design{fold.scalar.best}, nil
 		}
 		silent := cfg
@@ -517,6 +534,16 @@ type paretoFold struct {
 
 	tel *Telemetry // admission event sink; nil when detached
 
+	// ghosts is the warm-start frontier: realized objective vectors of a
+	// prior fingerprint-matching run over identical mapper inputs (deadline,
+	// seed, SER, budgets), differing at most in active objectives. Each
+	// ghost's vector is exactly what this run will realize at that
+	// combination, so a bound strictly dominated by a ghost is as provably
+	// irrelevant as one dominated by a folded member. Immutable after
+	// construction, hence monotone, hence reproducible at fold time. Nil
+	// when not warm-started.
+	ghosts *pareto.Fold[struct{}]
+
 	mu       sync.RWMutex
 	fold_    *pareto.Fold[*Design]
 	admitted bool // whether annotate's outcome joined the frontier
@@ -550,9 +577,13 @@ func (p *paretoFold) bound(o *outcome) pareto.Vector {
 }
 
 func (p *paretoFold) dispatchSkip(o *outcome) bool {
+	lb := p.bound(o)
+	if p.ghosts != nil && p.ghosts.DominatedBound(lb) {
+		return true
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.fold_.DominatedBound(p.bound(o))
+	return p.fold_.DominatedBound(lb)
 }
 
 // register: the Pareto fold has no in-flight cancellation — a frontier
@@ -570,9 +601,13 @@ func (p *paretoFold) unregister(int) {}
 func (p *paretoFold) mapperSkippable() bool { return false }
 
 func (p *paretoFold) confirmSkip(o *outcome) bool {
+	lb := p.bound(o)
+	if p.ghosts != nil && p.ghosts.DominatedBound(lb) {
+		return true
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.fold_.DominatedBound(p.bound(o))
+	return p.fold_.DominatedBound(lb)
 }
 
 func (p *paretoFold) fold(o *outcome) {
@@ -696,15 +731,18 @@ func seedRankedIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platfo
 	if err != nil {
 		return 0, false, fmt.Errorf("mapping: ranked incumbent seeding: %w", err)
 	}
-	bounds := metrics.NewBounds(g, p, cfg.Iterations)
+	bounds := boundsFor(g, p, cfg)
 	cursor := bounds.Cursor()
-	eval, err := metrics.NewEvaluator(g, p, cfg.SER,
-		metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+	eval, releaseEval, err := acquireEvaluator(g, p, cfg)
 	if err != nil {
 		return 0, false, err
 	}
+	defer releaseEval()
 	if tel != nil {
-		defer func() { tel.addEvalStats(eval.Stats()) }()
+		// Pooled evaluators carry counters across borrowers; attribute only
+		// this pass's delta.
+		base := eval.Stats()
+		defer func() { tel.addEvalStats(eval.Stats().Sub(base)) }()
 	}
 	mc := &MapContext{Graph: g, Platform: p, Eval: eval, scratch: newComboScratch(g.N(), cores)}
 	for {
@@ -744,6 +782,124 @@ func seedRankedIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platfo
 	}
 }
 
+// seedWarmIncumbent validates Config.WarmHints against the CURRENT problem
+// and returns the minimum probe-feasible nominal power among them. Hints are
+// just candidate combination indices (typically a fingerprint-matching prior
+// run's winner); each is re-probed under this run's deadline through the
+// shared probe cache before it may seed anything, so a hint from a different
+// deadline — or a garbage hint — can never unsoundly skip work: only the
+// verdicts of this run's own probe are trusted, satisfying scalarFold.seed's
+// realizability contract. Out-of-range hints are ignored.
+func seedWarmIncumbent(ctx context.Context, g *taskgraph.Graph, p *arch.Platform, cfg Config) (nominal float64, ok bool, err error) {
+	tel := cfg.Telemetry
+	if tel != nil {
+		start := tel.now()
+		defer func() { tel.addRanked(tel.now() - start) }()
+	}
+	space, err := vscale.PlatformSpace(p)
+	if err != nil {
+		return 0, false, err
+	}
+	count := space.Count()
+	bounds := boundsFor(g, p, cfg)
+	cursor := bounds.Cursor()
+	eval, releaseEval, err := acquireEvaluator(g, p, cfg)
+	if err != nil {
+		return 0, false, err
+	}
+	defer releaseEval()
+	if tel != nil {
+		base := eval.Stats()
+		defer func() { tel.addEvalStats(eval.Stats().Sub(base)) }()
+	}
+	mc := &MapContext{Graph: g, Platform: p, Eval: eval, scratch: newComboScratch(g.N(), p.Cores())}
+	best, seeded := 0.0, false
+	for _, hint := range cfg.WarmHints {
+		if hint < 0 || hint >= count {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		scaling, err := space.Unrank(hint)
+		if err != nil {
+			continue
+		}
+		if _, err := cursor.Advance(scaling); err != nil {
+			return 0, false, err
+		}
+		if cfg.DeadlineSec > 0 && cursor.TMLowerBound() > cfg.DeadlineSec*(1+1e-9) {
+			continue // provably infeasible under the new deadline
+		}
+		if err := eval.Bind(scaling); err != nil {
+			return 0, false, err
+		}
+		mc.Ctx = ctx
+		mc.Scaling = eval.Scaling()
+		mc.Seed = comboSeed(cfg.Seed, hint)
+		var t0 int64
+		if tel != nil {
+			t0 = tel.now()
+		}
+		_, feasible, hit, err := cfg.Probe.feasibleAtScaling(mc, hint, cfg)
+		if tel != nil {
+			tel.observeProbe(tel.now()-t0, hit)
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		if feasible {
+			if n := cursor.NominalPower(); !seeded || n < best {
+				best, seeded = n, true
+			}
+		}
+	}
+	return best, seeded, nil
+}
+
+// warmGhostFold validates Config.WarmFrontier and folds the surviving points
+// into an immutable ghost frontier for the Pareto fold's dominance tests.
+// Each ghost's power is recomputed as the combination's nominal power by
+// this engine's own cursor — never taken from the caller — and points whose
+// makespan misses this run's deadline are dropped (they cannot be members
+// of any frontier this run produces). Returns nil when nothing survives.
+func warmGhostFold(g *taskgraph.Graph, p *arch.Platform, cfg Config) (*pareto.Fold[struct{}], error) {
+	space, err := vscale.PlatformSpace(p)
+	if err != nil {
+		return nil, err
+	}
+	count := space.Count()
+	bounds := boundsFor(g, p, cfg)
+	cursor := bounds.Cursor()
+	gf, err := pareto.NewFold[struct{}](cfg.Objectives)
+	if err != nil {
+		return nil, err
+	}
+	added := false
+	for _, wp := range cfg.WarmFrontier {
+		if wp.Combination < 0 || wp.Combination >= count {
+			continue
+		}
+		if cfg.DeadlineSec > 0 && wp.Makespan > cfg.DeadlineSec {
+			continue
+		}
+		scaling, err := space.Unrank(wp.Combination)
+		if err != nil {
+			continue
+		}
+		if _, err := cursor.Advance(scaling); err != nil {
+			return nil, err
+		}
+		gf.Offer(pareto.Vector{Power: cursor.NominalPower(), Makespan: wp.Makespan, Gamma: wp.Gamma},
+			wp.Combination, struct{}{})
+		added = true
+	}
+	if !added {
+		return nil, nil
+	}
+	return gf, nil
+}
+
 // exploreStream is the scalar entry to the streaming work loop: it plugs the
 // single-best fold into the shared core and returns the chosen design plus
 // the number of bound-pruned combinations so the caller can decide whether
@@ -752,16 +908,38 @@ func exploreStream(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	mapper MapperFunc, cfg Config, prune bool) (best *Design, perScaling []*Design, prunedCount int, err error) {
 	fold := newScalarFold(prune)
 	fold.tel = cfg.Telemetry
-	if prune && cfg.Ranked && cfg.Strategy.withDefault() == StrategyBranchAndBound {
+	if prune && cfg.Strategy.withDefault() == StrategyBranchAndBound {
 		if cfg.Probe == nil {
-			cfg.Probe = NewProbeCache()
+			if cfg.Reuse != nil {
+				cfg.Probe = cfg.Reuse.Probe()
+			} else {
+				cfg.Probe = NewProbeCache()
+			}
 		}
-		nominal, seeded, err := seedRankedIncumbent(ctx, g, p, cfg)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		if seeded {
-			fold.seed(nominal)
+		switch {
+		case cfg.Ranked:
+			nominal, seeded, err := seedRankedIncumbent(ctx, g, p, cfg)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			if seeded {
+				fold.seed(nominal)
+			}
+		case len(cfg.WarmHints) > 0:
+			// Warm-start: re-validate prior winners under this problem's
+			// constraints and seed the dominance threshold from the best
+			// survivor, so BnB prunes from the first combination. Every
+			// hint is probed through this run's own cache, so seeding is
+			// exactly as sound as the ranked pass — the Design is
+			// byte-identical to a cold run; only the Pruned/Skipped split
+			// of Progress may differ (as with Config.Ranked).
+			nominal, seeded, err := seedWarmIncumbent(ctx, g, p, cfg)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			if seeded {
+				fold.seed(nominal)
+			}
 		}
 	}
 	perScaling, prunedCount, err = exploreCore(ctx, g, p, mapper, cfg, fold, coreOptions{
@@ -836,7 +1014,7 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		tel.beginPass(strategy, workers, workers)
 		t0 = tel.now()
 	}
-	bounds := metrics.NewBounds(g, p, cfg.Iterations)
+	bounds := boundsFor(g, p, cfg)
 	cursor := bounds.Cursor()
 	if tel != nil {
 		tel.addBounds(tel.now() - t0)
@@ -888,14 +1066,17 @@ func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 		producers.Add(1)
 		go func(w int) {
 			defer producers.Done()
-			eval, evErr := metrics.NewEvaluator(g, p, cfg.SER,
-				metrics.Options{Iterations: cfg.Iterations, DeadlineSec: cfg.DeadlineSec})
+			eval, releaseEval, evErr := acquireEvaluator(g, p, cfg)
 			var mc *MapContext
 			if evErr == nil {
+				defer releaseEval()
 				mc = &MapContext{Graph: g, Platform: p, Eval: eval,
 					scratch: newComboScratch(g.N(), cores)}
 				if tel != nil {
-					defer func() { tel.addEvalStats(eval.Stats()) }()
+					// Pooled evaluators carry counters across borrowers;
+					// attribute only this worker's delta.
+					base := eval.Stats()
+					defer func() { tel.addEvalStats(eval.Stats().Sub(base)) }()
 				}
 			}
 			for o := range jobs {
@@ -1245,9 +1426,6 @@ func betterDesign(a *metrics.Evaluation, aNominal float64, b *metrics.Evaluation
 	return a.PowerW < b.PowerW
 }
 
-// ProbeMoves is the hill-climb budget of the common feasibility probe.
-const ProbeMoves = 400
-
 // comboScratch is the per-worker buffer set of the feasibility probe: the
 // LPT seed mapping, the task order, per-core load/frequency accumulators and
 // the hill climb's neighbor/load buffers, all reused across every
@@ -1272,142 +1450,4 @@ func newComboScratch(n, cores int) *comboScratch {
 	}
 }
 
-// ProbeCache memoizes the mapper-independent feasibility probe per scaling
-// combination — keyed by the combination's stable enumeration index, which
-// identifies the scaling vector for a fixed platform — so a probe verdict
-// computed once is shared by every Explore call driven with the same cache:
-// e.g. the four experiments of Table II probe each scaling once between
-// them instead of once each, and the ranked incumbent pass's probes are
-// reused by the main stream. It is safe for concurrent use.
-//
-// A cache is only meaningful across Explore calls that share the same
-// graph, platform, deadline, iteration count and seed; do not share one
-// across different workloads.
-type ProbeCache struct {
-	mu sync.Mutex
-	m  map[int]*metrics.Evaluation // nil value = probed infeasible
-}
-
-// NewProbeCache returns an empty probe cache.
-func NewProbeCache() *ProbeCache {
-	return &ProbeCache{m: make(map[int]*metrics.Evaluation)}
-}
-
-// feasibleAtScaling is the mapper-independent deadline probe of step 1: a
-// longest-processing-time balanced mapping refined by a short makespan hill
-// climb, with a fixed seed derived from Config.Seed so every experiment
-// sees the same verdict for the same (graph, platform, scaling, deadline).
-// idx is the combination's stable enumeration index (the cache key). On
-// success it returns the feasible mapping's evaluation (owned by the
-// cache; treat as read-only). hit reports whether the verdict came from
-// the cache — telemetry only; two callers racing on an uncached index may
-// both miss, so hit totals can vary with worker timing while the verdict
-// itself never does.
-func (pc *ProbeCache) feasibleAtScaling(mc *MapContext, idx int, cfg Config) (*metrics.Evaluation, bool, bool, error) {
-	pc.mu.Lock()
-	ev, cached := pc.m[idx]
-	pc.mu.Unlock()
-	if cached {
-		return ev, ev != nil, true, nil
-	}
-	ev, ok, err := probeFeasible(mc, cfg)
-	if err != nil {
-		return nil, false, false, err
-	}
-	if !ok {
-		ev = nil
-	}
-	pc.mu.Lock()
-	pc.m[idx] = ev
-	pc.mu.Unlock()
-	return ev, ok, false, nil
-}
-
-// probeFeasible computes the probe on mc's evaluator; the returned
-// evaluation is owned. All intermediate state lives in mc's comboScratch
-// (allocated locally when mc has none), so a cached-out probe costs no
-// allocation beyond the final Clone.
-func probeFeasible(mc *MapContext, cfg Config) (*metrics.Evaluation, bool, error) {
-	g, p, e := mc.Graph, mc.Platform, mc.Eval
-	n := g.N()
-	cores := p.Cores()
-	sc := mc.scratch
-	if sc == nil {
-		sc = newComboScratch(n, cores)
-	}
-
-	// LPT seed: heaviest tasks first onto the least-loaded core, weighting
-	// load by the core's clock period (slow cores absorb less work).
-	order := sc.order[:n]
-	for i := range order {
-		order[i] = taskgraph.TaskID(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ca, cb := g.Task(order[a]).Cycles, g.Task(order[b]).Cycles
-		if ca != cb {
-			return ca > cb
-		}
-		return order[a] < order[b]
-	})
-	m := sc.m[:n]
-	loadSec := sc.loadSec[:cores]
-	freq := sc.freq[:cores]
-	for c := range loadSec {
-		loadSec[c] = 0
-	}
-	for c, s := range mc.Scaling {
-		freq[c] = p.MustCoreLevel(c, s).FreqHz()
-	}
-	for _, t := range order {
-		bestCore := 0
-		for c := 1; c < cores; c++ {
-			if loadSec[c] < loadSec[bestCore] {
-				bestCore = c
-			}
-		}
-		m[t] = bestCore
-		loadSec[bestCore] += float64(g.Task(t).Cycles) / freq[bestCore]
-	}
-
-	// The climb needs only each candidate's T_M and deadline verdict, so it
-	// runs on the makespan-only evaluation path; the one full Evaluate
-	// happens on the mapping that actually proves feasibility. TMSeconds is
-	// bit-identical between the two paths, so the verdict sequence — and
-	// with it every probe-derived decision — is unchanged.
-	tm, meets, err := e.Makespan(m)
-	if err != nil {
-		return nil, false, err
-	}
-	if meets {
-		ev, err := e.Evaluate(m)
-		if err != nil {
-			return nil, false, err
-		}
-		return ev.Clone(), true, nil
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xFEA51B1E))
-	cur, curTM := m, tm
-	spare := sc.neighbor[:n]
-	for move := 0; move < ProbeMoves; move++ {
-		if err := mc.Ctx.Err(); err != nil {
-			return nil, false, err
-		}
-		neighbor := search.NeighborInto(rng, spare, cur, cores, sc.loads)
-		ntm, nmeets, err := e.Makespan(neighbor)
-		if err != nil {
-			return nil, false, err
-		}
-		if nmeets {
-			nev, err := e.Evaluate(neighbor)
-			if err != nil {
-				return nil, false, err
-			}
-			return nev.Clone(), true, nil
-		}
-		if ntm <= curTM {
-			cur, spare = neighbor, cur
-			curTM = ntm
-		}
-	}
-	return nil, false, nil
-}
+// The feasibility probe and its trajectory cache live in probe.go.

@@ -215,7 +215,7 @@ func TestProbeCacheShared(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached := len(c.Probe.m)
+	cached := c.Probe.Len()
 	if cached != 15 {
 		t.Fatalf("probe cache holds %d scalings after one explore, want 15", cached)
 	}
@@ -223,8 +223,8 @@ func TestProbeCacheShared(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(c.Probe.m) != cached {
-		t.Errorf("second explore grew the probe cache to %d entries", len(c.Probe.m))
+	if c.Probe.Len() != cached {
+		t.Errorf("second explore grew the probe cache to %d entries", c.Probe.Len())
 	}
 	if designFingerprint(best1) != designFingerprint(best2) {
 		t.Errorf("shared probe cache changed the result:\n  1st: %s\n  2nd: %s",

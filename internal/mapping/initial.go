@@ -85,6 +85,30 @@ type Config struct {
 	// huge enumerations don't retain one Design per combination; callers
 	// that only need the best design (the facade, the service) set it.
 	DiscardPerScaling bool
+	// Reuse shares bounds precompute, probe cache and pooled evaluators
+	// across explorations of the same workload (a sweep's points, or
+	// fingerprint-matching service jobs). Nil disables sharing. See Reuse
+	// for the sharing contract. Results are byte-identical with or without
+	// it.
+	Reuse *Reuse
+	// WarmHints offers prior winners' combination indices as warm-start
+	// incumbent candidates to StrategyBranchAndBound's scalar fold. Each
+	// hint is re-validated by this run's own probe under this run's
+	// deadline before it may seed the dominance threshold, so stale or
+	// bogus hints cost a probe but never change the chosen Design — like
+	// Ranked, only the Pruned/Skipped split of Progress can differ from a
+	// cold run. Ignored when Ranked is set, under other strategies, and by
+	// the Pareto fold.
+	WarmHints []int
+	// WarmFrontier offers a prior fingerprint-matching Pareto run's
+	// frontier as warm-start dominance ghosts to ExploreParetoContext under
+	// StrategyBranchAndBound. Sound only when that run used identical
+	// mapper inputs (graph, platform, deadline, SER, seed, budgets) and
+	// differed at most in Objectives: each point's vector must be exactly
+	// what this run realizes at that combination. The frontier returned is
+	// then byte-identical to a cold run. Points missing this run's deadline
+	// are dropped defensively. Ignored by the scalar fold.
+	WarmFrontier []WarmPoint
 	// Telemetry, when non-nil, collects observe-only instrumentation —
 	// per-phase busy clocks, verdict counters, probe-cache and evaluator
 	// stats, incumbent/bound events and per-worker spans — snapshotted via

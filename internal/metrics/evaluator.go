@@ -96,6 +96,20 @@ func (s *EvalStats) Merge(other EvalStats) {
 	s.DeltaRescheduled += other.DeltaRescheduled
 }
 
+// Sub returns the counter difference s - base: the work done since base was
+// snapshotted. Pooled evaluators accumulate counters across borrowers, so a
+// borrower attributes only its own delta to telemetry.
+func (s EvalStats) Sub(base EvalStats) EvalStats {
+	return EvalStats{
+		Evaluations:      s.Evaluations - base.Evaluations,
+		Makespans:        s.Makespans - base.Makespans,
+		BindsFull:        s.BindsFull - base.BindsFull,
+		BindsDelta:       s.BindsDelta - base.BindsDelta,
+		DeltaPatched:     s.DeltaPatched - base.DeltaPatched,
+		DeltaRescheduled: s.DeltaRescheduled - base.DeltaRescheduled,
+	}
+}
+
 // DeltaBindRate is the fraction of Bind calls served by the O(changed)
 // delta path (0 when no binds happened).
 func (s EvalStats) DeltaBindRate() float64 {
@@ -236,6 +250,22 @@ func (e *Evaluator) bindLambda(c, s int) {
 // Scaling returns the bound scaling vector. The slice is shared; do not
 // mutate.
 func (e *Evaluator) Scaling() []int { return e.sch.Scaling() }
+
+// SetDeadline rebinds the deadline the evaluator verdicts against, keeping
+// every precomputed structure: the deadline feeds only the MeetsDeadline
+// comparisons, so a re-deadlined evaluator is bit-identical to one freshly
+// constructed with the new value. This is what lets a batch sweep reuse one
+// evaluator across its deadline points instead of rebuilding per point.
+// The borrowed Evaluation of any previous Evaluate is invalidated (its
+// DeadlineSec/MeetsDeadline fields reflect the old deadline), so a
+// subsequent EvaluateDelta is an error until the next full Evaluate.
+func (e *Evaluator) SetDeadline(d float64) {
+	if e.opt.DeadlineSec == d {
+		return
+	}
+	e.opt.DeadlineSec = d
+	e.haveEval = false
+}
 
 // Evaluate schedules m at the bound scaling and evaluates the design point
 // against eqs. (3), (5), (7), (8). The result is borrowed; see the type

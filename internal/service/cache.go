@@ -20,9 +20,10 @@ type cacheEntry struct {
 // lruCache is a fixed-capacity LRU over finished results. It is not
 // goroutine-safe; the Server serializes access under its mutex.
 type lruCache struct {
-	cap int
-	ll  *list.List // front = most recently used; values are *cacheEntry
-	m   map[string]*list.Element
+	cap       int
+	ll        *list.List // front = most recently used; values are *cacheEntry
+	m         map[string]*list.Element
+	evictions int64 // entries dropped by the capacity bound, ever
 }
 
 // newLRUCache returns a cache holding at most capacity entries; a
@@ -58,8 +59,13 @@ func (c *lruCache) Add(e *cacheEntry) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
 // Len returns the number of cached results.
 func (c *lruCache) Len() int { return c.ll.Len() }
+
+// Evictions returns how many entries the capacity bound has dropped since
+// the cache was created.
+func (c *lruCache) Evictions() int64 { return c.evictions }

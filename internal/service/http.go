@@ -29,6 +29,10 @@ type submitRequest struct {
 	// Platform selects the MPSoC configuration; absent selects the server's
 	// default platform (4 ARM7 cores × Table I unless -platform overrode it).
 	Platform json.RawMessage `json:"platform"`
+	// Platforms lists EXTRA platforms a mode=sweep submission crosses its
+	// deadline sweep with, each in the same shorthand-or-spec syntax as the
+	// platform field. Rejected outside sweep mode.
+	Platforms []json.RawMessage `json:"platforms"`
 	// Options are the result-affecting optimization knobs.
 	Options ingest.Options `json:"options"`
 	// Priority orders the queue; higher runs first. Default 0.
@@ -68,6 +72,12 @@ func (req *submitRequest) buildPlatform(fallback *arch.Platform) (*arch.Platform
 		}
 		return platformShorthand{}.build()
 	}
+	return buildOnePlatform(raw)
+}
+
+// buildOnePlatform resolves one platform document: an object with a "types"
+// key → a full heterogeneous spec; any other object → the ARM7 shorthand.
+func buildOnePlatform(raw json.RawMessage) (*arch.Platform, error) {
 	var probe struct {
 		Types json.RawMessage `json:"types"`
 	}
@@ -84,6 +94,22 @@ func (req *submitRequest) buildPlatform(fallback *arch.Platform) (*arch.Platform
 		return nil, fmt.Errorf("decoding platform: %w (want {\"cores\",\"levels\"} or a full spec with \"types\")", err)
 	}
 	return short.build()
+}
+
+// buildSweepPlatforms resolves the envelope's extra sweep platforms.
+func (req *submitRequest) buildSweepPlatforms() ([]*arch.Platform, error) {
+	if len(req.Platforms) == 0 {
+		return nil, nil
+	}
+	out := make([]*arch.Platform, len(req.Platforms))
+	for i, raw := range req.Platforms {
+		p, err := buildOnePlatform(raw)
+		if err != nil {
+			return nil, fmt.Errorf("platforms[%d]: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
 }
 
 // Handler returns the service's HTTP API:
@@ -181,7 +207,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.Submit(&ingest.Problem{Graph: g, Platform: platform, Options: req.Options}, req.Priority)
+	sweepPlatforms, err := req.buildSweepPlatforms()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(&ingest.Problem{Graph: g, Platform: platform, SweepPlatforms: sweepPlatforms, Options: req.Options}, req.Priority)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrDraining):
@@ -301,6 +332,22 @@ func decodeSubmit(r *http.Request, body []byte) (*submitRequest, error) {
 	req.Options.Strategy = q.Get("strategy")
 	req.Options.Mode = q.Get("mode")
 	req.Options.Objectives = q.Get("objectives")
+	// Sweep-mode parameters: a comma-separated deadline list, the per-point
+	// reduction, and (sets containing commas themselves) semicolon-separated
+	// objective sets.
+	req.Options.SweepPointMode = q.Get("sweep_point_mode")
+	if v := q.Get("sweep_deadlines"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			x, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("query param sweep_deadlines entry %q is not a number", part)
+			}
+			req.Options.SweepDeadlines = append(req.Options.SweepDeadlines, x)
+		}
+	}
+	if v := q.Get("sweep_objective_sets"); v != "" {
+		req.Options.SweepObjectiveSets = strings.Split(v, ";")
+	}
 	return req, nil
 }
 

@@ -44,6 +44,10 @@ func renderMetrics(w io.Writer, m Metrics) {
 	counter("seadoptd_combinations_pruned_total", "Scaling combinations skipped by branch-and-bound pruning.", m.CombinationsPruned)
 	counter("seadoptd_pareto_executions_total", "Pareto-mode engine executions.", m.ParetoExecutions)
 	gauge("seadoptd_pareto_frontier_size", "Frontier size of the most recently finished pareto execution.", m.ParetoFrontierSize)
+	gauge("seadoptd_result_cache_size", "Results currently held by the LRU result cache.", int64(m.CacheEntries))
+	counter("seadoptd_result_cache_evictions_total", "Results dropped from the LRU result cache by its capacity bound.", m.CacheEvictions)
+	counter("seadoptd_sweep_points_total", "Sweep points evaluated by batch (mode=sweep) jobs.", m.SweepPoints)
+	counter("seadoptd_warm_starts_total", "Engine executions seeded from a fingerprint-matching prior result.", m.WarmStarts)
 
 	fmt.Fprintf(w, "# HELP seadoptd_jobs Jobs per lifecycle state.\n# TYPE seadoptd_jobs gauge\n")
 	for _, st := range allStates {

@@ -117,6 +117,15 @@ type Config struct {
 	// heterogeneous) by default. Nil selects 4 ARM7 cores × Table I.
 	// Submissions that do name a platform are unaffected.
 	DefaultPlatform *arch.Platform
+	// DisableWarmStart turns off cross-job result seeding: submissions no
+	// longer inherit incumbent hints or frontier ghosts from
+	// fingerprint-matching prior results, and sweep jobs run every point
+	// cold. Warm starts never change result bytes — only the
+	// pruned/skipped split of the progress stream — so this exists for
+	// byte-exact progress reproduction and A/B measurement, not
+	// correctness. The verdict-preserving probe/bounds/evaluator reuse
+	// layer stays on either way.
+	DisableWarmStart bool
 	// Now supplies the clock behind job timestamps, queue-wait and
 	// execution durations and the latency histograms. Nil selects
 	// time.Now; tests inject a fake clock to assert exact durations.
@@ -179,6 +188,11 @@ type ProgressEvent struct {
 	// stream an SSE client plots the growing trade-off surface from.
 	Admitted     bool `json:"admitted,omitempty"`
 	FrontierSize int  `json:"frontier_size,omitempty"`
+	// Point tags sweep-mode events with the 1-based sweep point (in the
+	// deterministic platform-major × deadline × objective-set order) the
+	// combination belongs to. Zero — absent on the wire — for single-point
+	// jobs.
+	Point int `json:"point,omitempty"`
 }
 
 // Job is the server-side record of one submission. All fields are guarded
@@ -342,6 +356,11 @@ type Server struct {
 	// advance a fake clock.
 	hookExecute func(*flight)
 
+	// Cross-job acceleration registries: shared engine reuse bundles by
+	// ProbeKey, warm-start seeds by problem Fingerprint.
+	reuses *reuseRegistry
+	warm   *warmRegistry
+
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
 	coalesced    atomic.Int64
@@ -351,6 +370,8 @@ type Server struct {
 	pruned       atomic.Int64 // combinations pruned or skipped by the bound
 	paretoJobs   atomic.Int64 // pareto-mode engine executions
 	frontierSize atomic.Int64 // frontier size of the latest finished pareto job
+	sweepPoints  atomic.Int64 // sweep points evaluated by batch jobs
+	warmStarts   atomic.Int64 // engine executions seeded from a prior result
 }
 
 // New starts a Server with cfg's worker pool running.
@@ -364,6 +385,8 @@ func New(cfg Config) *Server {
 		jobs:          make(map[string]*Job),
 		flights:       make(map[string]*flight),
 		cache:         newLRUCache(cfg.CacheEntries),
+		reuses:        newReuseRegistry(32),
+		warm:          newWarmRegistry(128),
 		queueWaitHist: newHistogram(latencyBuckets()),
 		execHist:      newHistogram(latencyBuckets()),
 		httpHists:     make(map[string]*histogram),
@@ -721,16 +744,19 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 	if hook := s.hookExecute; hook != nil {
 		hook(f)
 	}
+	o := f.problem.Options
+	mode, err := ingest.ParseMode(o.Mode)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if mode == ingest.ModeSweep {
+		return s.executeSweep(f)
+	}
 	sys, err := seadopt.NewSystem(f.problem.Graph, f.problem.Platform)
 	if err != nil {
 		return nil, "", nil, err
 	}
-	o := f.problem.Options
 	strategy, err := seadopt.ParseExploreStrategy(o.Strategy)
-	if err != nil {
-		return nil, "", nil, err
-	}
-	mode, err := ingest.ParseMode(o.Mode)
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -752,39 +778,43 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 		Objectives:       objectives,
 		Parallelism:      s.cfg.EngineParallelism,
 		Progress: func(p seadopt.ExploreProgress) {
-			ev := ProgressEvent{
-				Index:        p.Index,
-				Total:        p.Total,
-				Combination:  p.Combination,
-				Scaling:      append([]int{}, p.Scaling...),
-				Pruned:       p.Pruned,
-				Skipped:      p.Skipped,
-				Admitted:     p.Admitted,
-				FrontierSize: p.FrontierSize,
-			}
-			if p.Pruned || p.Skipped {
-				prunedSoFar++
-				s.pruned.Add(1)
-			} else {
-				s.explored.Add(1)
-				ev.PowerW = p.Design.Eval.PowerW
-				ev.Gamma = p.Design.Eval.Gamma
-				ev.Feasible = p.Design.Eval.MeetsDeadline
-			}
-			ev.PrunedTotal = prunedSoFar
-			if p.Best != nil {
-				ev.BestPowerW = p.Best.Eval.PowerW
-				ev.BestGamma = p.Best.Eval.Gamma
-			}
-			f.append(ev)
+			s.mirrorProgress(f, 0, &prunedSoFar, p)
 		},
+	}
+	// Share the verdict-preserving reuse layer (probe trajectories, bounds,
+	// pooled evaluators) across every job over the same probe universe.
+	if pk, kerr := f.problem.ProbeKey(); kerr == nil {
+		opts.Reuse = s.reuses.Get(pk)
+	}
+	// Warm-start from a fingerprint-matching prior result whose deadline or
+	// objectives differed. Seeds are re-validated against this run's
+	// constraints by the engine, so the result bytes are identical to a
+	// cold run — only pruning gets ahead of itself.
+	bnb := strategy == seadopt.StrategyBranchAndBound
+	warmable := !s.cfg.DisableWarmStart && o.Baseline == ""
+	var fp string
+	if warmable {
+		v, ferr := f.problem.Fingerprint()
+		if ferr != nil {
+			warmable = false
+		}
+		fp = v
 	}
 	s.engineExecs.Add(1)
 	if mode == ingest.ModePareto {
+		if warmable && bnb {
+			if ghosts := s.warm.Frontier(warmParetoKey(fp, o)); len(ghosts) > 0 {
+				opts.WarmFrontier = ghosts
+				s.warmStarts.Add(1)
+			}
+		}
 		s.paretoJobs.Add(1)
 		frontier, err := sys.OptimizeParetoContext(f.ctx, opts)
 		if err != nil {
 			return nil, "", nil, err
+		}
+		if warmable {
+			s.warm.RecordFrontier(warmParetoKey(fp, o), frontierWarmPoints(sys, o.DeadlineSec, frontier))
 		}
 		s.frontierSize.Store(int64(len(frontier)))
 		result, summary, err = marshalFrontier(frontier, objectives)
@@ -793,6 +823,12 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 	var d *seadopt.Design
 	switch o.Baseline {
 	case "":
+		if warmable && bnb {
+			if hints := s.warm.Hints(warmScalarKey(fp, o)); len(hints) > 0 {
+				opts.WarmHints = hints
+				s.warmStarts.Add(1)
+			}
+		}
 		d, err = sys.OptimizeContext(f.ctx, opts)
 	case "reg":
 		d, err = sys.OptimizeBaselineContext(f.ctx, seadopt.MinimizeRegisterUsage, opts)
@@ -806,11 +842,69 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 	if err != nil {
 		return nil, "", nil, err
 	}
+	if warmable && (o.DeadlineSec <= 0 || d.Eval.MeetsDeadline) {
+		if rank, rerr := sys.ScalingRank(d.Scaling); rerr == nil {
+			s.warm.RecordHint(warmScalarKey(fp, o), rank)
+		}
+	}
 	result, err = json.Marshal(d)
 	if err != nil {
 		return nil, "", nil, err
 	}
 	return result, d.Summary(), stats, nil
+}
+
+// mirrorProgress folds one engine progress callback into the flight's event
+// log. point tags sweep events with their 1-based sweep point (0 — absent on
+// the wire — for single-point jobs); prunedSoFar is the job-wide cumulative
+// pruned/skipped counter (engine callbacks are serialized in order, per
+// point and across sweep points).
+func (s *Server) mirrorProgress(f *flight, point int, prunedSoFar *int, p seadopt.ExploreProgress) {
+	ev := ProgressEvent{
+		Index:        p.Index,
+		Total:        p.Total,
+		Combination:  p.Combination,
+		Scaling:      append([]int{}, p.Scaling...),
+		Pruned:       p.Pruned,
+		Skipped:      p.Skipped,
+		Admitted:     p.Admitted,
+		FrontierSize: p.FrontierSize,
+		Point:        point,
+	}
+	if p.Pruned || p.Skipped {
+		*prunedSoFar++
+		s.pruned.Add(1)
+	} else {
+		s.explored.Add(1)
+		ev.PowerW = p.Design.Eval.PowerW
+		ev.Gamma = p.Design.Eval.Gamma
+		ev.Feasible = p.Design.Eval.MeetsDeadline
+	}
+	ev.PrunedTotal = *prunedSoFar
+	if p.Best != nil {
+		ev.BestPowerW = p.Best.Eval.PowerW
+		ev.BestGamma = p.Best.Eval.Gamma
+	}
+	f.append(ev)
+}
+
+// frontierWarmPoints converts a realized frontier into WarmPoint seeds for
+// later Pareto runs over the same workload and deadline. Degenerate
+// best-effort members that miss the deadline are excluded — they are not
+// sound dominance ghosts.
+func frontierWarmPoints(sys *seadopt.System, deadline float64, frontier []*seadopt.Design) []seadopt.WarmPoint {
+	pts := make([]seadopt.WarmPoint, 0, len(frontier))
+	for _, d := range frontier {
+		if deadline > 0 && !d.Eval.MeetsDeadline {
+			continue
+		}
+		rank, err := sys.ScalingRank(d.Scaling)
+		if err != nil {
+			continue
+		}
+		pts = append(pts, seadopt.WarmPoint{Combination: rank, Makespan: d.Eval.TMSeconds, Gamma: d.Eval.Gamma})
+	}
+	return pts
 }
 
 // marshalFrontier renders a Pareto frontier result: a wrapper object
@@ -912,6 +1006,7 @@ type Metrics struct {
 	CacheCapacity        int             `json:"cache_capacity"`
 	CacheHits            int64           `json:"cache_hits"`
 	CacheMisses          int64           `json:"cache_misses"`
+	CacheEvictions       int64           `json:"cache_evictions"`
 	Coalesced            int64           `json:"coalesced"`
 	EngineExecutions     int64           `json:"engine_executions"`
 	Submitted            int64           `json:"submitted"`
@@ -919,6 +1014,8 @@ type Metrics struct {
 	CombinationsPruned   int64           `json:"combinations_pruned"`
 	ParetoExecutions     int64           `json:"pareto_executions"`
 	ParetoFrontierSize   int64           `json:"pareto_frontier_size"`
+	SweepPoints          int64           `json:"sweep_points"`
+	WarmStarts           int64           `json:"warm_starts"`
 	Jobs                 map[State]int64 `json:"jobs"`
 
 	// Latency distributions.
@@ -951,6 +1048,7 @@ func (s *Server) Metrics() Metrics {
 		CacheCapacity:        s.cfg.CacheEntries,
 		CacheHits:            s.cacheHits.Load(),
 		CacheMisses:          s.cacheMisses.Load(),
+		CacheEvictions:       s.cache.Evictions(),
 		Coalesced:            s.coalesced.Load(),
 		EngineExecutions:     s.engineExecs.Load(),
 		Submitted:            s.submitted.Load(),
@@ -958,6 +1056,8 @@ func (s *Server) Metrics() Metrics {
 		CombinationsPruned:   s.pruned.Load(),
 		ParetoExecutions:     s.paretoJobs.Load(),
 		ParetoFrontierSize:   s.frontierSize.Load(),
+		SweepPoints:          s.sweepPoints.Load(),
+		WarmStarts:           s.warmStarts.Load(),
 		Jobs:                 make(map[State]int64),
 	}
 	for _, j := range s.jobs {
