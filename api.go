@@ -428,6 +428,73 @@ func (s *System) OptimizeParetoContext(ctx context.Context, opts OptimizeOptions
 	return out, nil
 }
 
+// Distributed sharded exploration: the combination enumeration partitions
+// into contiguous rank ranges explored by peer workers (in-process,
+// sibling processes, or HTTP peers), with cross-shard bound facts keeping
+// remote pruning tight. The merged Design/frontier and Progress stream
+// are byte-identical to the single-node Optimize/OptimizePareto run.
+type (
+	// ShardRange is one contiguous [Lo,Hi) slice of the enumeration.
+	ShardRange = mapping.ShardRange
+	// ShardFact is one cross-shard bound tightening.
+	ShardFact = mapping.Fact
+	// ShardFactBoard is the coordinator's fact bus.
+	ShardFactBoard = mapping.FactBoard
+	// ShardRequest asks a worker to explore one range.
+	ShardRequest = mapping.ShardRequest
+	// ShardResult is a worker's per-combination record stream.
+	ShardResult = mapping.ShardResult
+	// ShardRunner executes one shard request wherever the shard lives.
+	ShardRunner = mapping.ShardRunner
+)
+
+// NewShardFactBoard returns an empty fact bus for a coordinator run.
+var NewShardFactBoard = mapping.NewFactBoard
+
+// ShardRanges splits an enumeration of total combinations into n
+// contiguous near-equal ranges.
+var ShardRanges = mapping.ShardRanges
+
+// RunShard is the worker side of the distributed exploration: it explores
+// req.Range of this system under opts, publishing bound facts to (and
+// pruning against) board, and returns the record stream the coordinator
+// merges. Progress/Stats callbacks are coordinator concerns and are
+// ignored here.
+func (s *System) RunShard(ctx context.Context, opts OptimizeOptions, req ShardRequest, board *ShardFactBoard) (*ShardResult, error) {
+	cfg := opts.mappingConfig()
+	return mapping.ExploreShard(ctx, s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg, req, board)
+}
+
+// OptimizeShardedContext is OptimizeContext distributed over len(runners)
+// contiguous shards; nil runner entries execute their shard embedded in
+// this process. The chosen Design and the Progress stream are
+// byte-identical to OptimizeContext at any shard count and runner mix.
+// OptimizeOptions.Stats is ignored (telemetry stays per-process).
+func (s *System) OptimizeShardedContext(ctx context.Context, opts OptimizeOptions, runners []ShardRunner) (*Design, error) {
+	cfg := opts.mappingConfig()
+	best, _, err := mapping.ExploreSharded(ctx, s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg, runners)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Scaling: best.Scaling, Mapping: best.Mapping, Eval: best.Eval}, nil
+}
+
+// OptimizeShardedParetoContext is OptimizeParetoContext distributed over
+// len(runners) contiguous shards, with the same byte-identity guarantee
+// for the returned frontier.
+func (s *System) OptimizeShardedParetoContext(ctx context.Context, opts OptimizeOptions, runners []ShardRunner) ([]*Design, error) {
+	cfg := opts.mappingConfig()
+	frontier, err := mapping.ExploreShardedPareto(ctx, s.Graph, s.Platform, mapping.SEAMapper(cfg), cfg, runners)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Design, len(frontier))
+	for i, d := range frontier {
+		out[i] = &Design{Scaling: d.Scaling, Mapping: d.Mapping, Eval: d.Eval}
+	}
+	return out, nil
+}
+
 // ScalingRank returns the enumeration rank of a per-core DVS scaling
 // vector in this system's platform space — the Combination index carried
 // by Progress events and consumed by WarmHints and WarmPoint seeds.

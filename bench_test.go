@@ -13,6 +13,7 @@ package seadopt
 // and see EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -396,6 +397,42 @@ func benchSystem(b *testing.B, sys *System, opts OptimizeOptions) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDist16Core is the BENCH_dist.json measurement: the 16-core §V
+// workload explored single-node versus fanned out over two contiguous
+// shards (both embedded in this process, run concurrently, merged through
+// the byte-identical replay). Per-shard parallelism is pinned to 1 so the
+// SingleNode/TwoShard ratio isolates the sharding machinery itself: on a
+// multi-core host the two shards overlap and the ratio approaches 2, and
+// on any host it must not fall materially below 1 — the records, the fact
+// board and the authoritative replay are required to stay overhead-neutral
+// relative to a single-node walk of the same exhaustive enumeration.
+func BenchmarkDist16Core(b *testing.B) {
+	g, dl := bench16Graph(b)
+	sys, err := NewARM7System(g, 16, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := OptimizeOptions{
+		DeadlineSec: dl,
+		SearchMoves: 200,
+		Seed:        1,
+		Strategy:    StrategyExhaustive,
+		Parallelism: 1,
+	}
+	b.Run("SingleNode", func(b *testing.B) {
+		benchSystem(b, sys, opts)
+	})
+	b.Run("TwoShard", func(b *testing.B) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.OptimizeShardedContext(ctx, opts, make([]ShardRunner, 2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExploreMPEG2Exhaustive / ...BnB compare the strategies on the

@@ -285,12 +285,14 @@ func evaluate(baseline map[string]benchRecord, source map[string]string, got map
 	}
 
 	// Ratio gate: for every baselined slow/fast suffix pair — strategy
-	// pairs ("...Exhaustive" vs "...BnB") and warm-start pairs (".../Cold"
-	// vs ".../Warm") — the measured speedup (slow ns/op ÷ fast ns/op,
+	// pairs ("...Exhaustive" vs "...BnB"), warm-start pairs (".../Cold"
+	// vs ".../Warm") and distribution pairs (".../SingleNode" vs
+	// ".../TwoShard") — the measured speedup (slow ns/op ÷ fast ns/op,
 	// best-of-count) must hold within tolerance.
 	ratioPairs := []struct{ slow, fast, label string }{
 		{"Exhaustive", "BnB", " speedup"},
 		{"Cold", "Warm", " warm speedup"},
+		{"SingleNode", "TwoShard", " shard speedup"},
 	}
 	for _, rp := range ratioPairs {
 		for _, name := range names {

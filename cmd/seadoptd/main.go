@@ -17,6 +17,14 @@
 //	GET    /v1/jobs/{id}/trace    worker-timeline Chrome trace (perfetto)
 //	GET    /healthz               liveness (503 while draining) + build info
 //	GET    /metrics               Prometheus text metrics (incl. latency histograms)
+//	POST   /internal/v1/shard     execute one exploration shard for a peer coordinator
+//	POST   /internal/v1/exchange  exchange bound-tightening facts while shards run
+//
+// With -store DIR the daemon journals every accepted job and result to an
+// append-only store, so a crash-and-restart against the same directory
+// loses no accepted work. With -peer URL (repeatable) it becomes a
+// coordinator that fans eligible jobs' exploration shards out to peer
+// daemons, with results byte-identical to a single-node run.
 //
 // Logs are structured (log/slog) on stderr; -log-format selects text or
 // json and -log-level the minimum severity.
@@ -63,7 +71,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		addr         = fs.String("addr", ":8080", "HTTP listen address")
 		workers      = fs.Int("workers", 2, "concurrently executing optimization jobs")
 		cacheSize    = fs.Int("cache-size", 256, "result-cache capacity in entries (negative disables)")
-		queueDepth   = fs.Int("queue-depth", 1024, "maximum queued jobs before submissions get 429")
+		queueDepth   = fs.Int("queue-depth", 1024, "maximum queued jobs before submissions get 503")
 		parallel     = fs.Int("engine-parallel", 0, "per-job exploration parallelism (0 = all cores)")
 		retention    = fs.Int("job-retention", 4096, "finished job records kept queryable (negative = unlimited)")
 		strategy     = fs.String("strategy", "", "default exploration strategy for jobs that don't set one: bnb (default), exhaustive, or sampled")
@@ -73,10 +81,21 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		warmStart    = fs.Bool("warm-start", true, "seed new jobs from fingerprint-matching prior results and warm-start sweep points (same result bytes; only the pruned/skipped progress split differs)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		pprofOn      = fs.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default; enable only on trusted networks)")
+		storeDir     = fs.String("store", "", "directory for the durable job store; submitted jobs, results and warm-start seeds survive a crash-and-restart against the same directory (empty = in-memory only)")
+		shards       = fs.Int("shards", 0, "shard count for distributed jobs (0 = one embedded shard plus one per -peer)")
+		advertise    = fs.String("advertise", "", "this daemon's own base URL as reachable by peers, for the shard fact exchange (empty disables bound sharing; results stay byte-identical)")
+		rateLimit    = fs.Float64("rate-limit", 0, "per-client submissions per second before 429 (0 = unlimited)")
+		rateBurst    = fs.Int("rate-burst", 0, "rate-limit token-bucket burst (0 = max(1, ceil(rate-limit)))")
+		maxBody      = fs.Int64("max-body-bytes", 0, "maximum submission payload before 413 (0 = 16 MiB)")
 		logFormat    = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version      = fs.Bool("version", false, "print build version information and exit")
 	)
+	var peers []string
+	fs.Func("peer", "peer seadoptd base URL to fan exploration shards out to (repeatable)", func(v string) error {
+		peers = append(peers, v)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,7 +134,7 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		logger.Info("default platform loaded", "cores", defaultPlatform.Cores(), "file", *platformFile)
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.NewServer(service.Config{
 		Workers:           *workers,
 		CacheEntries:      *cacheSize,
 		QueueDepth:        *queueDepth,
@@ -126,8 +145,18 @@ func run(ctx context.Context, args []string, ready func(addr string)) error {
 		DefaultObjectives: *objectives,
 		DefaultPlatform:   defaultPlatform,
 		DisableWarmStart:  !*warmStart,
+		StoreDir:          *storeDir,
+		Peers:             peers,
+		Shards:            *shards,
+		AdvertiseURL:      *advertise,
+		RateLimit:         *rateLimit,
+		RateBurst:         *rateBurst,
+		MaxBodyBytes:      *maxBody,
 		Logger:            logger,
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -371,8 +371,15 @@ func (p *Problem) Key() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return EncodingKey(enc), nil
+}
+
+// EncodingKey returns the problem key of an already-computed canonical
+// encoding, for callers (the service's durable store, the distributed shard
+// protocol) that need both the bytes and their key without hashing twice.
+func EncodingKey(enc []byte) string {
 	sum := sha256.Sum256(enc)
-	return "sha256:" + hex.EncodeToString(sum[:]), nil
+	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
 // canonicalFingerprint is the workload-only slice of the canonical problem:

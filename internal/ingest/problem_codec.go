@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+// DecodeProblem reconstructs a Problem from its canonical encoding (the
+// bytes CanonicalEncoding produced). It is the wire format the distributed
+// shard protocol ships: a coordinator sends the canonical bytes, a worker
+// decodes them and is guaranteed — by the round-trip check below — to be
+// solving the exact problem the coordinator hashed, with the same Key.
+//
+// The decode inverts the one lossy step of normalization it must: canonical
+// SER 0 means "no soft errors", which the Options convention spells as any
+// negative value, so it is restored as -1 (normalize maps it straight back
+// to 0). Everything else in a canonical encoding is already in normalized
+// form and re-normalizes to itself.
+func DecodeProblem(enc []byte) (*Problem, error) {
+	var cp canonicalProblem
+	if err := json.Unmarshal(enc, &cp); err != nil {
+		return nil, fmt.Errorf("ingest: decoding canonical problem: %w", err)
+	}
+	if cp.V != problemKeyVersion {
+		return nil, fmt.Errorf("ingest: canonical problem version %d, want %d", cp.V, problemKeyVersion)
+	}
+	g, err := taskgraph.FromJSON(cp.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: decoding canonical problem: %w", err)
+	}
+	plat, err := decodeCanonicalPlatform(cp.Platform)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: decoding canonical platform: %w", err)
+	}
+	p := &Problem{Graph: g, Platform: plat, Options: cp.Options}
+	if p.Options.SER == 0 {
+		// Canonical 0 is the normalized "true zero rate"; the Options
+		// convention for that is any negative value (0 would mean "use the
+		// paper default" and silently change the problem).
+		p.Options.SER = -1
+	}
+	for i, sp := range cp.SweepPlatforms {
+		dp, err := decodeCanonicalPlatform(sp)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: decoding canonical sweep platform %d: %w", i, err)
+		}
+		p.SweepPlatforms = append(p.SweepPlatforms, dp)
+	}
+	// Round-trip assertion: the decoded problem must re-encode to the exact
+	// input bytes, or its Key would silently diverge from the coordinator's.
+	re, err := p.CanonicalEncoding()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: re-encoding decoded problem: %w", err)
+	}
+	if !bytes.Equal(re, enc) {
+		return nil, fmt.Errorf("ingest: canonical problem round-trip mismatch")
+	}
+	return p, nil
+}
+
+// decodeCanonicalPlatform rebuilds an arch.Platform from the canonical wire
+// form. Type names are synthetic (they never participate in identity); the
+// per-class DVS tables and per-core class assignment carry the physics.
+func decodeCanonicalPlatform(cp canonicalPlatform) (*arch.Platform, error) {
+	types := make([]arch.ProcType, len(cp.Types))
+	for i, levels := range cp.Types {
+		t := arch.ProcType{Name: fmt.Sprintf("t%d", i)}
+		for _, l := range levels {
+			t.Levels = append(t.Levels, arch.Level{S: l.S, FreqMHz: l.FreqMHz, Vdd: l.Vdd})
+		}
+		types[i] = t
+	}
+	return arch.NewHeterogeneousPlatform(types, cp.CoreTypes,
+		arch.WithCL(cp.CL), arch.WithBaselineBits(cp.BaselineBits))
+}

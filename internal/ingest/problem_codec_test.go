@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+// TestDecodeProblemRoundTrip pins the distributed wire contract: decoding a
+// canonical encoding yields a problem with the same Key and the same bytes,
+// across option corners (defaults, true-zero SER, pareto mode, sweeps,
+// heterogeneous platforms).
+func TestDecodeProblemRoundTrip(t *testing.T) {
+	het, err := arch.NewHeterogeneousPlatform([]arch.ProcType{
+		{Name: "big", Levels: arch.ARM7Levels3()},
+		{Name: "little", Levels: arch.ARM7Levels2()},
+	}, []int{0, 0, 1}, arch.WithCL(1.1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := testProblem(t)
+	sweep.Options.Mode = ModeSweep
+	sweep.Options.DeadlineSec = 0
+	sweep.Options.SweepDeadlines = []float64{0.2, 0.3}
+	sweep.Options.SweepPointMode = "pareto"
+	sweep.Options.SweepObjectiveSets = []string{"power,gamma"}
+	sweep.SweepPlatforms = []*arch.Platform{het}
+
+	zeroSER := testProblem(t)
+	zeroSER.Options.SER = -5 // any negative = no soft errors
+
+	pareto := testProblem(t)
+	pareto.Options.Mode = ModePareto
+	pareto.Options.Objectives = "gamma,power"
+	pareto.Options.Strategy = "exhaustive"
+
+	hetProb := &Problem{Graph: taskgraph.Fig8(), Platform: het,
+		Options: Options{DeadlineSec: taskgraph.Fig8Deadline, Seed: 7}}
+
+	for _, tc := range []struct {
+		name string
+		p    *Problem
+	}{
+		{"defaults", testProblem(t)},
+		{"zeroSER", zeroSER},
+		{"pareto", pareto},
+		{"heterogeneous", hetProb},
+		{"sweep", sweep},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			enc, err := tc.p.CanonicalEncoding()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeProblem(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := got.CanonicalEncoding()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, enc) {
+				t.Fatalf("re-encode diverged:\n in: %s\nout: %s", enc, re)
+			}
+			wantKey, _ := tc.p.Key()
+			gotKey, err := got.Key()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotKey != wantKey {
+				t.Fatalf("key diverged: %s vs %s", gotKey, wantKey)
+			}
+		})
+	}
+}
+
+func TestDecodeProblemRejects(t *testing.T) {
+	if _, err := DecodeProblem([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := DecodeProblem([]byte(`{"v":3}`)); err == nil {
+		t.Fatal("stale version accepted")
+	}
+}

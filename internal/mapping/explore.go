@@ -961,6 +961,10 @@ type coreOptions struct {
 	// prune enables the branch-and-bound verdicts: deadline-bound pruning
 	// (when a deadline is set) and fold-dominance skipping.
 	prune bool
+	// source, when non-nil, replaces the strategy-derived combination
+	// source — the shard worker uses it to restrict the walk to a
+	// contiguous rank range while keeping every stable enumeration index.
+	source *comboSource
 }
 
 // exploreCore is the streaming work loop shared by every strategy and fold:
@@ -984,9 +988,12 @@ type coreOptions struct {
 func exploreCore(ctx context.Context, g *taskgraph.Graph, p *arch.Platform,
 	mapper MapperFunc, cfg Config, fold streamFold, opts coreOptions) (perScaling []*Design, prunedCount int, err error) {
 	strategy := cfg.Strategy.withDefault()
-	src, err := newComboSource(p, cfg, strategy)
-	if err != nil {
-		return nil, 0, err
+	src := opts.source
+	if src == nil {
+		src, err = newComboSource(p, cfg, strategy)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	total := src.size
 	workers := cfg.Parallelism

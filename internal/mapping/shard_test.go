@@ -1,0 +1,305 @@
+package mapping
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+// shardEventFingerprint renders every field of a Progress event (Best
+// included), so two streams compare byte-for-byte.
+func shardEventFingerprint(pr Progress) string {
+	return fmt.Sprintf("i=%d/%d c=%d s=%v pruned=%v skipped=%v d=%s best=%s fs=%d adm=%v",
+		pr.Index, pr.Total, pr.Combination, pr.Scaling, pr.Pruned, pr.Skipped,
+		designFingerprint(pr.Design), designFingerprint(pr.Best),
+		pr.FrontierSize, pr.Admitted)
+}
+
+type shardWorkload struct {
+	name     string
+	g        *taskgraph.Graph
+	p        *arch.Platform
+	deadline float64
+	iters    int
+}
+
+// shardWorkloads are the paper's three exemplars: the MPEG-2 decoder, the
+// Fig. 8 worked example and a §V-style random graph.
+func shardWorkloads(t *testing.T) []shardWorkload {
+	t.Helper()
+	return []shardWorkload{
+		{"mpeg2", taskgraph.MPEG2(), plat(4), taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames},
+		{"fig8", taskgraph.Fig8(), plat(3), taskgraph.Fig8Deadline, 1},
+		{"randomV", taskgraph.MustRandom(taskgraph.DefaultRandomConfig(20), 3), plat(3), taskgraph.RandomDeadline(20), 1},
+	}
+}
+
+type capturedRun struct {
+	best     string
+	per      []string
+	frontier []string
+	events   []string
+}
+
+func captureProgress(c *Config, events *[]string) {
+	c.Progress = func(pr Progress) { *events = append(*events, shardEventFingerprint(pr)) }
+}
+
+// TestShardedScalarMatchesSingleNode is the tentpole property: the merged
+// Design, perScaling list and Progress stream of a sharded run are
+// byte-identical to the single-node run, across shard counts 1/2/4 and
+// parallelism 1/4/GOMAXPROCS, for every exemplar workload.
+func TestShardedScalarMatchesSingleNode(t *testing.T) {
+	for _, w := range shardWorkloads(t) {
+		t.Run(w.name, func(t *testing.T) {
+			base := cfg(w.deadline, w.iters)
+			base.SearchMoves = 200
+			base.DiscardPerScaling = false
+
+			single := func() capturedRun {
+				c := base
+				var r capturedRun
+				captureProgress(&c, &r.events)
+				best, per, err := ExploreContext(context.Background(), w.g, w.p, SEAMapper(c), c)
+				if err != nil {
+					t.Fatalf("single-node: %v", err)
+				}
+				r.best = designFingerprint(best)
+				for _, d := range per {
+					r.per = append(r.per, designFingerprint(d))
+				}
+				return r
+			}()
+
+			for _, shards := range []int{1, 2, 4} {
+				for _, par := range []int{1, 4, 0} {
+					c := base
+					c.Parallelism = par
+					var r capturedRun
+					captureProgress(&c, &r.events)
+					best, per, err := ExploreSharded(context.Background(), w.g, w.p, SEAMapper(c), c,
+						make([]ShardRunner, shards))
+					if err != nil {
+						t.Fatalf("shards=%d par=%d: %v", shards, par, err)
+					}
+					r.best = designFingerprint(best)
+					for _, d := range per {
+						r.per = append(r.per, designFingerprint(d))
+					}
+					assertRunsEqual(t, fmt.Sprintf("shards=%d par=%d", shards, par), single, r)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedParetoMatchesSingleNode repeats the byte-identity property
+// for the Pareto frontier fold.
+func TestShardedParetoMatchesSingleNode(t *testing.T) {
+	for _, w := range shardWorkloads(t) {
+		t.Run(w.name, func(t *testing.T) {
+			base := cfg(w.deadline, w.iters)
+			base.SearchMoves = 200
+
+			single := func() capturedRun {
+				c := base
+				var r capturedRun
+				captureProgress(&c, &r.events)
+				frontier, err := ExploreParetoContext(context.Background(), w.g, w.p, SEAMapper(c), c)
+				if err != nil {
+					t.Fatalf("single-node: %v", err)
+				}
+				for _, d := range frontier {
+					r.frontier = append(r.frontier, designFingerprint(d))
+				}
+				return r
+			}()
+
+			for _, shards := range []int{1, 2, 4} {
+				for _, par := range []int{1, 4, 0} {
+					c := base
+					c.Parallelism = par
+					var r capturedRun
+					captureProgress(&c, &r.events)
+					frontier, err := ExploreShardedPareto(context.Background(), w.g, w.p, SEAMapper(c), c,
+						make([]ShardRunner, shards))
+					if err != nil {
+						t.Fatalf("shards=%d par=%d: %v", shards, par, err)
+					}
+					for _, d := range frontier {
+						r.frontier = append(r.frontier, designFingerprint(d))
+					}
+					assertRunsEqual(t, fmt.Sprintf("shards=%d par=%d", shards, par), single, r)
+				}
+			}
+		})
+	}
+}
+
+func assertRunsEqual(t *testing.T, label string, want, got capturedRun) {
+	t.Helper()
+	if got.best != want.best {
+		t.Errorf("%s: best diverged:\n  single: %s\n  sharded: %s", label, want.best, got.best)
+	}
+	assertStringsEqual(t, label+": perScaling", want.per, got.per)
+	assertStringsEqual(t, label+": frontier", want.frontier, got.frontier)
+	assertStringsEqual(t, label+": progress", want.events, got.events)
+}
+
+func assertStringsEqual(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d entries, want %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s[%d] diverged:\n  single: %s\n  sharded: %s", label, i, want[i], got[i])
+			return
+		}
+	}
+}
+
+// TestShardedStrategiesAndSeeding covers the remaining coordinator paths:
+// the exhaustive strategy (no pruning anywhere) and the ranked-seeded
+// branch-and-bound (the seed travels to shards as a Pos -1 fact).
+func TestShardedStrategiesAndSeeding(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	for _, mode := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"exhaustive", func(c *Config) { c.Strategy = StrategyExhaustive }},
+		{"ranked", func(c *Config) { c.Ranked = true }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			base := cfg(taskgraph.MPEG2Deadline, taskgraph.MPEG2Frames)
+			base.SearchMoves = 150
+			base.DiscardPerScaling = false
+			mode.mutate(&base)
+
+			var wantEvents []string
+			cs := base
+			captureProgress(&cs, &wantEvents)
+			wantBest, _, err := ExploreContext(context.Background(), g, p, SEAMapper(cs), cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var gotEvents []string
+			cd := base
+			captureProgress(&cd, &gotEvents)
+			gotBest, _, err := ExploreSharded(context.Background(), g, p, SEAMapper(cd), cd,
+				make([]ShardRunner, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if designFingerprint(gotBest) != designFingerprint(wantBest) {
+				t.Errorf("best diverged:\n  single: %s\n  sharded: %s",
+					designFingerprint(wantBest), designFingerprint(gotBest))
+			}
+			assertStringsEqual(t, "progress", wantEvents, gotEvents)
+		})
+	}
+}
+
+// TestShardedImpossibleDeadline pins the degenerate all-infeasible
+// fallback: both reductions must return the single-node "least
+// infeasible" verdict.
+func TestShardedImpossibleDeadline(t *testing.T) {
+	g := taskgraph.MPEG2()
+	p := plat(4)
+	base := cfg(1e-9, taskgraph.MPEG2Frames)
+	base.SearchMoves = 100
+
+	wantBest, _, err := ExploreContext(context.Background(), g, p, SEAMapper(base), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, _, err := ExploreSharded(context.Background(), g, p, SEAMapper(base), base,
+		make([]ShardRunner, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if designFingerprint(gotBest) != designFingerprint(wantBest) {
+		t.Errorf("scalar degenerate diverged:\n  single: %s\n  sharded: %s",
+			designFingerprint(wantBest), designFingerprint(gotBest))
+	}
+
+	wantFrontier, err := ExploreParetoContext(context.Background(), g, p, SEAMapper(base), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFrontier, err := ExploreShardedPareto(context.Background(), g, p, SEAMapper(base), base,
+		make([]ShardRunner, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotFrontier) != len(wantFrontier) {
+		t.Fatalf("degenerate frontier size %d, want %d", len(gotFrontier), len(wantFrontier))
+	}
+	for i := range wantFrontier {
+		if designFingerprint(gotFrontier[i]) != designFingerprint(wantFrontier[i]) {
+			t.Errorf("frontier[%d] diverged", i)
+		}
+	}
+}
+
+// TestShardRanges pins the partition arithmetic.
+func TestShardRanges(t *testing.T) {
+	for _, tc := range []struct {
+		total, n int
+		want     []ShardRange
+	}{
+		{10, 3, []ShardRange{{0, 4}, {4, 7}, {7, 10}}},
+		{4, 4, []ShardRange{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{2, 4, []ShardRange{{0, 1}, {1, 2}, {2, 2}, {2, 2}}},
+		{5, 1, []ShardRange{{0, 5}}},
+	} {
+		got := ShardRanges(tc.total, tc.n)
+		if len(got) != len(tc.want) {
+			t.Fatalf("ShardRanges(%d,%d) = %v", tc.total, tc.n, got)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("ShardRanges(%d,%d)[%d] = %v, want %v", tc.total, tc.n, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestFactBoard pins dedup, Since cursors and subscriber replay.
+func TestFactBoard(t *testing.T) {
+	b := NewFactBoard()
+	f1 := Fact{Pos: -1, Nominal: 2.5}
+	f2 := Fact{Pos: 3, Nominal: 1.5}
+	if !b.Publish(f1) {
+		t.Fatal("first publish rejected")
+	}
+	if b.Publish(f1) {
+		t.Fatal("duplicate accepted")
+	}
+	var seen []Fact
+	b.Subscribe(func(f Fact) { seen = append(seen, f) })
+	if len(seen) != 1 || seen[0] != f1 {
+		t.Fatalf("replay = %v", seen)
+	}
+	if !b.Publish(f2) {
+		t.Fatal("second publish rejected")
+	}
+	if len(seen) != 2 || seen[1] != f2 {
+		t.Fatalf("live delivery = %v", seen)
+	}
+	facts, next := b.Since(0)
+	if len(facts) != 2 || next != 2 {
+		t.Fatalf("Since(0) = %v, %d", facts, next)
+	}
+	facts, next = b.Since(2)
+	if len(facts) != 0 || next != 2 {
+		t.Fatalf("Since(2) = %v, %d", facts, next)
+	}
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Rejection reason labels shared by the structured logs, the Metrics
+// snapshot and the seadoptd_rejected_total{reason=...} series.
+const (
+	rejectDraining        = "draining"
+	rejectPayloadTooLarge = "payload_too_large"
+	rejectQueueFull       = "queue_full"
+	rejectRateLimit       = "rate_limit"
+)
+
+// rejectReasons fixes the rendering order of seadoptd_rejected_total so the
+// exposition is byte-stable and every reason is always present.
+var rejectReasons = []string{rejectDraining, rejectPayloadTooLarge, rejectQueueFull, rejectRateLimit}
+
+// rateLimiter is a per-client token bucket over the server's injected
+// clock: each client key holds up to burst tokens, refilled at rate tokens
+// per second; a submission spends one. It is deliberately approximate
+// across clients (a shared map under one mutex — submissions are not a hot
+// path) but exact per client, so tests with a fake clock can assert the
+// precise breach point.
+type rateLimiter struct {
+	mu    sync.Mutex
+	rate  float64
+	burst float64
+	now   func() time.Time
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiterMaxClients caps the bucket map; beyond it, full (idle) buckets
+// are swept so an attacker rotating client IDs cannot grow memory without
+// bound.
+const rateLimiterMaxClients = 8192
+
+func newRateLimiter(rate, burst float64, now func() time.Time) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: burst, now: now, m: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// returns false and how long until the next token accrues — the
+// Retry-After the HTTP layer surfaces.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.m[key]
+	if !ok {
+		if len(l.m) >= rateLimiterMaxClients {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.m[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / l.rate
+	return false, time.Duration(wait * float64(time.Second))
+}
+
+// sweepLocked drops buckets that have refilled to full — clients idle long
+// enough that forgetting them changes nothing.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	for key, b := range l.m {
+		tokens := b.tokens
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			tokens = math.Min(l.burst, tokens+dt*l.rate)
+		}
+		if tokens >= l.burst {
+			delete(l.m, key)
+		}
+	}
+}
+
+// clientKey identifies the submitting client for rate limiting: an explicit
+// X-Client-Id header, else the remote address without the ephemeral port.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterSeconds renders a Retry-After value: whole seconds, rounded up,
+// at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

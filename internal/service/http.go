@@ -138,6 +138,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Peer-to-peer distributed exploration (see dist.go): workers execute
+	// shard ranges for coordinators, coordinators serve the fact exchange
+	// their remote shards prune against.
+	mux.HandleFunc("POST /internal/v1/shard", s.handleShard)
+	mux.HandleFunc("POST /internal/v1/exchange", s.handleExchange)
 	return s.instrument(mux)
 }
 
@@ -182,8 +187,29 @@ func (w *statusWriter) Flush() {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r)
+	if s.limiter != nil {
+		if ok, wait := s.limiter.allow(clientKey(r)); !ok {
+			s.rejectedRate.Add(1)
+			retry := retryAfterSeconds(wait)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			s.cfg.Logger.Warn("submission rejected",
+				"reason", rejectRateLimit, "client", clientKey(r), "retry_after_sec", retry)
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Errorf("client submission rate above %.3g/s; retry after %ds", s.cfg.RateLimit, retry))
+			return
+		}
+	}
+	body, err := s.readBody(r)
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.rejectedPayload.Add(1)
+			s.cfg.Logger.Warn("submission rejected",
+				"reason", rejectPayloadTooLarge, "limit_bytes", mbe.Limit)
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -216,9 +242,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrDraining):
+			s.rejectedDraining.Add(1)
+			s.cfg.Logger.Warn("submission rejected", "reason", rejectDraining)
 			httpError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrQueueFull):
-			httpError(w, http.StatusTooManyRequests, err)
+			// Backpressure, not a client fault: the queue will drain, so
+			// 503 + Retry-After tells well-behaved clients to come back.
+			s.rejectedQueue.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.cfg.Logger.Warn("submission rejected",
+				"reason", rejectQueueFull, "queue_depth", s.cfg.QueueDepth)
+			httpError(w, http.StatusServiceUnavailable, err)
 		default:
 			httpError(w, http.StatusBadRequest, err)
 		}
@@ -232,15 +266,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, st)
 }
 
-// readBody caps submissions at 16 MiB; a task graph bigger than that is a
-// mistake, not a workload.
-func readBody(r *http.Request) ([]byte, error) {
-	const maxBody = 16 << 20
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBody))
+// readBody caps submissions at Config.MaxBodyBytes (16 MiB by default); a
+// task graph bigger than that is a mistake, not a workload. Oversized
+// bodies surface the *http.MaxBytesError so the caller can answer 413.
+func (s *Server) readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			return nil, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+			return nil, mbe
 		}
 		return nil, fmt.Errorf("reading request body: %w", err)
 	}

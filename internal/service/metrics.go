@@ -48,6 +48,14 @@ func renderMetrics(w io.Writer, m Metrics) {
 	counter("seadoptd_result_cache_evictions_total", "Results dropped from the LRU result cache by its capacity bound.", m.CacheEvictions)
 	counter("seadoptd_sweep_points_total", "Sweep points evaluated by batch (mode=sweep) jobs.", m.SweepPoints)
 	counter("seadoptd_warm_starts_total", "Engine executions seeded from a fingerprint-matching prior result.", m.WarmStarts)
+	counter("seadoptd_sharded_executions_total", "Engine executions fanned out over distributed shards.", m.ShardedExecutions)
+	counter("seadoptd_shards_served_total", "Shard ranges executed on behalf of a remote coordinator.", m.ShardsServed)
+
+	fmt.Fprintf(w, "# HELP seadoptd_rejected_total Submissions rejected by admission control, by reason.\n"+
+		"# TYPE seadoptd_rejected_total counter\n")
+	for _, reason := range rejectReasons {
+		fmt.Fprintf(w, "seadoptd_rejected_total{reason=%q} %d\n", reason, m.Rejected[reason])
+	}
 
 	fmt.Fprintf(w, "# HELP seadoptd_jobs Jobs per lifecycle state.\n# TYPE seadoptd_jobs gauge\n")
 	for _, st := range allStates {

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -126,6 +127,42 @@ type Config struct {
 	// correctness. The verdict-preserving probe/bounds/evaluator reuse
 	// layer stays on either way.
 	DisableWarmStart bool
+	// StoreDir, when non-empty, enables the durable job store: every
+	// accepted submission, terminal outcome and warm-start seed is
+	// appended (and fsynced) to an append-only journal under this
+	// directory before it is acknowledged, and a restarting daemon
+	// replays the journal — finished results are served byte-identically
+	// from it, and jobs that were queued or running at the crash are
+	// re-enqueued under their original IDs. Empty keeps the server fully
+	// in-memory.
+	StoreDir string
+	// Peers lists sibling seadoptd base URLs (e.g. "http://host:8080")
+	// this server fans exploration shards out to. Each eligible job's
+	// combination space is split into contiguous rank ranges: one runs
+	// embedded in this process, the rest POST to the peers' internal
+	// shard endpoint (falling back to embedded execution when a peer is
+	// unreachable). The merged result is byte-identical to a single-node
+	// run. Empty disables distribution.
+	Peers []string
+	// Shards overrides the shard count for distributed jobs; 0 selects
+	// len(Peers)+1 (one embedded shard plus one per peer).
+	Shards int
+	// AdvertiseURL is this server's own base URL as reachable by its
+	// peers; workers poll it to exchange bound-tightening facts so remote
+	// shards prune against the global best. Empty disables the fact
+	// exchange (shards then prune only locally — results are still
+	// byte-identical, just slower).
+	AdvertiseURL string
+	// RateLimit caps per-client submissions per second (clients are keyed
+	// by X-Client-Id, falling back to the remote address); breaches get
+	// 429 with a Retry-After. 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket burst size; 0 selects
+	// max(1, ceil(RateLimit)).
+	RateBurst int
+	// MaxBodyBytes caps submission payloads; oversized bodies get 413.
+	// 0 selects 16 MiB.
+	MaxBodyBytes int64
 	// Now supplies the clock behind job timestamps, queue-wait and
 	// execution durations and the latency histograms. Nil selects
 	// time.Now; tests inject a fake clock to assert exact durations.
@@ -153,6 +190,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention == 0 {
 		c.JobRetention = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(math.Ceil(c.RateLimit))
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -361,6 +407,20 @@ type Server struct {
 	reuses *reuseRegistry
 	warm   *warmRegistry
 
+	// Durable job store (nil when StoreDir is empty); recovering is set
+	// while the journal replays so replayed operations are not
+	// re-journaled.
+	store      *jobStore
+	recovering bool
+
+	// Admission control (nil when RateLimit is 0).
+	limiter *rateLimiter
+
+	// Distributed exploration: live fact-exchange boards by session
+	// token, served to polling peer workers.
+	exchanges exchangeTable
+	shardSeq  atomic.Int64
+
 	cacheHits    atomic.Int64
 	cacheMisses  atomic.Int64
 	coalesced    atomic.Int64
@@ -372,10 +432,32 @@ type Server struct {
 	frontierSize atomic.Int64 // frontier size of the latest finished pareto job
 	sweepPoints  atomic.Int64 // sweep points evaluated by batch jobs
 	warmStarts   atomic.Int64 // engine executions seeded from a prior result
+	shardedExecs atomic.Int64 // engine executions fanned out over shards
+	shardsServed atomic.Int64 // shard requests this server executed for peers
+
+	// Admission rejections by reason; every reason is always exported.
+	rejectedDraining atomic.Int64
+	rejectedPayload  atomic.Int64
+	rejectedQueue    atomic.Int64
+	rejectedRate     atomic.Int64
 }
 
-// New starts a Server with cfg's worker pool running.
+// New starts a Server with cfg's worker pool running. It panics if cfg
+// names a StoreDir whose journal cannot be opened; callers enabling the
+// durable store should use NewServer and handle the error.
 func New(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewServer starts a Server: it opens (and replays) the durable job store
+// when cfg.StoreDir is set, then starts the worker pool. Jobs that were
+// queued or running when a previous process died are re-enqueued under
+// their original IDs before any worker runs.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -392,11 +474,174 @@ func New(cfg Config) *Server {
 		httpHists:     make(map[string]*histogram),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, float64(cfg.RateBurst), cfg.Now)
+	}
+	if cfg.StoreDir != "" {
+		store, recs, err := openJobStore(cfg.StoreDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = store
+		s.recover(recs)
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// recover replays the journal into the in-memory state: warm-start seeds
+// reload, finished results reinstall into the cache and their job records,
+// and jobs without a terminal outcome are re-enqueued under their original
+// IDs (re-running deterministically to the same bytes). No worker runs yet,
+// so recovery is single-threaded.
+func (s *Server) recover(recs []storeRecord) {
+	type jobRec struct {
+		rec      *storeRecord
+		result   *storeRecord
+		canceled *storeRecord
+	}
+	jobs := make(map[string]*jobRec)
+	var order []string
+	var maxSeq int64
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Kind {
+		case "job":
+			if _, ok := jobs[rec.ID]; !ok {
+				order = append(order, rec.ID)
+				jobs[rec.ID] = &jobRec{rec: rec}
+			}
+			var seq int64
+			if _, err := fmt.Sscanf(rec.ID, "j-%d", &seq); err == nil && seq > maxSeq {
+				maxSeq = seq
+			}
+		case "result":
+			if jr, ok := jobs[rec.ID]; ok {
+				jr.result = rec
+			}
+		case "cancel":
+			if jr, ok := jobs[rec.ID]; ok {
+				jr.canceled = rec
+			}
+		case "hint":
+			s.warm.RecordHint(rec.Key, rec.Rank)
+		case "frontier":
+			s.warm.RecordFrontier(rec.Key, fromStorePoints(rec.Points))
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recovering = true
+	defer func() { s.recovering = false }()
+	s.jobSeq = maxSeq
+	// First pass: reinstall finished results into the cache, so re-enqueued
+	// and future submissions over the same key serve the stored bytes.
+	for _, id := range order {
+		jr := jobs[id]
+		if jr.result != nil && jr.result.State == StateDone {
+			s.cache.Add(&cacheEntry{
+				key:     jr.result.Key,
+				result:  jr.result.Result,
+				summary: jr.result.Summary,
+				total:   jr.result.Total,
+			})
+		}
+	}
+	requeued, terminal := 0, 0
+	for _, id := range order {
+		jr := jobs[id]
+		j := &Job{
+			id:        id,
+			key:       jr.rec.Key,
+			graph:     jr.rec.Graph,
+			priority:  jr.rec.Priority,
+			submitted: jr.rec.At,
+		}
+		switch {
+		case jr.canceled != nil:
+			j.state = StateCanceled
+			j.finished = jr.canceled.At
+			j.detached.Store(true)
+			s.terminal++
+			terminal++
+		case jr.result != nil:
+			j.state = jr.result.State
+			j.result = jr.result.Result
+			j.summary = jr.result.Summary
+			j.total = jr.result.Total
+			j.errMsg = jr.result.Error
+			j.finished = jr.result.At
+			s.terminal++
+			terminal++
+		default:
+			// Accepted but unfinished at the crash: decode and re-enqueue.
+			p, err := ingest.DecodeProblem(jr.rec.Problem)
+			if err != nil {
+				j.state = StateFailed
+				j.errMsg = "recovery: " + err.Error()
+				j.finished = j.submitted
+				s.terminal++
+				terminal++
+				break
+			}
+			if e, hit := s.cache.Get(j.key); hit {
+				// An identical problem finished before the crash.
+				j.state = StateDone
+				j.cacheHit = true
+				j.result = e.result
+				j.summary = e.summary
+				j.total = e.total
+				j.finished = j.submitted
+				s.terminal++
+				terminal++
+				break
+			}
+			if f, ok := s.flights[j.key]; ok {
+				j.state = StateQueued
+				j.coalesced = true
+				j.flight = f
+				f.refs++
+				f.jobs = append(f.jobs, j)
+				if j.priority > f.prio {
+					f.prio = j.priority
+					heap.Fix(&s.queue, f.index)
+				}
+				requeued++
+				break
+			}
+			fctx, fcancel := context.WithCancel(s.ctx)
+			s.flightSeq++
+			f := &flight{
+				key:      j.key,
+				problem:  p,
+				seq:      s.flightSeq,
+				prio:     j.priority,
+				refs:     1,
+				jobs:     []*Job{j},
+				enqueued: j.submitted,
+				ctx:      fctx,
+				cancel:   fcancel,
+			}
+			f.logCond = sync.NewCond(&f.logMu)
+			j.state = StateQueued
+			j.flight = f
+			s.flights[j.key] = f
+			heap.Push(&s.queue, f)
+			requeued++
+		}
+		s.jobs[id] = j
+		s.jobOrder = append(s.jobOrder, id)
+	}
+	s.pruneLocked()
+	if len(order) > 0 {
+		s.cfg.Logger.Info("store recovered",
+			"dir", s.cfg.StoreDir, "jobs", len(order),
+			"requeued", requeued, "terminal", terminal)
+	}
 }
 
 // Submit enqueues an optimization problem and returns the job's initial
@@ -413,11 +658,14 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 		copied.Options = defaulted
 		p = &copied
 	}
-	// Hash outside the lock; the graph encoding dominates the cost.
-	key, err := p.Key()
+	// Hash outside the lock; the graph encoding dominates the cost. The
+	// encoding itself is kept: it is what the durable store journals and
+	// what the distributed shard protocol ships to peers.
+	enc, err := p.CanonicalEncoding()
 	if err != nil {
 		return JobStatus{}, err
 	}
+	key := ingest.EncodingKey(enc)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -437,6 +685,19 @@ func (s *Server) Submit(p *ingest.Problem, priority int) (JobStatus, error) {
 		graph:     p.Graph.Name(),
 		priority:  priority,
 		submitted: s.cfg.Now(),
+	}
+	if s.store != nil {
+		// Durability before acknowledgement: the job record must be synced
+		// to disk before the submission is accepted anywhere in memory. A
+		// failed append releases the ID and rejects the submission.
+		err := s.store.Append(storeRecord{
+			Kind: "job", ID: j.id, Key: key, Graph: j.graph,
+			Priority: priority, Problem: enc, At: j.submitted,
+		})
+		if err != nil {
+			s.jobSeq--
+			return JobStatus{}, err
+		}
 	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
@@ -569,6 +830,13 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	j.finished = s.cfg.Now()
 	j.detached.Store(true)
 	s.terminal++
+	if s.store != nil {
+		// Losing a cancel record is safe — the job would merely re-run
+		// after a crash — so a failed append only warns.
+		if err := s.store.Append(storeRecord{Kind: "cancel", ID: j.id, At: j.finished}); err != nil {
+			s.cfg.Logger.Warn("store append failed", "kind", "cancel", "job", j.id, "error", err.Error())
+		}
+	}
 	s.cfg.Logger.Info("job canceled", "job", j.id, "key", j.key)
 	if f := j.flight; f != nil {
 		f.refs--
@@ -717,6 +985,27 @@ func (s *Server) run(f *flight) {
 			j.state = StateFailed
 			j.errMsg = err.Error()
 		}
+		if s.store != nil {
+			// A lost result record only costs a deterministic re-run after
+			// the next crash, so a failed append warns rather than failing
+			// the job.
+			total := 0
+			if j.state == StateDone {
+				f.logMu.Lock()
+				if n := len(f.events); n > 0 {
+					total = f.events[n-1].Total
+				}
+				f.logMu.Unlock()
+			}
+			aerr := s.store.Append(storeRecord{
+				Kind: "result", ID: j.id, Key: f.key, State: j.state,
+				Result: j.result, Summary: j.summary, Total: total,
+				Error: j.errMsg, At: now,
+			})
+			if aerr != nil {
+				s.cfg.Logger.Warn("store append failed", "kind", "result", "job", j.id, "error", aerr.Error())
+			}
+		}
 		s.terminal++
 		finished++
 	}
@@ -786,6 +1075,18 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 	if pk, kerr := f.problem.ProbeKey(); kerr == nil {
 		opts.Reuse = s.reuses.Get(pk)
 	}
+	// Distributed execution: when peers (or an explicit shard count) are
+	// configured and the job shape is distributable, fan the enumeration out
+	// over shards and merge through the byte-identical replay. Engine
+	// telemetry is per-process, so sharded flights carry no stats snapshot
+	// (their /stats endpoint answers 409) — the result and progress bytes
+	// are still identical to a single-node run.
+	runners, shardCleanup := s.shardRunnersFor(f, sys, opts, strategy, mode)
+	if runners != nil {
+		defer shardCleanup()
+		stats = nil
+		opts.Stats = nil
+	}
 	// Warm-start from a fingerprint-matching prior result whose deadline or
 	// objectives differed. Seeds are re-validated against this run's
 	// constraints by the engine, so the result bytes are identical to a
@@ -809,12 +1110,17 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 			}
 		}
 		s.paretoJobs.Add(1)
-		frontier, err := sys.OptimizeParetoContext(f.ctx, opts)
+		var frontier []*seadopt.Design
+		if runners != nil {
+			frontier, err = sys.OptimizeShardedParetoContext(f.ctx, opts, runners)
+		} else {
+			frontier, err = sys.OptimizeParetoContext(f.ctx, opts)
+		}
 		if err != nil {
 			return nil, "", nil, err
 		}
 		if warmable {
-			s.warm.RecordFrontier(warmParetoKey(fp, o), frontierWarmPoints(sys, o.DeadlineSec, frontier))
+			s.recordFrontier(warmParetoKey(fp, o), frontierWarmPoints(sys, o.DeadlineSec, frontier))
 		}
 		s.frontierSize.Store(int64(len(frontier)))
 		result, summary, err = marshalFrontier(frontier, objectives)
@@ -829,7 +1135,11 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 				s.warmStarts.Add(1)
 			}
 		}
-		d, err = sys.OptimizeContext(f.ctx, opts)
+		if runners != nil {
+			d, err = sys.OptimizeShardedContext(f.ctx, opts, runners)
+		} else {
+			d, err = sys.OptimizeContext(f.ctx, opts)
+		}
 	case "reg":
 		d, err = sys.OptimizeBaselineContext(f.ctx, seadopt.MinimizeRegisterUsage, opts)
 	case "makespan":
@@ -844,7 +1154,7 @@ func (s *Server) execute(f *flight) (result []byte, summary string, stats *seado
 	}
 	if warmable && (o.DeadlineSec <= 0 || d.Eval.MeetsDeadline) {
 		if rank, rerr := sys.ScalingRank(d.Scaling); rerr == nil {
-			s.warm.RecordHint(warmScalarKey(fp, o), rank)
+			s.recordHint(warmScalarKey(fp, o), rank)
 		}
 	}
 	result, err = json.Marshal(d)
@@ -886,6 +1196,30 @@ func (s *Server) mirrorProgress(f *flight, point int, prunedSoFar *int, p seadop
 		ev.BestGamma = p.Best.Eval.Gamma
 	}
 	f.append(ev)
+}
+
+// recordHint records a scalar warm-start winner and journals it, so the
+// warm registry survives a restart.
+func (s *Server) recordHint(key string, rank int) {
+	s.warm.RecordHint(key, rank)
+	if s.store != nil {
+		if err := s.store.Append(storeRecord{Kind: "hint", Key: key, Rank: rank}); err != nil {
+			s.cfg.Logger.Warn("store append failed", "kind", "hint", "error", err.Error())
+		}
+	}
+}
+
+// recordFrontier records a Pareto warm-start frontier and journals it.
+func (s *Server) recordFrontier(key string, points []seadopt.WarmPoint) {
+	if len(points) == 0 {
+		return
+	}
+	s.warm.RecordFrontier(key, points)
+	if s.store != nil {
+		if err := s.store.Append(storeRecord{Kind: "frontier", Key: key, Points: toStorePoints(points)}); err != nil {
+			s.cfg.Logger.Warn("store append failed", "kind", "frontier", "error", err.Error())
+		}
+	}
 }
 
 // frontierWarmPoints converts a realized frontier into WarmPoint seeds for
@@ -991,7 +1325,9 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 			st.Total = f.events[n-1].Total
 		}
 		f.logMu.Unlock()
-	} else if j.cacheHit {
+	} else if j.total > 0 {
+		// No flight to count from: a cache hit or a job recovered from the
+		// durable store carries its finished enumeration size directly.
 		st.Completed, st.Total = j.total, j.total
 	}
 	return st
@@ -999,24 +1335,27 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 
 // Metrics is a point-in-time snapshot of the server's operational counters.
 type Metrics struct {
-	QueueDepth           int             `json:"queue_depth"`
-	Workers              int             `json:"workers"`
-	Draining             bool            `json:"draining"`
-	CacheEntries         int             `json:"cache_entries"`
-	CacheCapacity        int             `json:"cache_capacity"`
-	CacheHits            int64           `json:"cache_hits"`
-	CacheMisses          int64           `json:"cache_misses"`
-	CacheEvictions       int64           `json:"cache_evictions"`
-	Coalesced            int64           `json:"coalesced"`
-	EngineExecutions     int64           `json:"engine_executions"`
-	Submitted            int64           `json:"submitted"`
-	CombinationsExplored int64           `json:"combinations_explored"`
-	CombinationsPruned   int64           `json:"combinations_pruned"`
-	ParetoExecutions     int64           `json:"pareto_executions"`
-	ParetoFrontierSize   int64           `json:"pareto_frontier_size"`
-	SweepPoints          int64           `json:"sweep_points"`
-	WarmStarts           int64           `json:"warm_starts"`
-	Jobs                 map[State]int64 `json:"jobs"`
+	QueueDepth           int              `json:"queue_depth"`
+	Workers              int              `json:"workers"`
+	Draining             bool             `json:"draining"`
+	CacheEntries         int              `json:"cache_entries"`
+	CacheCapacity        int              `json:"cache_capacity"`
+	CacheHits            int64            `json:"cache_hits"`
+	CacheMisses          int64            `json:"cache_misses"`
+	CacheEvictions       int64            `json:"cache_evictions"`
+	Coalesced            int64            `json:"coalesced"`
+	EngineExecutions     int64            `json:"engine_executions"`
+	Submitted            int64            `json:"submitted"`
+	CombinationsExplored int64            `json:"combinations_explored"`
+	CombinationsPruned   int64            `json:"combinations_pruned"`
+	ParetoExecutions     int64            `json:"pareto_executions"`
+	ParetoFrontierSize   int64            `json:"pareto_frontier_size"`
+	SweepPoints          int64            `json:"sweep_points"`
+	WarmStarts           int64            `json:"warm_starts"`
+	ShardedExecutions    int64            `json:"sharded_executions"`
+	ShardsServed         int64            `json:"shards_served"`
+	Rejected             map[string]int64 `json:"rejected"`
+	Jobs                 map[State]int64  `json:"jobs"`
 
 	// Latency distributions.
 	QueueWait HistogramSnapshot            `json:"queue_wait_seconds"`
@@ -1058,7 +1397,15 @@ func (s *Server) Metrics() Metrics {
 		ParetoFrontierSize:   s.frontierSize.Load(),
 		SweepPoints:          s.sweepPoints.Load(),
 		WarmStarts:           s.warmStarts.Load(),
-		Jobs:                 make(map[State]int64),
+		ShardedExecutions:    s.shardedExecs.Load(),
+		ShardsServed:         s.shardsServed.Load(),
+		Rejected: map[string]int64{
+			rejectDraining:        s.rejectedDraining.Load(),
+			rejectPayloadTooLarge: s.rejectedPayload.Load(),
+			rejectQueueFull:       s.rejectedQueue.Load(),
+			rejectRateLimit:       s.rejectedRate.Load(),
+		},
+		Jobs: make(map[State]int64),
 	}
 	for _, j := range s.jobs {
 		m.Jobs[j.state]++
@@ -1126,10 +1473,20 @@ func (s *Server) Close(ctx context.Context) error {
 	select {
 	case <-done:
 		s.cancel()
+		s.closeStore()
 		return nil
 	case <-ctx.Done():
 		s.cancel() // aborts in-flight engine executions promptly
 		<-done
+		s.closeStore()
 		return ctx.Err()
+	}
+}
+
+func (s *Server) closeStore() {
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			s.cfg.Logger.Warn("store close failed", "error", err.Error())
+		}
 	}
 }

@@ -118,11 +118,11 @@ func (s *Server) executeSweep(f *flight) (result []byte, summary string, stats *
 					if r.Spec.Pareto {
 						po := o
 						po.DeadlineSec = r.Spec.DeadlineSec
-						s.warm.RecordFrontier(warmParetoKey(fp, po),
+						s.recordFrontier(warmParetoKey(fp, po),
 							frontierWarmPoints(sys, r.Spec.DeadlineSec, r.Frontier))
 					} else if r.Spec.DeadlineSec <= 0 || r.Design.Eval.MeetsDeadline {
 						if rank, rerr := sys.ScalingRank(r.Design.Scaling); rerr == nil {
-							s.warm.RecordHint(warmScalarKey(fp, o), rank)
+							s.recordHint(warmScalarKey(fp, o), rank)
 						}
 					}
 				}

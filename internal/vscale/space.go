@@ -265,6 +265,21 @@ func (sp *Space) Iter() *Iter {
 	return &Iter{sp: sp, cur: sp.Start(), last: make([]int, len(sp.classPos))}
 }
 
+// IterFrom returns an iterator positioned before the rank-th vector of the
+// enumeration (0-based): the first Next call yields Unrank(rank) with index
+// rank, and the stream then continues through the tail of the enumeration.
+// This is the contiguous-shard entry point — a worker covering ranks
+// [lo, hi) walks IterFrom(lo) and stops after hi-lo vectors, and the
+// indices it sees are exactly the stable enumeration indices a full Iter
+// walk would assign.
+func (sp *Space) IterFrom(rank int) (*Iter, error) {
+	cur, err := sp.Unrank(rank)
+	if err != nil {
+		return nil, err
+	}
+	return &Iter{sp: sp, cur: cur, last: make([]int, len(sp.classPos)), idx: rank}, nil
+}
+
 // Next advances and returns the borrowed current vector and its enumeration
 // index; ok is false when the stream is exhausted.
 func (it *Iter) Next() (scaling []int, idx int, ok bool) {
@@ -273,7 +288,7 @@ func (it *Iter) Next() (scaling []int, idx int, ok bool) {
 	}
 	if !it.started {
 		it.started = true
-		return it.cur, 0, true
+		return it.cur, it.idx, true
 	}
 	if !it.sp.advance(it.cur, it.last) {
 		it.done = true

@@ -476,3 +476,54 @@ func TestSpaceCountOverflowRejected(t *testing.T) {
 		t.Fatal("PlatformSpace accepted an overflowing space")
 	}
 }
+
+// TestIterFromMatchesFullWalk: an iterator started at any rank must replay
+// exactly the suffix of the full in-order walk, indices included — the
+// contract contiguous sharding builds on.
+func TestIterFromMatchesFullWalk(t *testing.T) {
+	sp := mixedTestSpace(t)
+	total := sp.Count()
+	type entry struct {
+		scaling []int
+		idx     int
+	}
+	var full []entry
+	it := sp.Iter()
+	for {
+		s, idx, ok := it.Next()
+		if !ok {
+			break
+		}
+		full = append(full, entry{append([]int(nil), s...), idx})
+	}
+	if len(full) != total {
+		t.Fatalf("full walk yielded %d vectors, want %d", len(full), total)
+	}
+	for _, start := range []int{0, 1, total / 3, total / 2, total - 1} {
+		from, err := sp.IterFrom(start)
+		if err != nil {
+			t.Fatalf("IterFrom(%d): %v", start, err)
+		}
+		for pos := start; ; pos++ {
+			s, idx, ok := from.Next()
+			if !ok {
+				if pos != total {
+					t.Fatalf("IterFrom(%d) ended at position %d, want %d", start, pos, total)
+				}
+				break
+			}
+			if idx != full[pos].idx {
+				t.Fatalf("IterFrom(%d) position %d: idx = %d, want %d", start, pos, idx, full[pos].idx)
+			}
+			if fmt.Sprint(s) != fmt.Sprint(full[pos].scaling) {
+				t.Fatalf("IterFrom(%d) position %d: scaling = %v, want %v", start, pos, s, full[pos].scaling)
+			}
+		}
+	}
+	if _, err := sp.IterFrom(total); err == nil {
+		t.Fatal("IterFrom(Count()) accepted; want range error")
+	}
+	if _, err := sp.IterFrom(-1); err == nil {
+		t.Fatal("IterFrom(-1) accepted; want range error")
+	}
+}
