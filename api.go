@@ -37,6 +37,14 @@ type (
 	ProcType = arch.ProcType
 	// Level is one DVS operating point (scaling coefficient, f, Vdd).
 	Level = arch.Level
+	// Interconnect is a contended communication fabric: a shared bus or
+	// XY-routed 2D mesh with finite link bandwidth and per-hop latency.
+	// Platforms built without one use the paper's ideal fabric.
+	Interconnect = arch.Interconnect
+	// Topology names an interconnect topology (TopologyBus, TopologyMesh).
+	Topology = arch.Topology
+	// PlatformOption customizes platform construction (WithInterconnect).
+	PlatformOption = arch.Option
 	// Mapping assigns each task to a core.
 	Mapping = sched.Mapping
 	// Schedule is a list-scheduled execution of a mapping.
@@ -122,9 +130,29 @@ func NewSystem(g *Graph, p *Platform) (*System, error) {
 // like the paper's identical-core argument — and every determinism and
 // strategy-equivalence guarantee of Optimize/OptimizePareto carries over.
 // Platforms whose cores all share one table behave identically to
-// NewARM7System/NewCustomPlatform ones.
-func NewHeterogeneousPlatform(types []ProcType, coreTypes []int) (*Platform, error) {
-	return arch.NewHeterogeneousPlatform(types, coreTypes)
+// NewARM7System/NewCustomPlatform ones. Options add fabric and calibration
+// overrides; WithInterconnect puts the cores behind a contended bus or NoC.
+func NewHeterogeneousPlatform(types []ProcType, coreTypes []int, opts ...PlatformOption) (*Platform, error) {
+	return arch.NewHeterogeneousPlatform(types, coreTypes, opts...)
+}
+
+// Interconnect topologies, re-exported for WithInterconnect.
+const (
+	// TopologyBus is a single shared link every transfer serializes on.
+	TopologyBus = arch.TopologyBus
+	// TopologyMesh is an XY-routed 2D mesh NoC with per-direction links.
+	TopologyMesh = arch.TopologyMesh
+)
+
+// WithInterconnect declares the platform's communication fabric. With it,
+// every cross-core edge rides the interconnect: a message of
+// cycles×BitsPerCycle bits holds each link of its route for bits/bandwidth
+// seconds after hop-latency staggering, and concurrent transfers sharing a
+// link queue deterministically. Scheduler, simulator, analytic bounds and
+// the exploration engine all charge the same model, and every byte-identity
+// guarantee (parallelism, strategy equivalence, sharding) carries over.
+func WithInterconnect(ic Interconnect) PlatformOption {
+	return arch.WithInterconnect(ic)
 }
 
 // ExploreProgress reports one resolved scaling combination of an

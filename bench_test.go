@@ -532,6 +532,48 @@ func BenchmarkExplore64CoreBnBRanked(b *testing.B) {
 	benchSystem(b, sys, opts)
 }
 
+// BenchmarkExplore64CoreNoC is the flagship workload behind a contended
+// 8×8-mesh NoC: every cross-core token is charged real serialization, hop
+// latency and link queuing through the scheduler, so this measures the
+// interconnect model's cost at scale (first recorded in BENCH_scale.json
+// as a reference section; the next perf PR gates against it).
+func BenchmarkExplore64CoreNoC(b *testing.B) {
+	cfg := DefaultRandomGraphConfig(120)
+	cfg.MaxWidth = 32
+	g, err := RandomGraph(cfg, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	types := []ProcType{
+		{Name: "eff", Levels: arch.ARM7Levels2()},
+		{Name: "perf", Levels: arch.ARM7Levels4()},
+	}
+	coreTypes := make([]int, 64)
+	for i := 56; i < 64; i++ {
+		coreTypes[i] = 1
+	}
+	p, err := NewHeterogeneousPlatform(types, coreTypes, WithInterconnect(Interconnect{
+		Topology:      TopologyMesh,
+		BandwidthBps:  4e9,
+		HopLatencySec: 1e-4,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := OptimizeOptions{
+		DeadlineSec: RandomGraphDeadline(120) / 15,
+		SearchMoves: 200,
+		Seed:        1,
+		Strategy:    StrategyBranchAndBound,
+		Ranked:      true,
+	}
+	benchSystem(b, sys, opts)
+}
+
 // benchTelemetry measures one exploration workload with the telemetry
 // collector attached or absent. With telemetry on it also reports the
 // per-phase wall-clock breakdown the collector recorded, so the benchmark

@@ -103,6 +103,20 @@ func TestGoldenHeterogeneousPlatform(t *testing.T) {
 	checkGolden(t, "mpeg2_hetero", stdout)
 }
 
+// TestGoldenNoCPlatform: the -platform spec path with a contended 2D-mesh
+// interconnect — the fabric must flow through the CLI end to end and leave
+// the output byte-stable.
+func TestGoldenNoCPlatform(t *testing.T) {
+	stdout, stderr, code := runCLI(t,
+		"-graph", "mpeg2", "-seed", "2010",
+		"-platform", filepath.Join("testdata", "noc.json"),
+		"-inject=false")
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr:\n%s", code, stderr)
+	}
+	checkGolden(t, "mpeg2_noc", stdout)
+}
+
 // TestGoldenDumpGraph: the canonical graph dump is the documented way to
 // pipe a workload into seadoptd; it must stay byte-stable.
 func TestGoldenDumpGraph(t *testing.T) {

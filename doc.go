@@ -119,6 +119,25 @@
 // homogeneous Table-I platform; heterogeneous exploration is an extension,
 // not a reproduction surface.
 //
+// # Contended interconnects
+//
+// By default communication is the paper's ideal fabric: a cross-core edge
+// costs its communication cycles at the slower endpoint's clock and
+// transfers never queue. WithInterconnect (or an "interconnect" block in
+// the JSON platform spec) puts the cores behind a real fabric instead — a
+// shared bus or an XY-routed 2D-mesh NoC with finite link bandwidth and
+// per-hop latency. A message of cycles×BitsPerCycle bits reserves every
+// link of its route cut-through style (staggered by the hop latency, held
+// for bits/bandwidth seconds), and concurrent transfers sharing a link
+// serialize deterministically. The scheduler, the DES simulator, the
+// admissible makespan lower bound (which a fabric only ever tightens) and
+// the exploration engine all charge the same model, so byte-identity
+// across parallelism, strategies and sharding holds on contended
+// platforms. Per-core busy-time billing stays the paper's eq. (7)
+// both-endpoint model — the fabric shapes timing only — which keeps
+// fabric-free platforms bit-identical to prior releases, designs and
+// ProblemKeys alike.
+//
 // # SER sentinel
 //
 // OptimizeOptions.SER = 0 selects DefaultSER (the paper's 1e-9); a negative

@@ -1,0 +1,66 @@
+package seadopt
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+// nocSystem builds the Fig. 8 workload on a 4-core platform behind the
+// given fabric (nil = ideal), through the exported surface only.
+func nocSystem(t *testing.T, ic *Interconnect) *System {
+	t.Helper()
+	types := []ProcType{{Name: "arm7", Levels: arch.ARM7Levels3()}}
+	var opts []PlatformOption
+	if ic != nil {
+		opts = append(opts, WithInterconnect(*ic))
+	}
+	p, err := NewHeterogeneousPlatform(types, []int{0, 0, 0, 0}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Fig8(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestOptimizeWithInterconnect: the exported fabric surface end to end —
+// a contended mesh changes the optimum, and the byte-identical-across-
+// parallelism contract holds on contended platforms too.
+func TestOptimizeWithInterconnect(t *testing.T) {
+	mesh := &Interconnect{Topology: TopologyMesh, BandwidthBps: 1e8, HopLatencySec: 1e-4}
+	opts := OptimizeOptions{DeadlineSec: taskgraph.Fig8Deadline, SearchMoves: 120, Seed: 7}
+
+	fingerprint := func(sys *System, par int) string {
+		o := opts
+		o.Parallelism = par
+		d, err := sys.Optimize(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v|%v|%x|%x", d.Scaling, d.Mapping, d.Eval.PowerW, d.Eval.TMSeconds)
+	}
+	contended := nocSystem(t, mesh)
+	ref := fingerprint(contended, 1)
+	for _, par := range []int{4, runtime.NumCPU()} {
+		if got := fingerprint(contended, par); got != ref {
+			t.Errorf("parallelism %d design %q != sequential %q", par, got, ref)
+		}
+	}
+	if ideal := fingerprint(nocSystem(t, nil), 1); ideal == ref {
+		t.Error("contended and ideal fabrics chose identical designs — fabric not load-bearing")
+	}
+
+	// An invalid fabric is rejected at construction, not at optimize time.
+	bad := &Interconnect{Topology: "torus", BandwidthBps: 1e9}
+	if _, err := NewHeterogeneousPlatform(
+		[]ProcType{{Name: "arm7", Levels: arch.ARM7Levels3()}}, []int{0, 0},
+		WithInterconnect(*bad)); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}

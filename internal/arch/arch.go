@@ -201,9 +201,10 @@ type Platform struct {
 	coreType     []int // per-core index into types
 	classes      []int // per-core symmetry class (equal tables ⇒ equal class)
 	numClasses   int
-	nominalHz    float64 // fastest s=1 frequency across all cores
-	cl           float64 // effective switched capacitance (F)
-	baselineBits int64   // per-core baseline SEU-exposed storage
+	nominalHz    float64       // fastest s=1 frequency across all cores
+	cl           float64       // effective switched capacitance (F)
+	baselineBits int64         // per-core baseline SEU-exposed storage
+	icn          *Interconnect // nil = ideal dedicated point-to-point links
 }
 
 // Option customizes a Platform.
@@ -214,6 +215,12 @@ func WithCL(cl float64) Option { return func(p *Platform) { p.cl = cl } }
 
 // WithBaselineBits overrides the per-core baseline exposed storage.
 func WithBaselineBits(bits int64) Option { return func(p *Platform) { p.baselineBits = bits } }
+
+// WithInterconnect models the platform's communication fabric explicitly
+// instead of the default ideal point-to-point links; see Interconnect.
+// The value is normalized (defaults resolved against the core count) and
+// validated during platform construction.
+func WithInterconnect(ic Interconnect) Option { return func(p *Platform) { p.icn = &ic } }
 
 // NewPlatform builds a homogeneous platform: `cores` identical cores
 // sharing one DVS table. Levels must be sorted fastest-first and use
@@ -291,6 +298,13 @@ func NewHeterogeneousPlatform(types []ProcType, coreTypes []int, opts ...Option)
 	}
 	if p.baselineBits < 0 {
 		return nil, fmt.Errorf("arch: negative baseline bits %d", p.baselineBits)
+	}
+	if p.icn != nil {
+		ic, err := p.icn.normalized(p.cores)
+		if err != nil {
+			return nil, err
+		}
+		p.icn = ic
 	}
 	return p, nil
 }
@@ -417,6 +431,12 @@ func (p *Platform) CL() float64 { return p.cl }
 
 // BaselineBits returns the per-core baseline SEU-exposed storage in bits.
 func (p *Platform) BaselineBits() int64 { return p.baselineBits }
+
+// Interconnect returns the platform's normalized communication fabric, or
+// nil for the default ideal (dedicated contention-free point-to-point
+// links, where a cross-core edge costs its cycle count at the slower
+// endpoint's clock). The returned value is shared and must not be mutated.
+func (p *Platform) Interconnect() *Interconnect { return p.icn }
 
 // ValidScaling reports whether the per-core scaling vector has one in-range
 // coefficient per core (each checked against that core's own table).

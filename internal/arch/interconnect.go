@@ -1,0 +1,205 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology names the shape of the on-chip interconnect.
+type Topology string
+
+const (
+	// TopologyBus is a single shared link every cross-core transfer
+	// serializes on — the worst-case contention shape.
+	TopologyBus Topology = "bus"
+	// TopologyMesh is a 2D mesh NoC with XY dimension-order routing:
+	// cores sit on a MeshWidth-wide grid and a transfer crosses
+	// |Δx| + |Δy| directed links.
+	TopologyMesh Topology = "mesh"
+)
+
+// DefaultBitsPerCycle converts a task-graph edge's communication cycle
+// count into message bits when the interconnect spec does not say
+// otherwise: one 32-bit word moves per communication cycle, the natural
+// width of the ARM7 cores of §II-A.
+const DefaultBitsPerCycle = 32.0
+
+// Interconnect is the communication fabric of a platform: a topology of
+// shared links, each with a finite bandwidth and a per-hop latency.
+//
+// The ideal fabric — today's dedicated contention-free point-to-point
+// links, where a cross-core edge costs its cycle count at the slower
+// endpoint's clock — is represented by the *absence* of an Interconnect
+// (Platform.Interconnect() == nil), so existing platforms and problem
+// keys are untouched.
+//
+// With an Interconnect present, a transfer of an edge with C communication
+// cycles carries C·BitsPerCycle bits and, uncontended, takes
+//
+//	hops·HopLatencySec + bits/BandwidthBps
+//
+// seconds (cut-through: the head word pays one HopLatencySec per link,
+// the body streams behind it at the link bandwidth). Contending transfers
+// on a shared link serialize: each link remembers when it drains and a
+// later transfer waits for it, so concurrency is charged, deterministically
+// in the order transfers are issued.
+type Interconnect struct {
+	// Topology selects the link graph: TopologyBus or TopologyMesh.
+	Topology Topology
+	// BandwidthBps is each link's bandwidth in bits per second. Required,
+	// positive.
+	BandwidthBps float64
+	// HopLatencySec is the per-hop (per-link) forwarding latency in
+	// seconds. Non-negative.
+	HopLatencySec float64
+	// BitsPerCycle converts an edge's communication cycles into message
+	// bits; 0 selects DefaultBitsPerCycle.
+	BitsPerCycle float64
+	// MeshWidth is the mesh's column count; 0 selects ceil(sqrt(cores)).
+	// Only meaningful for TopologyMesh (must be 0 for a bus).
+	MeshWidth int
+
+	// meshHeight is derived at platform construction: the row count
+	// covering all cores. Routers exist at every grid slot, so XY routing
+	// is well-defined even when the last row is partially populated.
+	meshHeight int
+}
+
+// Validate checks the raw (pre-normalization) interconnect parameters.
+func (ic *Interconnect) Validate() error {
+	switch ic.Topology {
+	case TopologyBus:
+		if ic.MeshWidth != 0 {
+			return fmt.Errorf("arch: interconnect: mesh_width is only valid for the mesh topology")
+		}
+	case TopologyMesh:
+		if ic.MeshWidth < 0 {
+			return fmt.Errorf("arch: interconnect: negative mesh width %d", ic.MeshWidth)
+		}
+	default:
+		return fmt.Errorf("arch: interconnect: unknown topology %q (want %q or %q)", ic.Topology, TopologyBus, TopologyMesh)
+	}
+	if ic.BandwidthBps <= 0 || math.IsNaN(ic.BandwidthBps) || math.IsInf(ic.BandwidthBps, 0) {
+		return fmt.Errorf("arch: interconnect: bandwidth must be positive and finite, got %v bits/sec", ic.BandwidthBps)
+	}
+	if ic.HopLatencySec < 0 || math.IsNaN(ic.HopLatencySec) || math.IsInf(ic.HopLatencySec, 0) {
+		return fmt.Errorf("arch: interconnect: hop latency must be non-negative and finite, got %v sec", ic.HopLatencySec)
+	}
+	if ic.BitsPerCycle < 0 || math.IsNaN(ic.BitsPerCycle) || math.IsInf(ic.BitsPerCycle, 0) {
+		return fmt.Errorf("arch: interconnect: bits per cycle must be non-negative and finite, got %v", ic.BitsPerCycle)
+	}
+	return nil
+}
+
+// normalized validates ic and returns an independent copy with every
+// default resolved against the platform's core count, so equal fabrics
+// compare (and canonically encode) identically however they were spelled.
+func (ic *Interconnect) normalized(cores int) (*Interconnect, error) {
+	if err := ic.Validate(); err != nil {
+		return nil, err
+	}
+	out := *ic
+	if out.BitsPerCycle == 0 {
+		out.BitsPerCycle = DefaultBitsPerCycle
+	}
+	if out.Topology == TopologyMesh {
+		if out.MeshWidth == 0 {
+			out.MeshWidth = int(math.Ceil(math.Sqrt(float64(cores))))
+		}
+		out.meshHeight = (cores + out.MeshWidth - 1) / out.MeshWidth
+	}
+	return &out, nil
+}
+
+// NumLinks returns the number of directed links of the fabric: 1 for a
+// bus, 4 per router for a mesh (east/west/south/north, some of which dead-
+// end at the grid edge and are simply never used).
+func (ic *Interconnect) NumLinks() int {
+	if ic.Topology == TopologyBus {
+		return 1
+	}
+	return 4 * ic.MeshWidth * ic.meshHeight
+}
+
+// Hops returns the number of links a transfer from core a to core b
+// crosses: 1 on a bus, the XY Manhattan distance on a mesh (minimum 1,
+// since even co-located routers cross one local link — but the scheduler
+// never routes same-core edges, so a ≠ b in practice).
+func (ic *Interconnect) Hops(a, b int) int {
+	if ic.Topology == TopologyBus {
+		return 1
+	}
+	ax, ay := a%ic.MeshWidth, a/ic.MeshWidth
+	bx, by := b%ic.MeshWidth, b/ic.MeshWidth
+	h := abs(ax-bx) + abs(ay-by)
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// PathLinks appends the directed link ids a transfer from core a to core b
+// reserves, in crossing order, to buf (typically a reused scratch slice)
+// and returns the extended slice. XY dimension-order routing: horizontal
+// first, then vertical. Mesh link ids are 4·router + direction with
+// directions 0 east (+x), 1 west (−x), 2 south (+y), 3 north (−y).
+func (ic *Interconnect) PathLinks(a, b int, buf []int) []int {
+	if ic.Topology == TopologyBus {
+		return append(buf, 0)
+	}
+	w := ic.MeshWidth
+	ax, ay := a%w, a/w
+	bx, by := b%w, b/w
+	for ax < bx {
+		buf = append(buf, 4*(ay*w+ax)+0)
+		ax++
+	}
+	for ax > bx {
+		buf = append(buf, 4*(ay*w+ax)+1)
+		ax--
+	}
+	for ay < by {
+		buf = append(buf, 4*(ay*w+ax)+2)
+		ay++
+	}
+	for ay > by {
+		buf = append(buf, 4*(ay*w+ax)+3)
+		ay--
+	}
+	if len(buf) == 0 {
+		// Same router: charge the local link east of it so a degenerate
+		// transfer still pays one hop, mirroring Hops.
+		buf = append(buf, 4*(ay*w+ax)+0)
+	}
+	return buf
+}
+
+// MessageBits converts an edge's communication cycle count into message
+// bits on this fabric.
+func (ic *Interconnect) MessageBits(cycles int64) float64 {
+	return float64(cycles) * ic.BitsPerCycle
+}
+
+// TransferSeconds returns the uncontended latency of moving an edge with
+// the given communication cycles from core a to core b:
+// hops·HopLatencySec + bits/BandwidthBps. Contention can only add to it.
+func (ic *Interconnect) TransferSeconds(a, b int, cycles int64) float64 {
+	return float64(ic.Hops(a, b))*ic.HopLatencySec + ic.MessageBits(cycles)/ic.BandwidthBps
+}
+
+// MinTransferSeconds returns the smallest latency any cross-core transfer
+// of the given cycle count can incur on this fabric (one hop, no
+// contention) — the admissible floor the metrics bounds use.
+func (ic *Interconnect) MinTransferSeconds(cycles int64) float64 {
+	return ic.HopLatencySec + ic.MessageBits(cycles)/ic.BandwidthBps
+}
+
+// MeshHeight returns the mesh's derived row count (0 for a bus).
+func (ic *Interconnect) MeshHeight() int { return ic.meshHeight }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

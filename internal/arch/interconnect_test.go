@@ -1,0 +1,152 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func meshPlatform(t *testing.T, cores, width int) *Platform {
+	t.Helper()
+	p, err := NewPlatform(cores, ARM7Levels3(), WithInterconnect(Interconnect{
+		Topology:      TopologyMesh,
+		BandwidthBps:  1e9,
+		HopLatencySec: 1e-7,
+		MeshWidth:     width,
+	}))
+	if err != nil {
+		t.Fatalf("mesh platform: %v", err)
+	}
+	return p
+}
+
+func TestInterconnectNormalization(t *testing.T) {
+	// Defaults: BitsPerCycle 32, MeshWidth ceil(sqrt(cores)).
+	p := meshPlatform(t, 6, 0)
+	ic := p.Interconnect()
+	if ic == nil {
+		t.Fatal("platform lost its interconnect")
+	}
+	if ic.BitsPerCycle != DefaultBitsPerCycle {
+		t.Fatalf("BitsPerCycle = %v, want default %v", ic.BitsPerCycle, DefaultBitsPerCycle)
+	}
+	if ic.MeshWidth != 3 {
+		t.Fatalf("MeshWidth = %d, want ceil(sqrt(6)) = 3", ic.MeshWidth)
+	}
+	if ic.MeshHeight() != 2 {
+		t.Fatalf("MeshHeight = %d, want 2", ic.MeshHeight())
+	}
+	if got := ic.NumLinks(); got != 4*3*2 {
+		t.Fatalf("NumLinks = %d, want 24", got)
+	}
+
+	// A platform without the option stays ideal.
+	plain := MustNewPlatform(4, ARM7Levels3())
+	if plain.Interconnect() != nil {
+		t.Fatal("plain platform grew an interconnect")
+	}
+
+	// Bus fabric: exactly one link, every pair one hop.
+	bus, err := NewPlatform(4, ARM7Levels3(), WithInterconnect(Interconnect{
+		Topology:     TopologyBus,
+		BandwidthBps: 1e8,
+	}))
+	if err != nil {
+		t.Fatalf("bus platform: %v", err)
+	}
+	bic := bus.Interconnect()
+	if bic.NumLinks() != 1 {
+		t.Fatalf("bus NumLinks = %d, want 1", bic.NumLinks())
+	}
+	if bic.Hops(0, 3) != 1 || bic.Hops(3, 0) != 1 {
+		t.Fatal("bus hops must be 1 for every pair")
+	}
+	if path := bic.PathLinks(2, 1, nil); len(path) != 1 || path[0] != 0 {
+		t.Fatalf("bus path = %v, want [0]", path)
+	}
+}
+
+func TestInterconnectValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ic   Interconnect
+		want string
+	}{
+		{"unknown topology", Interconnect{Topology: "ring", BandwidthBps: 1}, "unknown topology"},
+		{"zero bandwidth", Interconnect{Topology: TopologyBus}, "bandwidth"},
+		{"negative latency", Interconnect{Topology: TopologyBus, BandwidthBps: 1, HopLatencySec: -1}, "hop latency"},
+		{"negative bits per cycle", Interconnect{Topology: TopologyBus, BandwidthBps: 1, BitsPerCycle: -4}, "bits per cycle"},
+		{"mesh width on bus", Interconnect{Topology: TopologyBus, BandwidthBps: 1, MeshWidth: 2}, "mesh_width"},
+		{"negative mesh width", Interconnect{Topology: TopologyMesh, BandwidthBps: 1, MeshWidth: -1}, "mesh width"},
+	}
+	for _, tc := range cases {
+		_, err := NewPlatform(4, ARM7Levels3(), WithInterconnect(tc.ic))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMeshHopsAndPaths(t *testing.T) {
+	// 3-wide mesh over 6 cores:
+	//   0 1 2
+	//   3 4 5
+	ic := meshPlatform(t, 6, 3).Interconnect()
+
+	cases := []struct {
+		a, b, hops int
+	}{
+		{0, 1, 1}, {1, 0, 1}, {0, 2, 2}, {0, 3, 1}, {0, 5, 3}, {5, 0, 3}, {2, 3, 3}, {4, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := ic.Hops(tc.a, tc.b); got != tc.hops {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.hops)
+		}
+		path := ic.PathLinks(tc.a, tc.b, nil)
+		if len(path) != tc.hops {
+			t.Errorf("PathLinks(%d,%d) = %v (%d links), want %d", tc.a, tc.b, path, len(path), tc.hops)
+		}
+		for _, l := range path {
+			if l < 0 || l >= ic.NumLinks() {
+				t.Errorf("PathLinks(%d,%d) link %d outside [0,%d)", tc.a, tc.b, l, ic.NumLinks())
+			}
+		}
+	}
+
+	// XY routing is deterministic: 0 -> 5 goes east, east, then south.
+	path := ic.PathLinks(0, 5, nil)
+	want := []int{4*0 + 0, 4*1 + 0, 4*2 + 2}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("PathLinks(0,5) = %v, want %v", path, want)
+		}
+	}
+
+	// Opposite directions never share a directed link.
+	fwd := ic.PathLinks(0, 5, nil)
+	rev := ic.PathLinks(5, 0, nil)
+	for _, f := range fwd {
+		for _, r := range rev {
+			if f == r {
+				t.Fatalf("forward and reverse paths share directed link %d", f)
+			}
+		}
+	}
+}
+
+func TestInterconnectTiming(t *testing.T) {
+	ic := meshPlatform(t, 4, 2).Interconnect()
+	// 100 cycles at 32 bits/cycle over 1e9 bps with 1e-7 s/hop.
+	bits := ic.MessageBits(100)
+	if bits != 3200 {
+		t.Fatalf("MessageBits(100) = %v, want 3200", bits)
+	}
+	got := ic.TransferSeconds(0, 3, 100) // 2 hops
+	want := 2*1e-7 + 3200/1e9
+	if diff := got - want; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("TransferSeconds = %v, want %v", got, want)
+	}
+	minWant := 1e-7 + float64(3200)/1e9
+	if min := ic.MinTransferSeconds(100); min != minWant {
+		t.Fatalf("MinTransferSeconds = %v, want %v", min, minWant)
+	}
+}

@@ -1,0 +1,187 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"seadopt/internal/arch"
+	"seadopt/internal/taskgraph"
+)
+
+const nocSpec = `{
+  "types": [{"name": "arm7", "freqs_mhz": [200, 100, 66.67]}],
+  "cores": [{"type": "arm7", "count": 4}],
+  "interconnect": {
+    "topology": "mesh",
+    "bandwidth_bits_per_sec": 4e9,
+    "hop_latency_sec": 1e-4
+  }
+}`
+
+func TestInterconnectSpecParse(t *testing.T) {
+	p, err := ParsePlatformSpec([]byte(nocSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := p.Interconnect()
+	if ic == nil {
+		t.Fatal("spec with an interconnect block built an ideal-fabric platform")
+	}
+	if ic.Topology != arch.TopologyMesh || ic.BandwidthBps != 4e9 || ic.HopLatencySec != 1e-4 {
+		t.Fatalf("fabric parameters lost in parsing: %+v", ic)
+	}
+	if ic.BitsPerCycle != arch.DefaultBitsPerCycle {
+		t.Fatalf("BitsPerCycle %v, want default %v", ic.BitsPerCycle, arch.DefaultBitsPerCycle)
+	}
+	if ic.MeshWidth != 2 { // ceil(sqrt(4))
+		t.Fatalf("4-core mesh width %d, want 2", ic.MeshWidth)
+	}
+}
+
+func TestInterconnectSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"unknown topology",
+			`{"types":[{"name":"a","freqs_mhz":[200]}],"cores":[{"type":"a","count":2}],
+			  "interconnect":{"topology":"torus","bandwidth_bits_per_sec":1e9}}`,
+			"topology"},
+		{"missing bandwidth",
+			`{"types":[{"name":"a","freqs_mhz":[200]}],"cores":[{"type":"a","count":2}],
+			  "interconnect":{"topology":"bus"}}`,
+			"bandwidth"},
+		{"mesh width on a bus",
+			`{"types":[{"name":"a","freqs_mhz":[200]}],"cores":[{"type":"a","count":2}],
+			  "interconnect":{"topology":"bus","bandwidth_bits_per_sec":1e9,"mesh_width":2}}`,
+			"mesh_width"},
+		{"unknown field",
+			`{"types":[{"name":"a","freqs_mhz":[200]}],"cores":[{"type":"a","count":2}],
+			  "interconnect":{"topology":"bus","bandwidth_bits_per_sec":1e9,"latency":1}}`,
+			"unknown field"},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePlatformSpec([]byte(tc.spec)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestProblemKeyV4Pinned pins the pre-interconnect canonical identity: an
+// interconnect-free problem must keep encoding as version 4, byte-identical
+// to the tree before the fabric existed, so no cached result or warm-start
+// entry is orphaned by this change. The literals were computed on the
+// pre-interconnect tree; if this test fails, cache compatibility is broken
+// — do not "fix" it by re-pinning without bumping both versions.
+func TestProblemKeyV4Pinned(t *testing.T) {
+	const (
+		pinnedKey = "sha256:ebb719c2ad99c6622fdc484a0e512fa5dae5971c62837a7c61bd2bf5e6fb0fbb"
+		pinnedFP  = "fp-sha256:3b14744497dbee406a022f0444c991bb9ad37d7f031b3ddd46b65116b9dab3ce"
+	)
+	plat, err := ParsePlatformSpec([]byte(
+		`{"types":[{"name":"arm7","freqs_mhz":[200,100,66.67]}],"cores":[{"type":"arm7","count":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		Graph:    taskgraph.Fig8(),
+		Platform: plat,
+		Options:  Options{DeadlineSec: 0.0028, Seed: 7},
+	}
+	enc, err := p.CanonicalEncoding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"v":4`) {
+		t.Errorf("ideal-fabric problem did not encode as v4: %s", enc[:60])
+	}
+	if strings.Contains(string(enc), "interconnect") {
+		t.Error("ideal-fabric canonical encoding mentions an interconnect")
+	}
+	if k := EncodingKey(enc); k != pinnedKey {
+		t.Errorf("problem key drifted:\n  got  %s\n  want %s", k, pinnedKey)
+	}
+	fp, err := p.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != pinnedFP {
+		t.Errorf("fingerprint drifted:\n  got  %s\n  want %s", fp, pinnedFP)
+	}
+}
+
+func TestInterconnectProblemKeys(t *testing.T) {
+	mk := func(spec string) *Problem {
+		t.Helper()
+		plat, err := ParsePlatformSpec([]byte(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Problem{Graph: taskgraph.Fig8(), Platform: plat, Options: Options{Seed: 7}}
+	}
+	ideal := mk(`{"types":[{"name":"arm7","freqs_mhz":[200,100,66.67]}],"cores":[{"type":"arm7","count":4}]}`)
+	noc := mk(nocSpec)
+	bus := mk(`{"types":[{"name":"arm7","freqs_mhz":[200,100,66.67]}],"cores":[{"type":"arm7","count":4}],
+	  "interconnect":{"topology":"bus","bandwidth_bits_per_sec":4e9,"hop_latency_sec":1e-4}}`)
+	// The same mesh with its defaults spelled out explicitly.
+	explicit := mk(`{"types":[{"name":"arm7","freqs_mhz":[200,100,66.67]}],"cores":[{"type":"arm7","count":4}],
+	  "interconnect":{"topology":"mesh","bandwidth_bits_per_sec":4e9,"hop_latency_sec":1e-4,
+	  "bits_per_cycle":32,"mesh_width":2}}`)
+
+	enc, err := noc.CanonicalEncoding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"v":5`) {
+		t.Errorf("interconnect problem did not encode as v5: %s", enc[:60])
+	}
+	kIdeal, _ := ideal.Key()
+	kNoc, err := noc.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kBus, _ := bus.Key()
+	kExplicit, _ := explicit.Key()
+	if kNoc == kIdeal {
+		t.Error("contended and ideal fabrics share a problem key")
+	}
+	if kNoc == kBus {
+		t.Error("mesh and bus fabrics share a problem key")
+	}
+	if kNoc != kExplicit {
+		t.Error("defaulted and explicitly-spelled fabrics should share a key")
+	}
+
+	// The canonical encoding ships over the shard protocol: decode must
+	// reconstruct the fabric and round-trip to the same key.
+	dec, err := DecodeProblem(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := dec.Platform.Interconnect()
+	if ic == nil {
+		t.Fatal("decoded problem lost its interconnect")
+	}
+	if *ic != *noc.Platform.Interconnect() {
+		t.Fatalf("decoded fabric %+v != original %+v", ic, noc.Platform.Interconnect())
+	}
+	if kDec, _ := dec.Key(); kDec != kNoc {
+		t.Errorf("decoded problem key %s != original %s", kDec, kNoc)
+	}
+
+	// A sweep whose extra platform carries the fabric is v5 too.
+	sweep := mk(`{"types":[{"name":"arm7","freqs_mhz":[200,100,66.67]}],"cores":[{"type":"arm7","count":4}]}`)
+	sweep.Options = Options{Mode: ModeSweep, SweepDeadlines: []float64{0.0028}, Seed: 7}
+	sweep.SweepPlatforms = []*arch.Platform{noc.Platform}
+	senc, err := sweep.CanonicalEncoding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(senc), `"v":5`) {
+		t.Error("sweep with a contended sweep platform did not encode as v5")
+	}
+	if _, err := DecodeProblem(senc); err != nil {
+		t.Errorf("sweep round trip: %v", err)
+	}
+}

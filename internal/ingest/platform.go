@@ -26,6 +26,20 @@ import (
 // pairs, fastest first) or as "freqs_mhz", deriving voltages with the ARM7
 // law of eq. (2). cl and baseline_bits override the power/exposure
 // calibration constants; both default to the paper's values.
+//
+// An optional "interconnect" block declares the communication fabric —
+// without one the platform uses the paper's ideal fabric (every edge billed
+// at the slower endpoint's clock, no contention):
+//
+//	{
+//	  "types": [{"name": "arm7", "freqs_mhz": [200, 100, 66.67]}],
+//	  "cores": [{"type": "arm7", "count": 4}],
+//	  "interconnect": {
+//	    "topology": "mesh",
+//	    "bandwidth_bits_per_sec": 4e9,
+//	    "hop_latency_sec": 1e-4
+//	  }
+//	}
 type PlatformSpec struct {
 	// Name labels the platform in logs and summaries; it does not
 	// participate in problem identity.
@@ -40,6 +54,28 @@ type PlatformSpec struct {
 	// BaselineBits overrides the per-core baseline SEU-exposed storage;
 	// nil selects arch.DefaultBaselineBits.
 	BaselineBits *int64 `json:"baseline_bits,omitempty"`
+	// Interconnect declares the contended communication fabric; nil selects
+	// the ideal fabric.
+	Interconnect *InterconnectSpec `json:"interconnect,omitempty"`
+}
+
+// InterconnectSpec is the JSON form of arch.Interconnect: a "bus" (one
+// shared link) or 2D "mesh" (XY-routed NoC) with finite link bandwidth and
+// per-hop latency. Concurrent transfers sharing a link serialize.
+type InterconnectSpec struct {
+	// Topology is "bus" or "mesh".
+	Topology string `json:"topology"`
+	// BandwidthBitsPerSec is the link bandwidth; a message of B bits holds
+	// each link of its path for B/bandwidth seconds. Required, positive.
+	BandwidthBitsPerSec float64 `json:"bandwidth_bits_per_sec"`
+	// HopLatencySec is the per-hop routing latency in seconds.
+	HopLatencySec float64 `json:"hop_latency_sec,omitempty"`
+	// BitsPerCycle converts an edge's communication cycles to message bits;
+	// 0 selects arch.DefaultBitsPerCycle (32).
+	BitsPerCycle float64 `json:"bits_per_cycle,omitempty"`
+	// MeshWidth is the mesh's column count; 0 selects ceil(sqrt(cores)).
+	// Must be absent for a bus.
+	MeshWidth int `json:"mesh_width,omitempty"`
 }
 
 // ProcTypeSpec declares one processor type. Exactly one of Levels and
@@ -145,6 +181,15 @@ func (spec *PlatformSpec) Build() (*arch.Platform, error) {
 	}
 	if spec.BaselineBits != nil {
 		opts = append(opts, arch.WithBaselineBits(*spec.BaselineBits))
+	}
+	if ic := spec.Interconnect; ic != nil {
+		opts = append(opts, arch.WithInterconnect(arch.Interconnect{
+			Topology:      arch.Topology(ic.Topology),
+			BandwidthBps:  ic.BandwidthBitsPerSec,
+			HopLatencySec: ic.HopLatencySec,
+			BitsPerCycle:  ic.BitsPerCycle,
+			MeshWidth:     ic.MeshWidth,
+		}))
 	}
 	p, err := arch.NewHeterogeneousPlatform(types, coreTypes, opts...)
 	if err != nil {

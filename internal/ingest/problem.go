@@ -262,14 +262,36 @@ type Problem struct {
 	SweepPlatforms []*arch.Platform
 }
 
-// problemKeyVersion is bumped whenever the canonical encoding or the
+// The problem-key version is bumped whenever the canonical encoding or the
 // engine's result semantics change, invalidating previously cached keys.
 // v2: exploration strategy + sample budget joined the canonical options.
 // v3: optimization mode + Pareto objectives joined the canonical options.
 // v4: heterogeneous platforms — the canonical platform became a per-core
 // type assignment over class-deduplicated DVS tables (a homogeneous spec
 // hashes differently than under v3 but provably produces identical designs).
-const problemKeyVersion = 4
+// v5: contended interconnects — the canonical platform gained an optional
+// fabric block. A problem without an interconnect on any platform still
+// encodes (and hashes) as v4, byte-identical to the pre-fabric tree, so no
+// ideal-fabric cache entry is invalidated; any interconnect anywhere
+// selects v5.
+const (
+	problemKeyVersionIdeal        = 4
+	problemKeyVersionInterconnect = 5
+)
+
+// keyVersion selects the wire version for a problem: the pre-fabric v4
+// whenever every platform uses the ideal fabric, v5 otherwise.
+func (p *Problem) keyVersion() int {
+	if p.Platform.Interconnect() != nil {
+		return problemKeyVersionInterconnect
+	}
+	for _, sp := range p.SweepPlatforms {
+		if sp != nil && sp.Interconnect() != nil {
+			return problemKeyVersionInterconnect
+		}
+	}
+	return problemKeyVersionIdeal
+}
 
 // canonicalProblem is the stable wire form the ProblemKey hashes. Field
 // order is fixed; every field is value-typed or deterministically ordered
@@ -296,6 +318,20 @@ type canonicalPlatform struct {
 	CL           float64            `json:"cl"`
 	BaselineBits int64              `json:"baseline_bits"`
 	Types        [][]canonicalLevel `json:"types"`
+	// Interconnect is the normalized fabric; omitempty keeps every
+	// ideal-fabric platform encoding byte-identical to v4.
+	Interconnect *canonicalInterconnect `json:"interconnect,omitempty"`
+}
+
+// canonicalInterconnect carries the platform's normalized fabric parameters
+// (defaults resolved: BitsPerCycle filled, mesh width explicit), so two
+// specs describing the same fabric hash identically however they spell it.
+type canonicalInterconnect struct {
+	Topology      string  `json:"topology"`
+	BandwidthBps  float64 `json:"bandwidth_bps"`
+	HopLatencySec float64 `json:"hop_latency_sec"`
+	BitsPerCycle  float64 `json:"bits_per_cycle"`
+	MeshWidth     int     `json:"mesh_width,omitempty"`
 }
 
 type canonicalLevel struct {
@@ -325,6 +361,15 @@ func canonicalizePlatform(p *arch.Platform) canonicalPlatform {
 		}
 		cp.Types = append(cp.Types, levels)
 	}
+	if ic := p.Interconnect(); ic != nil {
+		cp.Interconnect = &canonicalInterconnect{
+			Topology:      string(ic.Topology),
+			BandwidthBps:  ic.BandwidthBps,
+			HopLatencySec: ic.HopLatencySec,
+			BitsPerCycle:  ic.BitsPerCycle,
+			MeshWidth:     ic.MeshWidth,
+		}
+	}
 	return cp
 }
 
@@ -346,7 +391,7 @@ func (p *Problem) CanonicalEncoding() ([]byte, error) {
 		return nil, fmt.Errorf("ingest: encoding graph for problem key: %w", err)
 	}
 	cp := canonicalProblem{
-		V:        problemKeyVersion,
+		V:        p.keyVersion(),
 		Graph:    gj,
 		Platform: canonicalizePlatform(p.Platform),
 		Options:  p.Options.normalize(),

@@ -25,8 +25,9 @@ func DecodeProblem(enc []byte) (*Problem, error) {
 	if err := json.Unmarshal(enc, &cp); err != nil {
 		return nil, fmt.Errorf("ingest: decoding canonical problem: %w", err)
 	}
-	if cp.V != problemKeyVersion {
-		return nil, fmt.Errorf("ingest: canonical problem version %d, want %d", cp.V, problemKeyVersion)
+	if cp.V != problemKeyVersionIdeal && cp.V != problemKeyVersionInterconnect {
+		return nil, fmt.Errorf("ingest: canonical problem version %d, want %d or %d",
+			cp.V, problemKeyVersionIdeal, problemKeyVersionInterconnect)
 	}
 	g, err := taskgraph.FromJSON(cp.Graph)
 	if err != nil {
@@ -74,6 +75,15 @@ func decodeCanonicalPlatform(cp canonicalPlatform) (*arch.Platform, error) {
 		}
 		types[i] = t
 	}
-	return arch.NewHeterogeneousPlatform(types, cp.CoreTypes,
-		arch.WithCL(cp.CL), arch.WithBaselineBits(cp.BaselineBits))
+	opts := []arch.Option{arch.WithCL(cp.CL), arch.WithBaselineBits(cp.BaselineBits)}
+	if ic := cp.Interconnect; ic != nil {
+		opts = append(opts, arch.WithInterconnect(arch.Interconnect{
+			Topology:      arch.Topology(ic.Topology),
+			BandwidthBps:  ic.BandwidthBps,
+			HopLatencySec: ic.HopLatencySec,
+			BitsPerCycle:  ic.BitsPerCycle,
+			MeshWidth:     ic.MeshWidth,
+		}))
+	}
+	return arch.NewHeterogeneousPlatform(types, cp.CoreTypes, opts...)
 }

@@ -36,6 +36,18 @@ import (
 //     task-cycle prefix sums. j = 1 recovers the classic largest-task
 //     bound; the bound strictly dominates it.
 //
+// On a platform with an explicit interconnect (arch.Interconnect) a fourth,
+// comm-aware term tightens the makespan bound further: a mapping either
+// keeps every task on one core — taking at least totalCycles/fastest — or
+// spans two and, the graph being weakly connected, forces at least one
+// cross-core transfer costing at least one hop latency plus the smallest
+// edge's serialization time (contention and extra hops only add). The
+// makespan is therefore at least min(total/fastest, max(base, minTransfer)).
+// The term is zero — bit-identical bounds to today — when the platform has
+// no interconnect, the graph is disconnected, or some edge carries zero
+// cycles (a free crossing point). Like every other term it is a pure
+// function of the level histogram, so Cursor identity is preserved.
+//
 // For pipelined workloads (Iterations > 1) the same relaxations bound the
 // bottleneck-core busy time (busy_c · f_c is at least the task cycles
 // hosted by c, so B · F_j ≥ S_j for the hosts of the j largest tasks), and
@@ -64,6 +76,12 @@ type Bounds struct {
 	entries []boundEntry
 	byFreq  []int // catalogue indices, frequency descending, index ascending
 	cl      float64
+
+	// commXferSec is the comm-aware term's transfer floor: the smallest
+	// latency any cross-core transfer can incur on the platform's
+	// interconnect (one hop, minimum-size edge, no contention). Zero when
+	// the term does not apply; see the type comment.
+	commXferSec float64
 }
 
 // boundEntry is one (symmetry class, level) operating point of the
@@ -143,6 +161,44 @@ func NewBounds(g *taskgraph.Graph, p *arch.Platform, iterations int) *Bounds {
 	sort.SliceStable(b.byFreq, func(a, c int) bool {
 		return b.entries[b.byFreq[a]].hz > b.entries[b.byFreq[c]].hz
 	})
+	// Comm-aware term precomputation: weak connectivity (union-find over
+	// the undirected edge set) and the smallest edge cycle count. Both are
+	// needed for the term to be admissible — a disconnected graph can span
+	// cores without crossing an edge, and a zero-cycle edge crosses for
+	// free.
+	if ic := p.Interconnect(); ic != nil && p.Cores() > 1 && n > 1 {
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		minEdge := int64(-1)
+		for _, e := range g.Edges() {
+			if minEdge < 0 || e.Cycles < minEdge {
+				minEdge = e.Cycles
+			}
+			if ra, rb := find(int(e.From)), find(int(e.To)); ra != rb {
+				parent[ra] = rb
+			}
+		}
+		connected := true
+		for v := 1; v < n; v++ {
+			if find(v) != find(0) {
+				connected = false
+				break
+			}
+		}
+		if connected && minEdge > 0 {
+			b.commXferSec = ic.MinTransferSeconds(minEdge)
+		}
+	}
 	return b
 }
 
@@ -215,6 +271,24 @@ func (b *Bounds) tmLowerBoundFromHist(cnt []int) float64 {
 	}
 	if partition > makespanLB {
 		makespanLB = partition
+	}
+	if b.commXferSec > 0 {
+		// Comm-aware dichotomy: a single-core mapping serializes all work
+		// on the fastest core present; a multi-core mapping still obeys the
+		// base bound AND pays at least one minimal transfer. Every base
+		// term is ≤ total/fastest, so taking the min against the
+		// single-core side can only tighten, never loosen.
+		single := float64(b.totalCycles) / fastest
+		multi := makespanLB
+		if b.commXferSec > multi {
+			multi = b.commXferSec
+		}
+		if single < multi {
+			multi = single
+		}
+		if multi > makespanLB {
+			makespanLB = multi
+		}
 	}
 	if b.iterations <= 1 {
 		return makespanLB

@@ -27,52 +27,112 @@ func TestTMLowerBoundAdmissible(t *testing.T) {
 		{taskgraph.MustRandom(taskgraph.DefaultRandomConfig(30), 11), 1},
 		{taskgraph.MustRandom(taskgraph.DefaultRandomConfig(60), 5), 4},
 	}
+	// Fabrics the property must hold under. The contended variants are
+	// sized so §V-scale edges (~1e8 bits) take comparable time to tasks —
+	// transfer latency and queuing genuinely shape the schedules the bound
+	// is tested against.
+	fabrics := map[string]*arch.Interconnect{
+		"ideal": nil,
+		"bus":   {Topology: arch.TopologyBus, BandwidthBps: 4e9, HopLatencySec: 1e-4},
+		"mesh":  {Topology: arch.TopologyMesh, BandwidthBps: 2e9, HopLatencySec: 5e-4},
+	}
 	ser := faults.NewSERModel(faults.DefaultSER)
 	rng := rand.New(rand.NewSource(99))
-	for _, tc := range graphs {
-		for _, cores := range []int{2, 4, 6} {
-			p := arch.MustNewPlatform(cores, arch.ARM7Levels3())
-			b := NewBounds(tc.g, p, tc.iters)
-			combos, err := vscale.All(cores, 3)
-			if err != nil {
-				t.Fatal(err)
-			}
-			e, err := NewEvaluator(tc.g, p, ser, Options{Iterations: tc.iters})
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, scaling := range combos {
-				lb, err := b.TMLowerBound(scaling)
+	for fname, fabric := range fabrics {
+		for _, tc := range graphs {
+			for _, cores := range []int{2, 4, 6} {
+				var opts []arch.Option
+				if fabric != nil {
+					opts = append(opts, arch.WithInterconnect(*fabric))
+				}
+				p, err := arch.NewPlatform(cores, arch.ARM7Levels3(), opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if lb <= 0 {
-					t.Fatalf("%s cores=%d scaling %v: non-positive bound %v", tc.g.Name(), cores, scaling, lb)
-				}
-				if err := e.Bind(scaling); err != nil {
+				b := NewBounds(tc.g, p, tc.iters)
+				combos, err := vscale.All(cores, 3)
+				if err != nil {
 					t.Fatal(err)
 				}
-				for trial := 0; trial < 8; trial++ {
-					var m sched.Mapping
-					switch trial {
-					case 0:
-						m = sched.RoundRobin(tc.g.N(), cores)
-					case 1:
-						m = sched.NewMapping(tc.g.N()) // everything on core 0
-					default:
-						m = sched.RandomMapping(rng, tc.g.N(), cores)
-					}
-					ev, err := e.Evaluate(m)
+				e, err := NewEvaluator(tc.g, p, ser, Options{Iterations: tc.iters})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, scaling := range combos {
+					lb, err := b.TMLowerBound(scaling)
 					if err != nil {
 						t.Fatal(err)
 					}
-					if ev.TMSeconds < lb*(1-1e-12) {
-						t.Fatalf("%s cores=%d scaling %v mapping %v: T_M %.9g beats the 'lower bound' %.9g",
-							tc.g.Name(), cores, scaling, m, ev.TMSeconds, lb)
+					if lb <= 0 {
+						t.Fatalf("%s %s cores=%d scaling %v: non-positive bound %v", fname, tc.g.Name(), cores, scaling, lb)
+					}
+					if err := e.Bind(scaling); err != nil {
+						t.Fatal(err)
+					}
+					for trial := 0; trial < 8; trial++ {
+						var m sched.Mapping
+						switch trial {
+						case 0:
+							m = sched.RoundRobin(tc.g.N(), cores)
+						case 1:
+							m = sched.NewMapping(tc.g.N()) // everything on core 0
+						default:
+							m = sched.RandomMapping(rng, tc.g.N(), cores)
+						}
+						ev, err := e.Evaluate(m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if ev.TMSeconds < lb*(1-1e-12) {
+							t.Fatalf("%s %s cores=%d scaling %v mapping %v: T_M %.9g beats the 'lower bound' %.9g",
+								fname, tc.g.Name(), cores, scaling, m, ev.TMSeconds, lb)
+						}
 					}
 				}
 			}
 		}
+	}
+}
+
+// TestCommBoundOnlyTightens: the interconnect-aware term may only raise the
+// makespan lower bound, never lower it — that is what keeps every existing
+// byte-identity property intact — and on a connected graph with a slow
+// enough fabric it must actually raise it (the term is not vacuous).
+func TestCommBoundOnlyTightens(t *testing.T) {
+	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(30), 11)
+	combos, err := vscale.All(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := NewBounds(g, arch.MustNewPlatform(4, arch.ARM7Levels3()), 1)
+	// 10 Mbit/s: a §V unit edge (3.5e6 cycles ≈ 1.12e8 bits) takes ~11 s —
+	// above the serial-execution bound, so the dichotomy must bite.
+	slowBus, err := arch.NewPlatform(4, arch.ARM7Levels3(), arch.WithInterconnect(arch.Interconnect{
+		Topology: arch.TopologyBus, BandwidthBps: 1e7, HopLatencySec: 1e-3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := NewBounds(g, slowBus, 1)
+	tightened := false
+	for _, s := range combos {
+		lb0, err := ideal.TMLowerBound(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb1, err := comm.TMLowerBound(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb1 < lb0 {
+			t.Fatalf("scaling %v: comm-aware bound %v below ideal bound %v", s, lb1, lb0)
+		}
+		if lb1 > lb0 {
+			tightened = true
+		}
+	}
+	if !tightened {
+		t.Fatal("comm-aware term never tightened any bound on a slow bus")
 	}
 }
 

@@ -34,6 +34,36 @@ func deltaPlat(t testing.TB) *arch.Platform {
 	return p
 }
 
+// deltaNoCPlat is deltaPlat behind a contended 2D-mesh NoC: link bandwidth
+// low enough that transfer times rival task durations (§V costs are
+// multiples of 3.5e6 cycles, so edges carry ~1e8–1e9 bits), making the
+// interconnect path of scheduler, evaluator and bounds load-bearing in the
+// walks below.
+func deltaNoCPlat(t testing.TB) *arch.Platform {
+	t.Helper()
+	types := []arch.ProcType{
+		{Name: "fast4", Levels: arch.ARM7Levels4()},
+		{Name: "arm7", Levels: arch.ARM7Levels3()},
+		{Name: "low2", Levels: arch.ARM7Levels2()},
+	}
+	coreTypes := []int{0, 0, 0, 1, 1, 1, 1, 2, 2, 2}
+	p, err := arch.NewHeterogeneousPlatform(types, coreTypes, arch.WithInterconnect(arch.Interconnect{
+		Topology:      arch.TopologyMesh,
+		BandwidthBps:  4e9,
+		HopLatencySec: 1e-4,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// deltaPlatforms pairs the ideal and contended-NoC variants every
+// incremental-machinery property below must hold on.
+func deltaPlatforms(t testing.TB) map[string]*arch.Platform {
+	return map[string]*arch.Platform{"ideal": deltaPlat(t), "noc": deltaNoCPlat(t)}
+}
+
 // randScaling draws a uniformly random valid (not necessarily canonical)
 // scaling vector for p.
 func randScaling(rng *rand.Rand, p *arch.Platform) []int {
@@ -51,8 +81,13 @@ func randScaling(rng *rand.Rand, p *arch.Platform) []int {
 // probe replace the O(cores) recomputation without perturbing one pruning
 // decision.
 func TestCursorMatchesFreshBounds(t *testing.T) {
+	for name, p := range deltaPlatforms(t) {
+		t.Run(name, func(t *testing.T) { testCursorMatchesFreshBounds(t, p) })
+	}
+}
+
+func testCursorMatchesFreshBounds(t *testing.T, p *arch.Platform) {
 	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(30), 9)
-	p := deltaPlat(t)
 	b := NewBounds(g, p, 3)
 	cu := b.Cursor()
 	rng := rand.New(rand.NewSource(42))
@@ -146,8 +181,13 @@ func evalFingerprint(ev *Evaluation) string {
 // reuse). The mapping leaves two cores idle so the fast path actually
 // triggers.
 func TestEvaluateDeltaMatchesFull(t *testing.T) {
+	for name, p := range deltaPlatforms(t) {
+		t.Run(name, func(t *testing.T) { testEvaluateDeltaMatchesFull(t, p) })
+	}
+}
+
+func testEvaluateDeltaMatchesFull(t *testing.T, p *arch.Platform) {
 	g := taskgraph.MustRandom(taskgraph.DefaultRandomConfig(30), 9)
-	p := deltaPlat(t)
 	opt := Options{Iterations: 3, DeadlineSec: taskgraph.RandomDeadline(30)}
 	ser := faults.NewSERModel(faults.DefaultSER)
 

@@ -11,12 +11,20 @@ import (
 //   - every task has a slot on its mapped core;
 //   - no two slots overlap on the same core;
 //   - every dependency is respected, including cross-core communication
-//     latency at the slower endpoint's clock;
-//   - the recorded makespan equals the latest slot end.
+//     latency — at the slower endpoint's clock under the ideal fabric, or
+//     at least the uncontended interconnect transfer time (contention only
+//     ever delays a token, so the uncontended time is a sound floor);
+//   - the recorded makespan equals the latest slot end;
+//   - the per-core busy-cycle billing is exactly the eq. (7) model: each
+//     core's task cycles plus the cycles of every cross-core edge it is an
+//     endpoint of (billed to BOTH endpoints — the producer drives the
+//     transfer, the consumer receives it), with busy seconds consistent at
+//     each core's own clock. CommSeconds reports the same model, so an
+//     externally-constructed schedule cannot silently disagree with it.
 //
 // The scheduler produces valid schedules by construction; Validate exists
 // for tests, for externally-constructed schedules, and as an executable
-// statement of the timing model.
+// statement of the timing and billing model.
 func (s *Schedule) Validate() error {
 	g := s.Graph
 	n := g.N()
@@ -55,15 +63,43 @@ func (s *Schedule) Validate() error {
 		pre, post := s.Slots[e.From], s.Slots[e.To]
 		minStart := pre.EndSec
 		if s.Mapping[e.From] != s.Mapping[e.To] && e.Cycles > 0 {
-			fSlow := s.freqHz[s.Mapping[e.From]]
-			if fd := s.freqHz[s.Mapping[e.To]]; fd < fSlow {
-				fSlow = fd
+			if s.icn != nil {
+				minStart += s.icn.TransferSeconds(s.Mapping[e.From], s.Mapping[e.To], e.Cycles)
+			} else {
+				fSlow := s.freqHz[s.Mapping[e.From]]
+				if fd := s.freqHz[s.Mapping[e.To]]; fd < fSlow {
+					fSlow = fd
+				}
+				minStart += float64(e.Cycles) / fSlow
 			}
-			minStart += float64(e.Cycles) / fSlow
 		}
 		if post.StartSec < minStart-eps {
 			return fmt.Errorf("sched: edge %d->%d violated: start %.12f < %.12f",
 				e.From, e.To, post.StartSec, minStart)
+		}
+	}
+	// Eq. (7) billing check: recompute each core's busy cycles from the
+	// graph and mapping, and the busy seconds at that core's clock.
+	wantCycles := make([]int64, len(s.busyCycles))
+	for t := 0; t < n; t++ {
+		core := s.Mapping[t]
+		wantCycles[core] += g.Task(s.Slots[t].Task).Cycles
+		for _, e := range g.Succs(s.Slots[t].Task) {
+			if s.Mapping[e.To] != core {
+				wantCycles[core] += e.Cycles
+				wantCycles[s.Mapping[e.To]] += e.Cycles
+			}
+		}
+	}
+	for c, want := range wantCycles {
+		if s.busyCycles[c] != want {
+			return fmt.Errorf("sched: core %d bills %d busy cycles, eq. (7) both-endpoint model gives %d",
+				c, s.busyCycles[c], want)
+		}
+		wantSec := float64(want) / s.freqHz[c]
+		if diff := s.busySec[c] - wantSec; diff > eps || diff < -eps {
+			return fmt.Errorf("sched: core %d busy %.12fs, billing at %.0f Hz gives %.12fs",
+				c, s.busySec[c], s.freqHz[c], wantSec)
 		}
 	}
 	// Makespan check.
@@ -150,19 +186,23 @@ func (s *Schedule) LoadImbalance() float64 {
 	return hi - lo
 }
 
-// CommSeconds returns the total cross-core communication time of the
-// schedule in seconds (each edge once, at the slower endpoint's clock).
+// CommSeconds returns the total cross-core communication busy time of the
+// schedule in seconds under the eq. (7) billing model the scheduler uses:
+// each cross-core edge's cycles are billed to BOTH endpoint cores — the
+// producer drives the transfer, the consumer receives it — so an edge
+// contributes cycles/f_producer + cycles/f_consumer. This is exactly the
+// communication share of Σ_c BusySeconds(c); Validate asserts the per-core
+// billing, so the two views cannot drift apart. (It previously counted
+// each edge once at the slower endpoint's clock, disagreeing with the
+// scheduler's billing.) For the realized network latency — what tokens
+// actually waited, including interconnect queuing — see CommDelaySeconds.
 func (s *Schedule) CommSeconds() float64 {
 	var total float64
 	for _, e := range s.Graph.Edges() {
 		if s.Mapping[e.From] == s.Mapping[e.To] || e.Cycles == 0 {
 			continue
 		}
-		fSlow := s.freqHz[s.Mapping[e.From]]
-		if fd := s.freqHz[s.Mapping[e.To]]; fd < fSlow {
-			fSlow = fd
-		}
-		total += float64(e.Cycles) / fSlow
+		total += float64(e.Cycles)/s.freqHz[s.Mapping[e.From]] + float64(e.Cycles)/s.freqHz[s.Mapping[e.To]]
 	}
 	return total
 }

@@ -5,8 +5,19 @@
 // list scheduler (used by step 2 of the paper's flow, Fig. 7 step A/D) then
 // orders the tasks of each core by b-level priority, respecting data
 // dependencies and charging edge communication time only when producer and
-// consumer sit on different cores (the architecture has dedicated
-// point-to-point links, §II-A).
+// consumer sit on different cores.
+//
+// Cross-core edge timing follows the platform's communication fabric. By
+// default the architecture has dedicated contention-free point-to-point
+// links (§II-A) and an edge costs its cycle count at the slower endpoint's
+// clock. When the platform carries an arch.Interconnect (bus or 2D-mesh
+// NoC), an edge instead moves cycles·BitsPerCycle bits over the fabric in
+// hops·HopLatencySec + bits/BandwidthBps seconds, and concurrent transfers
+// sharing a link serialize deterministically in agenda (time, seq) order.
+// Either way the eq. (7) busy-cycle billing — each cross-core edge's
+// cycles billed to both endpoint cores — is unchanged: the fabric shapes
+// when tokens arrive, not the cycles the endpoint cores spend driving and
+// receiving them.
 //
 // Cores run at per-core DVS frequencies, so schedule timestamps are kept in
 // seconds; per-core busy time is additionally reported in that core's clock
@@ -138,11 +149,13 @@ type Schedule struct {
 	Mapping Mapping
 	Scaling []int
 
-	Slots      []Slot  // indexed by TaskID
-	busyCycles []int64 // eq. (7) T_i per core, in that core's cycles
-	busySec    []float64
-	makespan   float64
-	freqHz     []float64
+	Slots        []Slot  // indexed by TaskID
+	busyCycles   []int64 // eq. (7) T_i per core, in that core's cycles
+	busySec      []float64
+	makespan     float64
+	freqHz       []float64
+	commDelaySec float64            // summed realized transfer latency
+	icn          *arch.Interconnect // fabric the timing was produced under
 }
 
 // ListSchedule schedules g under mapping on the platform with the per-core
@@ -235,6 +248,18 @@ func (s *Schedule) Utilization(iterations int) []float64 {
 
 // FreqHz returns the operating frequency of core i under this schedule.
 func (s *Schedule) FreqHz(core int) float64 { return s.freqHz[core] }
+
+// CommDelaySeconds returns the summed realized latency of every cross-core
+// transfer of the schedule — the network view of communication cost. Under
+// the ideal fabric each transfer contributes cycles at the slower
+// endpoint's clock; under an interconnect it contributes the actual
+// hops·latency + serialization + queuing delay the transfer incurred.
+// Contrast CommSeconds, the endpoint-occupancy (billing) view.
+func (s *Schedule) CommDelaySeconds() float64 { return s.commDelaySec }
+
+// Interconnect returns the fabric the schedule was timed under (nil =
+// ideal point-to-point links).
+func (s *Schedule) Interconnect() *arch.Interconnect { return s.icn }
 
 // Cores returns the number of platform cores the schedule spans.
 func (s *Schedule) Cores() int { return len(s.busyCycles) }

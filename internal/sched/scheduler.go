@@ -37,15 +37,18 @@ func agendaLess(a, b agendaEvent) bool {
 // A Scheduler is not safe for concurrent use; the exploration engine gives
 // each worker its own (via metrics.Evaluator).
 type Scheduler struct {
-	g  *taskgraph.Graph
-	p  *arch.Platform
-	bl []int64 // b-level priorities, graph-constant
+	g   *taskgraph.Graph
+	p   *arch.Platform
+	bl  []int64            // b-level priorities, graph-constant
+	icn *arch.Interconnect // nil = ideal point-to-point links
 
 	scaling []int
 	freq    []float64
 
 	// Scratch reused across Schedule calls. agenda is a binary min-heap
-	// ordered by agendaLess.
+	// ordered by agendaLess. linkBusy tracks, per directed fabric link,
+	// when the last reserved transfer drains; linkPath is the routing
+	// scratch.
 	remainingPreds []int
 	agenda         []agendaEvent
 	batch          []agendaEvent
@@ -53,6 +56,8 @@ type Scheduler struct {
 	coreBusy       []bool
 	touched        []bool
 	touchedList    []int
+	linkBusy       []float64
+	linkPath       []int
 
 	out Schedule
 }
@@ -66,6 +71,7 @@ func NewScheduler(g *taskgraph.Graph, p *arch.Platform) *Scheduler {
 		g:              g,
 		p:              p,
 		bl:             g.BLevels(),
+		icn:            p.Interconnect(),
 		scaling:        make([]int, cores),
 		freq:           make([]float64, cores),
 		remainingPreds: make([]int, n),
@@ -73,6 +79,9 @@ func NewScheduler(g *taskgraph.Graph, p *arch.Platform) *Scheduler {
 		coreBusy:       make([]bool, cores),
 		touched:        make([]bool, cores),
 		touchedList:    make([]int, 0, cores),
+	}
+	if s.icn != nil {
+		s.linkBusy = make([]float64, s.icn.NumLinks())
 	}
 	s.out = Schedule{
 		Graph:      g,
@@ -82,8 +91,36 @@ func NewScheduler(g *taskgraph.Graph, p *arch.Platform) *Scheduler {
 		busyCycles: make([]int64, cores),
 		busySec:    make([]float64, cores),
 		freqHz:     s.freq,
+		icn:        s.icn,
 	}
 	return s
+}
+
+// transferArrival reserves the fabric links of a src→dst transfer of the
+// given communication cycles issued at now, and returns its arrival time.
+// Cut-through channel reservation: the transfer starts once every link on
+// its path is free of earlier traffic by the time its head word gets there
+// (link i is entered i hop-latencies after the start), then holds each
+// link for the serialization time bits/bandwidth. Uncontended this is
+// exactly hops·HopLatencySec + bits/BandwidthBps; contention only delays
+// the start. Transfers are issued while draining agenda events in strict
+// (time, seq) order, so reservation order — and therefore who queues
+// behind whom — is deterministic.
+func (s *Scheduler) transferArrival(src, dst int, cycles int64, now float64) float64 {
+	ic := s.icn
+	ser := ic.MessageBits(cycles) / ic.BandwidthBps
+	lat := ic.HopLatencySec
+	s.linkPath = ic.PathLinks(src, dst, s.linkPath[:0])
+	start := now
+	for i, l := range s.linkPath {
+		if t := s.linkBusy[l] - float64(i)*lat; t > start {
+			start = t
+		}
+	}
+	for i, l := range s.linkPath {
+		s.linkBusy[l] = start + float64(i)*lat + ser
+	}
+	return start + float64(len(s.linkPath))*lat + ser
 }
 
 // Graph returns the pinned task graph.
@@ -159,6 +196,10 @@ func (s *Scheduler) Schedule(m Mapping) (*Schedule, error) {
 	sc := &s.out
 	copy(sc.Mapping, m)
 	sc.makespan = 0
+	sc.commDelaySec = 0
+	for i := range s.linkBusy {
+		s.linkBusy[i] = 0
+	}
 	for c := 0; c < cores; c++ {
 		sc.busyCycles[c] = 0
 		sc.busySec[c] = 0
@@ -244,11 +285,22 @@ func (s *Scheduler) Schedule(m Mapping) (*Schedule, error) {
 						}
 						continue
 					}
-					// Cross-core token, billed at the slower endpoint.
+					if s.icn != nil {
+						// Cross-core token rides the shared fabric: reserve
+						// the route's links and deliver at the (possibly
+						// contended) arrival time.
+						arrive := s.transferArrival(core, m[edge.To], edge.Cycles, now)
+						sc.commDelaySec += arrive - now
+						push(arrive, false, edge.To)
+						continue
+					}
+					// Ideal dedicated link: the token costs its cycle count
+					// at the slower endpoint's clock.
 					fSlow := s.freq[core]
 					if fd := s.freq[m[edge.To]]; fd < fSlow {
 						fSlow = fd
 					}
+					sc.commDelaySec += float64(edge.Cycles) / fSlow
 					push(now+float64(edge.Cycles)/fSlow, false, edge.To)
 				}
 			} else {

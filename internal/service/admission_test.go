@@ -197,3 +197,24 @@ func TestRateLimiterBuckets(t *testing.T) {
 		t.Fatalf("limiter holds %d buckets, cap %d", n, rateLimiterMaxClients)
 	}
 }
+
+// TestRetryAfterSeconds: the Retry-After header must be a whole positive
+// second count — RFC 9110 allows 0, but a 0 invites an immediate retry
+// storm, so the renderer rounds up and clamps to at least 1.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

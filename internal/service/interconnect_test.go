@@ -1,0 +1,59 @@
+package service
+
+import (
+	"testing"
+)
+
+// nocPlatformJSON is heteroPlatformJSON behind a contended 2D-mesh NoC —
+// the submit envelope's platform field carries the full ingest spec,
+// interconnect block included.
+const nocPlatformJSON = `{
+  "types": [
+    {"name": "arm7x3", "freqs_mhz": [200, 100, 66.667]},
+    {"name": "arm7x2", "freqs_mhz": [200, 100]}
+  ],
+  "cores": [
+    {"type": "arm7x3", "count": 2},
+    {"type": "arm7x2"}
+  ],
+  "interconnect": {
+    "topology": "mesh",
+    "bandwidth_bits_per_sec": 4e9,
+    "hop_latency_sec": 1e-4
+  }
+}`
+
+// TestInterconnectSubmission: a contended-NoC platform flows through the
+// service end to end — distinct ProblemKey from the ideal-fabric spec,
+// distinct result bytes (the fabric genuinely changes the evaluation), and
+// a second submission is a pure cache hit under the v5 key.
+func TestInterconnectSubmission(t *testing.T) {
+	srv, ts := newHTTPServer(t, Config{Workers: 2, EngineParallelism: 2})
+
+	noc := heteroEnvelope(t, nocPlatformJSON, 60)
+	ideal := heteroEnvelope(t, heteroPlatformJSON, 60)
+
+	stNoc := postJob(t, ts.URL, noc)
+	stIdeal := postJob(t, ts.URL, ideal)
+	doneNoc := waitJobHTTP(t, ts.URL, stNoc.ID, StateDone)
+	doneIdeal := waitJobHTTP(t, ts.URL, stIdeal.ID, StateDone)
+
+	if doneNoc.Key == doneIdeal.Key {
+		t.Errorf("contended and ideal platforms share ProblemKey %s", doneNoc.Key)
+	}
+	if len(doneNoc.Result) == 0 || len(doneIdeal.Result) == 0 {
+		t.Fatal("a job finished without a result")
+	}
+	if string(doneNoc.Result) == string(doneIdeal.Result) {
+		t.Error("contended and ideal platforms produced identical result bytes")
+	}
+
+	before := srv.Metrics().CacheHits
+	st := postJob(t, ts.URL, noc)
+	if st.State != StateDone || !st.CacheHit {
+		t.Errorf("resubmission state %s cacheHit=%v, want done cache hit", st.State, st.CacheHit)
+	}
+	if got := srv.Metrics().CacheHits; got != before+1 {
+		t.Errorf("cache hits went %d → %d, want +1", before, got)
+	}
+}

@@ -2,13 +2,18 @@
 // built on the desim discrete-event kernel — the stand-in for the paper's
 // SystemC cycle-accurate simulation (§II-B).
 //
-// Each processing core is an engine clocked at its own DVS operating point;
-// dedicated point-to-point links deliver inter-core tokens with the edge's
-// communication latency (billed at the slower endpoint's clock, matching
-// the analytic scheduler). The dispatch policy is identical to
-// sched.ListSchedule — event-driven list scheduling by b-level — so for a
-// single iteration the measured makespan equals the analytic one; this
-// cross-validates kernel and scheduler against each other.
+// Each processing core is an engine clocked at its own DVS operating point.
+// Inter-core tokens ride the platform's interconnect when one is declared:
+// the same cut-through channel-reservation model as sched — a transfer
+// holds every link of its XY (or bus) path, staggered by the hop latency,
+// and contending transfers queue deterministically — carried out here in
+// integer femtoseconds on the event kernel. Without an interconnect the
+// ideal fabric applies: dedicated point-to-point links deliver each token
+// with the edge's communication cycles at the slower endpoint's clock. The
+// dispatch policy is identical to sched.ListSchedule — event-driven list
+// scheduling by b-level — so for a single iteration the measured makespan
+// equals the analytic one to clock-quantization error; this cross-validates
+// kernel and scheduler against each other on both fabrics.
 //
 // Streaming workloads (the MPEG-2 decoder over its 437-frame bitstream) are
 // simulated as a software pipeline: Config.Iterations splits every task and
@@ -134,6 +139,20 @@ func Run(g *taskgraph.Graph, p *arch.Platform, m sched.Mapping, scaling []int, c
 
 	bl := g.BLevels()
 
+	// Interconnect state: per-link clear times for the cut-through
+	// reservation model, mirroring sched.Scheduler.transferArrival in
+	// integer femtoseconds.
+	icn := p.Interconnect()
+	var (
+		linkBusy []desim.Time
+		pathBuf  []int
+		hopFs    desim.Time
+	)
+	if icn != nil {
+		linkBusy = make([]desim.Time, icn.NumLinks())
+		hopFs = desim.FromSeconds(icn.HopLatencySec)
+	}
+
 	// Per-instance bookkeeping. Instance (t, k) waits on its graph
 	// predecessors of iteration k plus, for k > 0, instance (t, k−1).
 	idx := func(in instance) int { return in.iter*n + int(in.task) }
@@ -191,12 +210,32 @@ func Run(g *taskgraph.Graph, p *arch.Platform, m sched.Mapping, scaling []int, c
 				release(target)
 				continue
 			}
+			tgt := target
+			if icn != nil {
+				// Reserve the XY/bus path: the transfer starts when every
+				// link is clear of earlier traffic at its stagger offset,
+				// then holds each link for the serialization time.
+				serFs := desim.FromSeconds(icn.MessageBits(commCycles) / icn.BandwidthBps)
+				pathBuf = icn.PathLinks(core, res.Mapping[e.To], pathBuf[:0])
+				start := k.Now()
+				for i, l := range pathBuf {
+					if t := linkBusy[l] - desim.Time(i)*hopFs; t > start {
+						start = t
+					}
+				}
+				for i, l := range pathBuf {
+					linkBusy[l] = start + desim.Time(i)*hopFs + serFs
+				}
+				arrive := start + desim.Time(len(pathBuf))*hopFs + serFs
+				// After from inside an event cannot fail: delay >= 0, fn != nil.
+				_ = k.After(arrive-k.Now(), func() { release(tgt) })
+				continue
+			}
 			slow := res.periods[core]
 			if pd := res.periods[res.Mapping[e.To]]; pd > slow {
 				slow = pd
 			}
 			delay := desim.Time(commCycles) * slow
-			tgt := target
 			// After from inside an event cannot fail: delay >= 0, fn != nil.
 			_ = k.After(delay, func() { release(tgt) })
 		}
